@@ -1,0 +1,74 @@
+"""E9/E10 (supplementary) — the remaining UPPAAL flavours surveyed in
+Section II without a dedicated figure:
+
+* UPPAAL-CORA: minimum-cost reachability and METAMOC-style WCET/BCET
+  analysis on a cached-loop program;
+* ECDAR: refinement and consistency checking between timed I/O
+  specifications.
+"""
+
+import pytest
+
+from repro.core import ResultTable
+from repro.cora import max_cost_reachability, min_cost_reachability
+from repro.ecdar import check_consistency, check_refinement
+from repro.models.wcet import (
+    at_done,
+    expected_bcet,
+    expected_wcet,
+    make_wcet_model,
+)
+from repro.ta import Automaton, clk
+
+
+@pytest.mark.benchmark(group="cora")
+@pytest.mark.parametrize("iterations", [2, 4, 6])
+def test_wcet_analysis(benchmark, iterations):
+    priced = make_wcet_model(iterations)
+
+    def analyse():
+        wcet = max_cost_reachability(priced, at_done)
+        bcet = min_cost_reachability(priced, at_done)
+        return wcet, bcet
+
+    wcet, bcet = benchmark.pedantic(analyse, rounds=1, iterations=1)
+    table = ResultTable("iterations", "WCET", "BCET", "states",
+                        title="UPPAAL-CORA role: WCET/BCET of the "
+                              "cached loop")
+    table.add_row(iterations, wcet.cost, bcet.cost,
+                  wcet.states_explored)
+    table.print()
+    assert wcet.cost == expected_wcet(iterations)
+    assert bcet.cost == expected_bcet(iterations)
+
+
+def _coffee(lo, hi):
+    spec = Automaton(f"spec_{lo}_{hi}", clocks=["x"])
+    spec.add_location("idle")
+    spec.add_location("brew", invariant=[clk("x", "<=", hi)])
+    spec.add_edge("idle", "brew", label="coin", resets=[("x", 0)])
+    spec.add_edge("brew", "idle", guard=[clk("x", ">=", lo)],
+                  label="coffee")
+    return spec
+
+
+@pytest.mark.benchmark(group="ecdar")
+def test_refinement_checks(benchmark):
+    io = (["coin"], ["coffee"])
+
+    def analyse():
+        return (
+            check_refinement(_coffee(3, 3), _coffee(2, 4), *io),
+            check_refinement(_coffee(1, 5), _coffee(2, 4), *io),
+            check_consistency(_coffee(2, 4), *io),
+        )
+
+    tight, loose, consistent = benchmark.pedantic(
+        analyse, rounds=1, iterations=1)
+    table = ResultTable("check", "verdict",
+                        title="ECDAR role: timed I/O refinement")
+    table.add_row("[3,3] refines [2,4]", tight.holds)
+    table.add_row("[1,5] refines [2,4]", loose.holds)
+    table.add_row("[2,4] consistent", consistent)
+    table.print()
+    assert tight.holds and not loose.holds and consistent

@@ -1,0 +1,118 @@
+"""E8 — engine micro-benchmarks and the ablations called out in
+DESIGN.md:
+
+* DBM operation throughput (the inner loop of every zone engine);
+* zone-graph exploration with/without extrapolation and inclusion;
+* value iteration vs. interval iteration on the BRP MDP;
+* SMC sample budget vs. confidence-interval width;
+* BIP priority filtering on/off.
+"""
+
+import pytest
+
+from repro.core import ResultTable
+from repro.dbm import DBM, le
+from repro.mc import EF, LocationIs, Verifier, explore
+from repro.mdp import reachability_probability
+from repro.models import brp
+from repro.models.dala import make_dala
+from repro.models.traingate import make_traingate
+from repro.pta import build_digital_mdp
+from repro.smc import ProbabilityEstimate, chernoff_runs
+from repro.ta import ZoneGraph
+from repro.bip import BIPEngine
+
+
+@pytest.mark.benchmark(group="engines-dbm")
+def test_dbm_operation_throughput(benchmark):
+    """Constrain + reset + up + inclusion on an 8-clock DBM."""
+    def workload():
+        z = DBM.zero(8).up()
+        for i in range(1, 8):
+            z.constrain(i, 0, le(2 * i + 10))
+        z2 = z.copy()
+        z2.reset(3, 0)
+        z2.up()
+        z2.extrapolate([0] + [20] * 7)
+        return z.includes(z2)
+
+    benchmark(workload)
+
+
+@pytest.mark.benchmark(group="engines-explore")
+@pytest.mark.parametrize("extrapolate,inclusion", [
+    (True, True), (True, False), (False, True)])
+def test_exploration_ablation(benchmark, extrapolate, inclusion):
+    """State counts with/without extrapolation and subsumption.
+
+    Without extrapolation the train gate still terminates (resets bound
+    the zones) but stores more states; without inclusion the counts
+    grow further.  (Extrapolation OFF with inclusion OFF is skipped: it
+    is the pathological quadrant.)
+    """
+    network = make_traingate(2)
+
+    def run():
+        graph = ZoneGraph(network, extrapolate=extrapolate)
+        return explore(graph, use_inclusion=inclusion).states_explored
+
+    states = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = ResultTable("extrapolation", "inclusion", "states",
+                        title="Zone-graph ablation (2 trains)")
+    table.add_row(extrapolate, inclusion, states)
+    table.print()
+    assert states > 0
+
+
+@pytest.mark.benchmark(group="engines-mdp")
+@pytest.mark.parametrize("interval", [False, True])
+def test_value_iteration_ablation(benchmark, interval):
+    """Plain value iteration vs. certified interval iteration."""
+    digital = build_digital_mdp(brp.make_brp(16, 2, 1))
+    targets = digital.states_where(brp.not_success)
+
+    def solve():
+        return float(reachability_probability(
+            digital.mdp, targets, maximize=True, interval=interval)[0])
+
+    value = benchmark(solve)
+    assert value == pytest.approx(4.233e-4, rel=1e-3)
+
+
+@pytest.mark.benchmark(group="engines-smc")
+def test_smc_budget_vs_interval_width(benchmark):
+    """The Chernoff bound and the realised Clopper-Pearson widths."""
+    def widths():
+        rows = []
+        for runs in (100, 400, 1600):
+            estimate = ProbabilityEstimate(runs // 4, runs)
+            rows.append((runs, estimate.high - estimate.low))
+        return rows
+
+    rows = benchmark(widths)
+    table = ResultTable("runs", "CP interval width",
+                        title="SMC budget ablation (p ~ 0.25)")
+    for runs, width in rows:
+        table.add_row(runs, round(width, 4))
+    table.print()
+    assert rows[0][1] > rows[1][1] > rows[2][1]
+    assert chernoff_runs(0.05, 0.05) == 738
+
+
+@pytest.mark.benchmark(group="engines-bip")
+@pytest.mark.parametrize("with_priorities", [True, False])
+def test_bip_priority_ablation(benchmark, with_priorities):
+    """Engine throughput and suppressed-interaction counts with the
+    DALA priority layer on and off."""
+    system = make_dala(with_controller=True, counter_bound=4)
+    if not with_priorities:
+        system.priorities = []
+
+    def run():
+        engine = BIPEngine(system, rng=3)
+        trace = engine.run(max_steps=400)
+        return trace.blocked_count
+
+    blocked = benchmark.pedantic(run, rounds=1, iterations=1)
+    if not with_priorities:
+        assert blocked == 0

@@ -1,0 +1,55 @@
+"""E3 — Fig. 4 of the paper: cumulative probability, over time, of each
+train crossing the bridge (UPPAAL-SMC performance analysis).
+
+Six trains with exponential rates 1+id race for the bridge; for each
+train we estimate ``Pr[<=100](<> Train(i).Cross)`` as a function of the
+bound and print the superposed distributions — the series behind the
+paper's plot.  Expected shape: curves ordered by rate (Train 5 rises
+first, Train 0 last), all approaching 1 near the right edge.
+"""
+
+import os
+
+import pytest
+
+from repro.core import ResultTable
+from repro.models.traingate import make_traingate
+from repro.smc import StochasticSimulator, first_passage_cdfs
+
+N_TRAINS = 6
+HORIZON = 100
+GRID = list(range(10, 95, 12))  # the paper's axis: 10, 22, ..., 94
+RUNS = int(os.environ.get("REPRO_FIG4_RUNS", "2000"))
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_crossing_cdfs(benchmark):
+    network = make_traingate(N_TRAINS)
+    predicates = {
+        i: (lambda names, v, c, i=i: names[i] == "Cross")
+        for i in range(N_TRAINS)}
+
+    def estimate():
+        return first_passage_cdfs(
+            lambda rng: StochasticSimulator(network, rng=rng),
+            predicates, horizon=HORIZON, runs=RUNS, grid=GRID, rng=2012)
+
+    cdfs = benchmark.pedantic(estimate, rounds=1, iterations=1)
+
+    table = ResultTable(
+        "t", *[f"Train {i}" for i in range(N_TRAINS)],
+        title=f"Fig. 4 — P(first crossing <= t), {RUNS} runs")
+    for row, t in enumerate(GRID):
+        table.add_row(t, *[round(cdfs[i][row], 3)
+                           for i in range(N_TRAINS)])
+    table.print()
+
+    # Shape checks matching the paper's figure.
+    for i in range(N_TRAINS):
+        assert cdfs[i][0] <= 0.05, "nobody crosses before t=10"
+        assert all(a <= b for a, b in zip(cdfs[i], cdfs[i][1:])), \
+            "CDFs are monotone"
+    # Faster trains (higher rate) dominate slower ones early on.
+    mid = len(GRID) // 2
+    assert cdfs[N_TRAINS - 1][mid] > cdfs[0][mid]
+    assert cdfs[N_TRAINS - 1][-1] > 0.9

@@ -1,0 +1,125 @@
+"""E7 — Section V: model-based testing experiments.
+
+The paper's claims about ioco-based testing: automatically generated
+test suites detect only, and in the limit all, non-conforming
+implementations; online testing runs millions of events cheaply; the
+timed variant rtioco (UPPAAL-TRON) additionally catches timing
+violations.  This bench measures mutation-detection rates over the
+FIFO software-bus implementations and the timed coffee machines.
+"""
+
+import pytest
+
+from repro.core import ResultTable, TestFailure
+from repro.mbt import (
+    BrokenFifoBus,
+    FifoBus,
+    FifoBusAdapter,
+    LeakyFifoBus,
+    OnlineTimedTester,
+    ioco_check,
+    online_test,
+    run_test_suite,
+)
+from repro.models.busspec import (
+    CoffeeMachine,
+    EagerCoffeeMachine,
+    SlowCoffeeMachine,
+    make_bus_spec,
+    make_coffee_spec,
+    make_lifo_bus_spec,
+)
+
+SUITE_SIZE = 150
+TIMED_RUNS = 25
+
+
+def mbt_experiment():
+    spec = make_bus_spec()
+    rows = []
+    for name, factory in (("FifoBus (correct)", FifoBus),
+                          ("BrokenFifoBus (LIFO)", BrokenFifoBus),
+                          ("LeakyFifoBus", LeakyFifoBus)):
+        adapter = FifoBusAdapter(factory)
+        verdicts, failures = run_test_suite(
+            spec, adapter, SUITE_SIZE, rng=42, max_depth=10)
+        rows.append((name, len(verdicts), len(failures)))
+
+    # Model-level ioco: the LIFO behaviour is not ioco the FIFO spec.
+    model_verdict = ioco_check(make_lifo_bus_spec(), spec)
+
+    # Online (on-the-fly) testing throughput.
+    events = len(online_test(spec, FifoBusAdapter(), steps=5000, rng=7))
+
+    # rtioco: timed mutants (coffee machine timing; gate controllers).
+    tester = OnlineTimedTester(make_coffee_spec(), inputs=["coin"],
+                               outputs=["coffee"], rng=1)
+    timed_rows = []
+    for name, factory in (("CoffeeMachine (correct)", CoffeeMachine),
+                          ("SlowCoffeeMachine", SlowCoffeeMachine),
+                          ("EagerCoffeeMachine", EagerCoffeeMachine)):
+        fails = 0
+        for seed in range(TIMED_RUNS):
+            tester.rng = type(tester.rng)(seed)
+            if not tester.run(factory(), duration=40).passed:
+                fails += 1
+        timed_rows.append((name, TIMED_RUNS, fails))
+
+    from repro.models.gate_impl import (
+        GateController,
+        LifoGateController,
+        SleepyGateController,
+    )
+    from repro.models.traingate import gate_io, make_gate_spec
+
+    inputs, outputs = gate_io(3)
+    gate_tester = OnlineTimedTester(make_gate_spec(3), inputs=inputs,
+                                    outputs=outputs, rng=1)
+    for name, factory in (("GateController (correct)", GateController),
+                          ("LifoGateController", LifoGateController),
+                          ("SleepyGateController",
+                           SleepyGateController)):
+        fails = 0
+        for seed in range(TIMED_RUNS):
+            gate_tester.rng = type(gate_tester.rng)(seed)
+            if not gate_tester.run(factory(), duration=40,
+                                   stimulate_bias=0.7).passed:
+                fails += 1
+        timed_rows.append((name, TIMED_RUNS, fails))
+    return rows, model_verdict, events, timed_rows
+
+
+@pytest.mark.benchmark(group="mbt")
+def test_mbt_mutation_detection(benchmark):
+    rows, model_verdict, events, timed_rows = benchmark.pedantic(
+        mbt_experiment, rounds=1, iterations=1)
+
+    table = ResultTable("implementation", "tests", "failures",
+                        title="Section V — ioco test suites "
+                              "(FIFO software bus)")
+    for row in rows:
+        table.add_row(*row)
+    table.print()
+
+    timed = ResultTable("implementation", "timed runs", "failures",
+                        title="Section V — rtioco online timed testing "
+                              "(UPPAAL-TRON role)")
+    for row in timed_rows:
+        timed.add_row(*row)
+    timed.print()
+    print(f"\nonline test events executed in one session: {events}")
+    print(f"model-level ioco verdict for LIFO vs FIFO: {model_verdict!r}")
+
+    by_name = {name: failures for name, _n, failures in rows}
+    assert by_name["FifoBus (correct)"] == 0, "soundness"
+    assert by_name["BrokenFifoBus (LIFO)"] > 0, "exhaustiveness (LIFO)"
+    assert by_name["LeakyFifoBus"] > 0, "exhaustiveness (leaky)"
+    assert not model_verdict.conforms
+
+    timed_by_name = {name: fails for name, _n, fails in timed_rows}
+    assert timed_by_name["CoffeeMachine (correct)"] == 0
+    assert timed_by_name["SlowCoffeeMachine"] > 0
+    assert timed_by_name["EagerCoffeeMachine"] > 0
+    assert timed_by_name["GateController (correct)"] == 0
+    assert timed_by_name["LifoGateController"] > 0
+    assert timed_by_name["SleepyGateController"] > 0

@@ -1,0 +1,82 @@
+"""E2 — Figs. 2-3 of the paper: synthesizing the train-gate controller
+with the timed-game solver instead of writing it by hand.
+
+The environment (dashed edges of Fig. 2) decides when trains approach
+and how long crossing takes; the controller (Fig. 3's unconstrained
+automaton) decides when to stop and restart trains.  We synthesize
+
+* a *safety* strategy — never two trains on the bridge — and validate
+  it in closed loop against a random environment, and
+* a *reachability* strategy — an approaching train is forced to cross.
+"""
+
+import pytest
+
+from repro.core import ResultTable
+from repro.models.traingame import (
+    crossing_predicate,
+    make_traingame,
+    safety_predicate,
+)
+from repro.ta import DiscreteSemantics
+from repro.tiga import (
+    GameGraph,
+    controller_wins_reachability,
+    controller_wins_safety,
+    execute,
+)
+
+PLAYS = 100
+
+
+def synthesize(n_trains, scale):
+    network = make_traingame(n_trains, scale=scale)
+    graph = GameGraph(network)
+    safe_wins, safe_strategy = controller_wins_safety(
+        graph, safety_predicate(n_trains))
+    safe = graph.satisfying(safety_predicate(n_trains))
+    violations = 0
+    for seed in range(PLAYS):
+        play = execute(safe_strategy, rng=seed, max_steps=300, safe=safe)
+        if not play.stayed_safe:
+            violations += 1
+
+    # Reachability from "train 0 just approached".
+    semantics = DiscreteSemantics(network)
+    appr = None
+    for transition, succ in semantics.action_successors(
+            semantics.initial()):
+        if transition.channel == "appr_0":
+            appr = succ
+    reach_graph = GameGraph(network, initial_state=appr)
+    reach_wins, reach_strategy = controller_wins_reachability(
+        reach_graph, crossing_predicate(0))
+    crossed = sum(
+        1 for seed in range(PLAYS)
+        if execute(reach_strategy, rng=seed, max_steps=1000).reached_goal)
+    return {
+        "arena": graph.num_states,
+        "safety_winnable": safe_wins,
+        "violations": violations,
+        "reach_winnable": reach_wins,
+        "crossed": crossed,
+    }
+
+
+@pytest.mark.benchmark(group="tiga")
+@pytest.mark.parametrize("n_trains,scale", [(2, 1), (2, 2), (3, 4)])
+def test_tiga_controller_synthesis(benchmark, n_trains, scale):
+    result = benchmark.pedantic(synthesize, args=(n_trains, scale),
+                                rounds=1, iterations=1)
+    table = ResultTable(
+        "trains", "scale", "arena states", "safety synth",
+        f"violations/{PLAYS}", "reach synth", f"crossed/{PLAYS}",
+        title="Figs. 2-3 — controller synthesis (UPPAAL-TIGA role)")
+    table.add_row(n_trains, scale, result["arena"],
+                  result["safety_winnable"], result["violations"],
+                  result["reach_winnable"], result["crossed"])
+    table.print()
+    assert result["safety_winnable"]
+    assert result["violations"] == 0
+    assert result["reach_winnable"]
+    assert result["crossed"] == PLAYS

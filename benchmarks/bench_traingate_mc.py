@@ -1,0 +1,71 @@
+"""E1 — the verification column of Section II-a: safety, liveness and
+deadlock-freedom of the train-gate model (Fig. 1), over a sweep of
+train counts.
+
+The paper's properties:
+
+* Safety   — ``A[] forall i,j: Cross_i && Cross_j imply i == j``
+* Liveness — ``Train(i).Appr --> Train(i).Cross`` for each i
+* Deadlock — ``A[] not deadlock``
+
+All three must hold for every instance; the table reports the symbolic
+state counts, the scaling story of a zone-based engine.
+"""
+
+import os
+
+import pytest
+
+from repro.core import ResultTable
+from repro.mc import (
+    AG,
+    And,
+    EF,
+    LeadsTo,
+    LocationIs,
+    Not,
+    Or,
+    Verifier,
+)
+from repro.models.traingate import make_traingate
+
+MAX_TRAINS = int(os.environ.get("REPRO_TRAINGATE_MAX", "4"))
+
+
+def two_crossing(n):
+    return Or(*[And(LocationIs(f"Train({i})", "Cross"),
+                    LocationIs(f"Train({j})", "Cross"))
+                for i in range(n) for j in range(n) if i != j])
+
+
+def verify_instance(n):
+    verifier = Verifier(make_traingate(n))
+    safety = verifier.check(AG(Not(two_crossing(n))))
+    liveness = [
+        verifier.check(LeadsTo(LocationIs(f"Train({i})", "Appr"),
+                               LocationIs(f"Train({i})", "Cross")))
+        for i in range(n)]
+    deadlock_free = verifier.deadlock_free()
+    return {
+        "safety": safety.holds,
+        "liveness": all(r.holds for r in liveness),
+        "deadlock_free": deadlock_free.holds,
+        "states": max(safety.states_explored,
+                      max(r.states_explored for r in liveness)),
+    }
+
+
+@pytest.mark.benchmark(group="traingate-mc")
+@pytest.mark.parametrize("n", list(range(2, MAX_TRAINS + 1)))
+def test_traingate_verification(benchmark, n):
+    result = benchmark.pedantic(verify_instance, args=(n,),
+                                rounds=1, iterations=1)
+    table = ResultTable("trains", "safety", "liveness", "no deadlock",
+                        "symbolic states",
+                        title="Section II-a verification (train gate)")
+    table.add_row(n, result["safety"], result["liveness"],
+                  result["deadlock_free"], result["states"])
+    table.print()
+    assert result["safety"]
+    assert result["liveness"]
+    assert result["deadlock_free"]

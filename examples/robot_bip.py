@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Component-based design of an autonomous system (paper, Section IV).
+
+Builds the synthetic DALA rover functional level in BIP, verifies it
+(D-Finder-style compositional deadlock analysis plus exact
+confirmation), then demonstrates — via fault injection, as in the paper
+— that the R2C execution controller stops the robot from reaching
+unsafe states, while the unprotected system fails quickly.
+
+Run:  python examples/robot_bip.py
+"""
+
+from repro.bip import (
+    BIPEngine,
+    explore_statespace,
+    find_potential_deadlocks,
+)
+from repro.core import AnalysisError
+from repro.models.dala import (
+    comm_request_fault,
+    make_dala,
+    safety_invariant,
+    unsafe,
+)
+
+
+def main():
+    rover = make_dala(with_controller=True, counter_bound=4)
+    print(f"flattened model: {rover!r}")
+    for component in rover.components:
+        print(f"  {component!r}")
+
+    # -- verification -----------------------------------------------------
+    report = find_potential_deadlocks(rover)
+    print(f"\nD-Finder: {report!r}")
+    states, deadlocks = explore_statespace(rover, max_states=500000)
+    print(f"exact exploration: {len(states)} states, "
+          f"{len(deadlocks)} deadlocks, "
+          f"unsafe reachable: {any(unsafe(s) for s in states)}")
+
+    # -- fault injection ----------------------------------------------------
+    print("\nfault injection (spurious antenna requests every 3 cycles):")
+    engine = BIPEngine(rover, rng=1)
+    trace = engine.run(max_steps=1000, invariant=safety_invariant,
+                       fault_injector=comm_request_fault)
+    print(f"  with R2C   : {len(trace)} steps, safety held")
+
+    bare = make_dala(with_controller=False, counter_bound=4)
+    engine = BIPEngine(bare, rng=1)
+    try:
+        engine.run(max_steps=1000, invariant=safety_invariant,
+                   fault_injector=comm_request_fault)
+        print("  without R2C: survived (unexpected)")
+    except AnalysisError as error:
+        print(f"  without R2C: UNSAFE — {error}")
+
+    missions = engine.state.valuations[
+        bare.component_index("functional/RFLEX")]["missions"]
+    print(f"\nmissions driven before failure: {missions}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""repro — quantitative modeling and analysis of embedded systems.
+
+A unified Python reimplementation of the tool landscape surveyed in
+Bozga et al., "State-of-the-Art Tools and Techniques for Quantitative
+Modeling and Analysis of Embedded Systems" (DATE 2012):
+
+- ``repro.ta`` / ``repro.mc`` — UPPAAL-style networks of timed automata
+  and zone-based model checking;
+- ``repro.cora`` — priced timed automata, minimum-cost reachability;
+- ``repro.tiga`` — timed games and controller synthesis;
+- ``repro.smc`` — statistical model checking under the stochastic
+  semantics of UPPAAL-SMC;
+- ``repro.modest`` — a MODEST-subset language with the three backends of
+  the MODEST TOOLSET (mctau, mcpta, modes);
+- ``repro.pta`` / ``repro.mdp`` — probabilistic timed automata, digital
+  clocks, and a PRISM-style MDP engine;
+- ``repro.bip`` — the BIP component framework (Behavior, Interaction,
+  Priority) with centralized/distributed engines and D-Finder-style
+  deadlock detection;
+- ``repro.ecdar`` — timed I/O refinement and consistency (ECDAR);
+- ``repro.mbt`` — ioco/rtioco model-based testing;
+- ``repro.export`` — Graphviz DOT and UPPAAL XML export/import;
+- ``repro.models`` — the paper's case studies (train gate, BRP, DALA,
+  Fischer, testing specifications, WCET).
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,29 @@
+"""The BIP component framework: Behaviour, Interaction, Priority."""
+
+from .component import AtomicComponent, BTransition
+from .connector import Connector, Interaction
+from .system import (
+    BIPSystem,
+    Composite,
+    PriorityRule,
+    SystemState,
+    flatten,
+)
+from .engine import BIPEngine, EngineTrace, explore_statespace
+from .distributed import DistributedEngine
+from .dfinder import (
+    DFinderReport,
+    component_invariant,
+    find_potential_deadlocks,
+    trap_closure,
+)
+
+__all__ = [
+    "AtomicComponent", "BTransition",
+    "Connector", "Interaction",
+    "BIPSystem", "Composite", "PriorityRule", "SystemState", "flatten",
+    "BIPEngine", "EngineTrace", "explore_statespace",
+    "DistributedEngine",
+    "DFinderReport", "component_invariant", "find_potential_deadlocks",
+    "trap_closure",
+]

@@ -1,0 +1,102 @@
+"""Atomic BIP components: behaviour as port-labelled automata.
+
+Paper, Section IV: BIP builds hierarchically structured composites from
+atomic components characterised by their behaviour (an automaton whose
+transitions are labelled by *ports*) and their interface (the ports).
+Data is local; connectors may read and write it during an interaction
+through the environment views passed to transfer functions.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import ModelError
+from ..core.expressions import Expr
+from ..core.values import Declarations
+
+
+class BTransition:
+    """A port-labelled transition of an atomic component."""
+
+    __slots__ = ("port", "source", "target", "guard", "update")
+
+    def __init__(self, port, source, target, guard=None, update=None):
+        self.port = port
+        self.source = source
+        self.target = target
+        self.guard = guard      # Expr or callable(env) or None
+        self.update = update    # callable(env) or None
+
+    def guard_holds(self, env):
+        if self.guard is None:
+            return True
+        if isinstance(self.guard, Expr):
+            return bool(self.guard.eval(env))
+        return bool(self.guard(env))
+
+    def __repr__(self):
+        return f"BTransition({self.source} --{self.port}--> {self.target})"
+
+
+class AtomicComponent:
+    """An atomic component: ports, places, transitions, local data.
+
+    >>> c = AtomicComponent("Sensor", ports=["trigger", "report"])
+    >>> c.add_place("idle")
+    >>> c.add_place("busy")
+    >>> _ = c.add_transition("trigger", "idle", "busy")
+    >>> _ = c.add_transition("report", "busy", "idle")
+    """
+
+    def __init__(self, name, ports=()):
+        self.name = name
+        self.ports = list(dict.fromkeys(ports))
+        self.places = []
+        self.initial_place = None
+        self.transitions = []
+        self.declarations = Declarations()
+
+    def add_port(self, port):
+        if port in self.ports:
+            raise ModelError(f"{self.name}: port {port!r} declared twice")
+        self.ports.append(port)
+
+    def add_place(self, name):
+        if name in self.places:
+            raise ModelError(f"{self.name}: place {name!r} declared twice")
+        self.places.append(name)
+        if self.initial_place is None:
+            self.initial_place = name
+
+    def declare_int(self, name, init=0, lo=None, hi=None):
+        self.declarations.declare_int(name, init, lo, hi)
+
+    def declare_bool(self, name, init=False):
+        self.declarations.declare_bool(name, init)
+
+    def add_transition(self, port, source, target, guard=None, update=None):
+        if port not in self.ports:
+            raise ModelError(f"{self.name}: unknown port {port!r}")
+        for place in (source, target):
+            if place not in self.places:
+                raise ModelError(f"{self.name}: unknown place {place!r}")
+        transition = BTransition(port, source, target, guard, update)
+        self.transitions.append(transition)
+        return transition
+
+    def transitions_from(self, place, port=None):
+        return [t for t in self.transitions
+                if t.source == place and (port is None or t.port == port)]
+
+    def enabled_transitions(self, place, valuation, port):
+        """Transitions on ``port`` from ``place`` whose guards hold."""
+        return [t for t in self.transitions_from(place, port)
+                if t.guard_holds(valuation)]
+
+    def validate(self):
+        if self.initial_place is None:
+            raise ModelError(f"{self.name}: no places")
+        return self
+
+    def __repr__(self):
+        return (f"AtomicComponent({self.name}, ports={self.ports}, "
+                f"{len(self.places)} places)")

@@ -1,0 +1,69 @@
+"""BIP connectors: rendezvous and broadcast interactions.
+
+Interactions in BIP combine two protocols (paper, Section IV):
+*rendezvous* — strong symmetric synchronisation of all connected ports —
+and *broadcast* — triggered asymmetric synchronisation where one port
+initiates and every ready receiver joins.  A connector may carry a guard
+over the connected components' data and a transfer function executed
+when the interaction fires (before the components' own updates).
+"""
+
+from __future__ import annotations
+
+from ..core.errors import ModelError
+
+
+class Connector:
+    """A connector over ``(component_name, port)`` endpoints."""
+
+    def __init__(self, name, endpoints, trigger=None, guard=None,
+                 transfer=None):
+        """``trigger``: ``None`` for rendezvous, else the endpoint
+        (component_name, port) that initiates a broadcast."""
+        if len(endpoints) < 1:
+            raise ModelError(f"{name}: connector needs endpoints")
+        self.name = name
+        self.endpoints = [tuple(e) for e in endpoints]
+        if len(set(self.endpoints)) != len(self.endpoints):
+            raise ModelError(f"{name}: duplicate endpoint")
+        self.trigger = tuple(trigger) if trigger is not None else None
+        if self.trigger is not None and self.trigger not in self.endpoints:
+            raise ModelError(f"{name}: trigger not among endpoints")
+        self.guard = guard        # callable(ctx) -> bool
+        self.transfer = transfer  # callable(ctx) -> None
+
+    @property
+    def is_broadcast(self):
+        return self.trigger is not None
+
+    def __repr__(self):
+        kind = "broadcast" if self.is_broadcast else "rendezvous"
+        eps = ", ".join(f"{c}.{p}" for c, p in self.endpoints)
+        return f"Connector({self.name}: {kind} [{eps}])"
+
+
+class Interaction:
+    """One firable instance of a connector: a set of component
+    transitions, one per participating endpoint."""
+
+    __slots__ = ("connector", "participants")
+
+    def __init__(self, connector, participants):
+        self.connector = connector
+        #: list of (component, transition)
+        self.participants = list(participants)
+
+    @property
+    def name(self):
+        return self.connector.name
+
+    def components(self):
+        return [component.name for component, _t in self.participants]
+
+    def describe(self):
+        parts = ", ".join(f"{c.name}.{t.port}"
+                          for c, t in self.participants)
+        return f"{self.connector.name}({parts})"
+
+    def __repr__(self):
+        return f"Interaction({self.describe()})"

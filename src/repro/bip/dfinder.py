@@ -1,0 +1,169 @@
+"""Compositional deadlock detection in the style of D-Finder.
+
+D-Finder (paper, Section IV) verifies deadlock-freedom of BIP models
+compositionally: it computes *component invariants* (over-approximating
+each component's reachable control places), *interaction invariants*
+(global constraints derived from the interaction structure — here via
+initially-marked traps of the induced 1-safe Petri net), intersects them
+with the set of states where no interaction is enabled, and reports the
+remainder as potential deadlocks.  An empty remainder proves
+deadlock-freedom without ever building the global state space.
+
+The method is conservative: data guards are ignored (assumed
+satisfiable), so reported configurations may be spurious — callers can
+confirm them with :func:`repro.bip.engine.explore_statespace`.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+
+class DFinderReport:
+    """Result of a compositional deadlock analysis."""
+
+    def __init__(self, potential_deadlocks, component_invariants, traps,
+                 configurations_checked):
+        self.potential_deadlocks = potential_deadlocks
+        self.component_invariants = component_invariants
+        self.traps = traps
+        self.configurations_checked = configurations_checked
+
+    @property
+    def deadlock_free(self):
+        return not self.potential_deadlocks
+
+    def __repr__(self):
+        verdict = ("deadlock-free" if self.deadlock_free else
+                   f"{len(self.potential_deadlocks)} potential deadlocks")
+        return (f"DFinderReport({verdict}, {len(self.traps)} interaction "
+                f"invariants, {self.configurations_checked} configurations)")
+
+
+def component_invariant(component):
+    """Reachable places of a component in isolation, assuming every port
+    is always offered and every guard satisfiable (an over-approximation
+    of its global behaviour)."""
+    reachable = {component.initial_place}
+    queue = [component.initial_place]
+    while queue:
+        place = queue.pop()
+        for transition in component.transitions_from(place):
+            if transition.target not in reachable:
+                reachable.add(transition.target)
+                queue.append(transition.target)
+    return reachable
+
+
+def _petri_transitions(system):
+    """The 1-safe Petri net induced by the interaction structure:
+    one net transition per (connector instance shape x participating
+    component transitions), with control places as pre/post sets."""
+    net = []
+    for connector in system.connectors:
+        endpoint_options = []
+        for comp_name, port in connector.endpoints:
+            component = system.component(comp_name)
+            options = [t for t in component.transitions if t.port == port]
+            endpoint_options.append(
+                [(comp_name, t) for t in options])
+        required = endpoint_options
+        if connector.is_broadcast:
+            # The trigger fires alone or with any receivers; for the
+            # trap analysis every participation pattern is a transition.
+            trigger_pos = connector.endpoints.index(connector.trigger)
+            others = [opts + [None]
+                      for i, opts in enumerate(endpoint_options)
+                      if i != trigger_pos]
+            required = [endpoint_options[trigger_pos]] + others
+        if not all(required):
+            continue
+        for combo in product(*required):
+            chosen = [c for c in combo if c is not None]
+            pre = frozenset(
+                (name, t.source) for name, t in chosen)
+            post = frozenset(
+                (name, t.target) for name, t in chosen)
+            net.append((pre, post))
+    return net
+
+
+def trap_closure(seed_places, net):
+    """The least trap containing ``seed_places``.
+
+    A trap is a place set S such that every net transition consuming
+    from S also produces into S; then an initially marked trap stays
+    marked forever — an interaction invariant.  The closure adds, for
+    every violating transition, all its output places (a sound, if
+    coarse, saturation).
+    """
+    trap = set(seed_places)
+    changed = True
+    while changed:
+        changed = False
+        for pre, post in net:
+            if pre & trap and not (post & trap):
+                if not post:
+                    continue  # sink transition: no trap through here
+                trap |= post
+                changed = True
+    return frozenset(trap)
+
+
+def _interaction_possible(system, places):
+    """Could *some* interaction be enabled in this control
+    configuration, guards permitting?"""
+    for connector in system.connectors:
+        endpoints = connector.endpoints
+        if connector.is_broadcast:
+            endpoints = [connector.trigger]
+        ok = True
+        for comp_name, port in endpoints:
+            index = system.component_index(comp_name)
+            component = system.components[index]
+            if not component.transitions_from(places[index], port):
+                ok = False
+                break
+        if ok:
+            return True
+    return False
+
+
+def find_potential_deadlocks(system, max_configurations=2000000):
+    """The D-Finder pipeline: CI ∧ II ∧ DIS.
+
+    Enumerates control configurations allowed by the component
+    invariants, keeps those where no interaction can fire (DIS), and
+    discards those refuted by an interaction invariant (an initially
+    marked trap with no marked place).
+    """
+    invariants = [component_invariant(c) for c in system.components]
+    total = 1
+    for inv in invariants:
+        total *= len(inv)
+    if total > max_configurations:
+        raise MemoryError(
+            f"{total} control configurations exceed the bound; "
+            "reduce the model or raise max_configurations")
+
+    net = _petri_transitions(system)
+    initial_places = {(c.name, c.initial_place)
+                      for c in system.components}
+    traps = []
+    for seed in initial_places:
+        trap = trap_closure({seed}, net)
+        if trap not in traps:
+            traps.append(trap)
+
+    potential = []
+    checked = 0
+    for places in product(*[sorted(inv) for inv in invariants]):
+        checked += 1
+        if _interaction_possible(system, places):
+            continue
+        marking = {(c.name, p)
+                   for c, p in zip(system.components, places)}
+        if any(not (trap & marking) for trap in traps):
+            continue  # refuted by an interaction invariant
+        potential.append(places)
+    return DFinderReport(potential, invariants, traps, checked)

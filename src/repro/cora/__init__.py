@@ -1,0 +1,5 @@
+"""Priced timed automata and minimum-cost reachability (UPPAAL-CORA)."""
+
+from .priced import PricedTA, max_cost_reachability, min_cost_reachability
+
+__all__ = ["PricedTA", "max_cost_reachability", "min_cost_reachability"]

@@ -1,0 +1,48 @@
+"""Shared foundations: expressions, values, RNG, distributions, tables."""
+
+from .errors import (
+    AnalysisError,
+    EvaluationError,
+    ModelError,
+    ParseError,
+    QueryError,
+    ReproError,
+    TestFailure,
+)
+from .expressions import (
+    Assignment,
+    BinOp,
+    Const,
+    Expr,
+    FALSE,
+    Index,
+    Ite,
+    TRUE,
+    UnOp,
+    Var,
+    conjoin,
+    lift,
+)
+from .values import Declarations, Env, Valuation
+from .rng import RandomSource, ensure_rng
+from .distributions import (
+    Dirac,
+    Distribution,
+    Exponential,
+    Uniform,
+    Weighted,
+    delay_distribution,
+)
+from .tables import ResultTable, format_number
+
+__all__ = [
+    "AnalysisError", "EvaluationError", "ModelError", "ParseError",
+    "QueryError", "ReproError", "TestFailure",
+    "Assignment", "BinOp", "Const", "Expr", "FALSE", "Index", "Ite",
+    "TRUE", "UnOp", "Var", "conjoin", "lift",
+    "Declarations", "Env", "Valuation",
+    "RandomSource", "ensure_rng",
+    "Dirac", "Distribution", "Exponential", "Uniform", "Weighted",
+    "delay_distribution",
+    "ResultTable", "format_number",
+]

@@ -1,0 +1,169 @@
+"""Probability distributions used by the stochastic semantics.
+
+UPPAAL-SMC's stochastic semantics (paper, Section II-c) attaches an
+exponential delay distribution to locations without an invariant upper
+bound and a uniform distribution over the allowed delay interval to
+locations with one.  MODEST additionally uses discrete (weighted)
+branching via ``palt``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .errors import ModelError
+
+
+class Distribution:
+    """Base class: a distribution over non-negative real delays."""
+
+    def sample(self, rng):
+        raise NotImplementedError
+
+    def mean(self):
+        raise NotImplementedError
+
+
+class Exponential(Distribution):
+    """Exponential distribution with the given rate (lambda)."""
+
+    __slots__ = ("rate",)
+
+    def __init__(self, rate):
+        if rate <= 0:
+            raise ModelError(f"exponential rate must be positive, got {rate}")
+        self.rate = float(rate)
+
+    def sample(self, rng):
+        return rng.expovariate(self.rate)
+
+    def mean(self):
+        return 1.0 / self.rate
+
+    def __repr__(self):
+        return f"Exponential(rate={self.rate})"
+
+
+class Uniform(Distribution):
+    """Uniform distribution over ``[low, high]``."""
+
+    __slots__ = ("low", "high")
+
+    def __init__(self, low, high):
+        if low > high or low < 0:
+            raise ModelError(f"bad uniform support [{low},{high}]")
+        self.low = float(low)
+        self.high = float(high)
+
+    def sample(self, rng):
+        return rng.uniform(self.low, self.high)
+
+    def mean(self):
+        return (self.low + self.high) / 2.0
+
+    def __repr__(self):
+        return f"Uniform({self.low}, {self.high})"
+
+
+class Dirac(Distribution):
+    """Deterministic delay."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        if value < 0:
+            raise ModelError(f"negative Dirac delay {value}")
+        self.value = float(value)
+
+    def sample(self, rng):
+        return self.value
+
+    def mean(self):
+        return self.value
+
+    def __repr__(self):
+        return f"Dirac({self.value})"
+
+
+class Weighted:
+    """A discrete distribution over arbitrary outcomes, given as weights.
+
+    This is the semantic object behind MODEST's ``palt`` (Fig. 5 of the
+    paper uses weights 98 / 2 for delivery vs. loss).
+    """
+
+    __slots__ = ("outcomes", "probabilities")
+
+    def __init__(self, weighted_outcomes):
+        outcomes = []
+        weights = []
+        for outcome, weight in weighted_outcomes:
+            if weight < 0:
+                raise ModelError(f"negative weight {weight}")
+            if weight > 0:
+                outcomes.append(outcome)
+                weights.append(float(weight))
+        total = sum(weights)
+        if not outcomes or total <= 0:
+            raise ModelError("weighted distribution needs positive weight")
+        self.outcomes = tuple(outcomes)
+        self.probabilities = tuple(w / total for w in weights)
+
+    def sample(self, rng):
+        x = rng.random()
+        acc = 0.0
+        for outcome, p in zip(self.outcomes, self.probabilities):
+            acc += p
+            if x < acc:
+                return outcome
+        return self.outcomes[-1]
+
+    def support(self):
+        return self.outcomes
+
+    def __len__(self):
+        return len(self.outcomes)
+
+    def __repr__(self):
+        pairs = ", ".join(
+            f"{o!r}:{p:.4g}" for o, p in
+            zip(self.outcomes, self.probabilities))
+        return f"Weighted({pairs})"
+
+
+def delay_distribution(lower, upper, rate=1.0):
+    """The UPPAAL-SMC delay distribution for a location.
+
+    ``lower`` is the earliest time any edge becomes enabled (0 if unknown)
+    and ``upper`` the invariant bound (``None`` / ``inf`` when absent).
+    Without an upper bound the delay is ``lower`` plus an exponential with
+    the location's rate; otherwise it is uniform on ``[lower, upper]``.
+    """
+    if upper is None or math.isinf(upper):
+        if lower <= 0:
+            return Exponential(rate)
+        return _Shifted(lower, Exponential(rate))
+    if upper < lower:
+        raise ModelError(f"empty delay interval [{lower},{upper}]")
+    if upper == lower:
+        return Dirac(lower)
+    return Uniform(lower, upper)
+
+
+class _Shifted(Distribution):
+    """``offset`` plus a base distribution (used for guarded exponentials)."""
+
+    __slots__ = ("offset", "base")
+
+    def __init__(self, offset, base):
+        self.offset = float(offset)
+        self.base = base
+
+    def sample(self, rng):
+        return self.offset + self.base.sample(rng)
+
+    def mean(self):
+        return self.offset + self.base.mean()
+
+    def __repr__(self):
+        return f"Shifted({self.offset}, {self.base!r})"

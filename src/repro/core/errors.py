@@ -1,0 +1,41 @@
+"""Exception hierarchy shared by all repro engines."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro toolset."""
+
+
+class ModelError(ReproError):
+    """The model is ill-formed (unknown channel, bad declaration, ...)."""
+
+
+class EvaluationError(ReproError):
+    """An expression could not be evaluated (unknown variable, type error)."""
+
+
+class QueryError(ReproError):
+    """A verification query is ill-formed or unsupported by an engine."""
+
+
+class ParseError(ReproError):
+    """Raised by the MODEST parser on malformed input."""
+
+    def __init__(self, message, line=None, column=None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class AnalysisError(ReproError):
+    """An analysis engine could not complete (divergence, unsupported model)."""
+
+
+class TestFailure(ReproError):
+    """An online test run ended with a fail verdict (mbt engines)."""
+
+    __test__ = False  # not a pytest test class

@@ -1,0 +1,347 @@
+"""A small expression language over integer/boolean variables.
+
+Guards, invariant data parts, assignments and BIP/MODEST expressions are
+represented with this AST so that engines which need introspection
+(D-Finder, the digital-clocks translation, the MODEST parser) can walk
+them.  Engines that only need evaluation call :meth:`Expr.eval` with an
+environment, which is any mapping from variable names to values.
+
+Where full C-like behaviour is required (the UPPAAL train-gate queue code
+of Fig. 1c), models may instead use plain Python callables; see
+``repro.ta.syntax``.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import EvaluationError
+
+_BINARY_OPS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: _int_div(a, b),
+    "%": lambda a, b: _int_mod(a, b),
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "&&": lambda a, b: bool(a) and bool(b),
+    "||": lambda a, b: bool(a) or bool(b),
+    "min": min,
+    "max": max,
+}
+
+_UNARY_OPS = {
+    "-": lambda a: -a,
+    "!": lambda a: not bool(a),
+}
+
+COMPARISON_OPS = ("==", "!=", "<", "<=", ">", ">=")
+
+
+def _int_div(a, b):
+    if b == 0:
+        raise EvaluationError("division by zero")
+    # C-style truncation towards zero.
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _int_mod(a, b):
+    if b == 0:
+        raise EvaluationError("modulo by zero")
+    return a - b * _int_div(a, b)
+
+
+class Expr:
+    """Base class of all expression nodes."""
+
+    __slots__ = ()
+
+    def eval(self, env):
+        """Evaluate under ``env`` (a mapping name -> value)."""
+        raise NotImplementedError
+
+    def variables(self):
+        """Return the set of variable names read by this expression."""
+        out = set()
+        self._collect_vars(out)
+        return out
+
+    def _collect_vars(self, out):
+        raise NotImplementedError
+
+    # Operator sugar so models can be written as ``Var('x') + 1 <= Var('y')``.
+    def __add__(self, other):
+        return BinOp("+", self, lift(other))
+
+    def __radd__(self, other):
+        return BinOp("+", lift(other), self)
+
+    def __sub__(self, other):
+        return BinOp("-", self, lift(other))
+
+    def __rsub__(self, other):
+        return BinOp("-", lift(other), self)
+
+    def __mul__(self, other):
+        return BinOp("*", self, lift(other))
+
+    def __rmul__(self, other):
+        return BinOp("*", lift(other), self)
+
+    def __lt__(self, other):
+        return BinOp("<", self, lift(other))
+
+    def __le__(self, other):
+        return BinOp("<=", self, lift(other))
+
+    def __gt__(self, other):
+        return BinOp(">", self, lift(other))
+
+    def __ge__(self, other):
+        return BinOp(">=", self, lift(other))
+
+    def eq(self, other):
+        return BinOp("==", self, lift(other))
+
+    def ne(self, other):
+        return BinOp("!=", self, lift(other))
+
+    def and_(self, other):
+        return BinOp("&&", self, lift(other))
+
+    def or_(self, other):
+        return BinOp("||", self, lift(other))
+
+    def not_(self):
+        return UnOp("!", self)
+
+
+class Const(Expr):
+    """Integer or boolean literal."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def eval(self, env):
+        return self.value
+
+    def _collect_vars(self, out):
+        pass
+
+    def __repr__(self):
+        return repr(self.value)
+
+    def __eq__(self, other):
+        return isinstance(other, Const) and self.value == other.value
+
+    def __hash__(self):
+        return hash(("Const", self.value))
+
+
+TRUE = Const(True)
+FALSE = Const(False)
+
+
+class Var(Expr):
+    """Variable reference."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name):
+        self.name = name
+
+    def eval(self, env):
+        try:
+            return env[self.name]
+        except KeyError:
+            raise EvaluationError(f"unknown variable {self.name!r}") from None
+
+    def _collect_vars(self, out):
+        out.add(self.name)
+
+    def __repr__(self):
+        return self.name
+
+    def __eq__(self, other):
+        return isinstance(other, Var) and self.name == other.name
+
+    def __hash__(self):
+        return hash(("Var", self.name))
+
+
+class Index(Expr):
+    """Array indexing ``a[i]`` where ``a`` evaluates to a tuple/list."""
+
+    __slots__ = ("array", "index")
+
+    def __init__(self, array, index):
+        self.array = lift(array)
+        self.index = lift(index)
+
+    def eval(self, env):
+        arr = self.array.eval(env)
+        idx = self.index.eval(env)
+        try:
+            return arr[idx]
+        except (IndexError, TypeError):
+            raise EvaluationError(
+                f"bad array access {self.array!r}[{idx}]") from None
+
+    def _collect_vars(self, out):
+        self.array._collect_vars(out)
+        self.index._collect_vars(out)
+
+    def __repr__(self):
+        return f"{self.array!r}[{self.index!r}]"
+
+
+class BinOp(Expr):
+    """Binary operation; see ``_BINARY_OPS`` for the operator table."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op, left, right):
+        if op not in _BINARY_OPS:
+            raise EvaluationError(f"unknown binary operator {op!r}")
+        self.op = op
+        self.left = lift(left)
+        self.right = lift(right)
+
+    def eval(self, env):
+        op = self.op
+        # Short-circuit the boolean connectives.
+        if op == "&&":
+            return bool(self.left.eval(env)) and bool(self.right.eval(env))
+        if op == "||":
+            return bool(self.left.eval(env)) or bool(self.right.eval(env))
+        return _BINARY_OPS[op](self.left.eval(env), self.right.eval(env))
+
+    def _collect_vars(self, out):
+        self.left._collect_vars(out)
+        self.right._collect_vars(out)
+
+    def __repr__(self):
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+    def __eq__(self, other):
+        return (isinstance(other, BinOp) and self.op == other.op
+                and self.left == other.left and self.right == other.right)
+
+    def __hash__(self):
+        return hash(("BinOp", self.op, self.left, self.right))
+
+
+class UnOp(Expr):
+    """Unary operation: ``-`` (negate) or ``!`` (logical not)."""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op, operand):
+        if op not in _UNARY_OPS:
+            raise EvaluationError(f"unknown unary operator {op!r}")
+        self.op = op
+        self.operand = lift(operand)
+
+    def eval(self, env):
+        return _UNARY_OPS[self.op](self.operand.eval(env))
+
+    def _collect_vars(self, out):
+        self.operand._collect_vars(out)
+
+    def __repr__(self):
+        return f"{self.op}{self.operand!r}"
+
+    def __eq__(self, other):
+        return (isinstance(other, UnOp) and self.op == other.op
+                and self.operand == other.operand)
+
+    def __hash__(self):
+        return hash(("UnOp", self.op, self.operand))
+
+
+class Ite(Expr):
+    """Conditional expression ``cond ? then : else``."""
+
+    __slots__ = ("cond", "then", "orelse")
+
+    def __init__(self, cond, then, orelse):
+        self.cond = lift(cond)
+        self.then = lift(then)
+        self.orelse = lift(orelse)
+
+    def eval(self, env):
+        return (self.then.eval(env) if self.cond.eval(env)
+                else self.orelse.eval(env))
+
+    def _collect_vars(self, out):
+        self.cond._collect_vars(out)
+        self.then._collect_vars(out)
+        self.orelse._collect_vars(out)
+
+    def __repr__(self):
+        return f"({self.cond!r} ? {self.then!r} : {self.orelse!r})"
+
+
+def lift(value):
+    """Coerce a Python int/bool into a :class:`Const`; pass exprs through."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, (int, bool)):
+        return Const(value)
+    raise EvaluationError(f"cannot lift {value!r} into an expression")
+
+
+def conjoin(exprs):
+    """Conjunction of a sequence of expressions (TRUE when empty)."""
+    exprs = [lift(e) for e in exprs]
+    if not exprs:
+        return TRUE
+    result = exprs[0]
+    for e in exprs[1:]:
+        result = BinOp("&&", result, e)
+    return result
+
+
+class Assignment:
+    """A single assignment ``target := expr`` (target may be ``name`` or
+    ``name[index]`` via the *index* argument)."""
+
+    __slots__ = ("target", "expr", "index")
+
+    def __init__(self, target, expr, index=None):
+        self.target = target
+        self.expr = lift(expr)
+        self.index = lift(index) if index is not None else None
+
+    def apply(self, env):
+        """Execute into ``env`` (a mutable mapping)."""
+        value = self.expr.eval(env)
+        if self.index is None:
+            env[self.target] = value
+        else:
+            idx = self.index.eval(env)
+            arr = list(env[self.target])
+            try:
+                arr[idx] = value
+            except IndexError:
+                raise EvaluationError(
+                    f"index {idx} out of range for {self.target!r}") from None
+            env[self.target] = tuple(arr)
+
+    def variables_read(self):
+        out = self.expr.variables()
+        if self.index is not None:
+            out |= self.index.variables()
+            out.add(self.target)
+        return out
+
+    def __repr__(self):
+        if self.index is None:
+            return f"{self.target} = {self.expr!r}"
+        return f"{self.target}[{self.index!r}] = {self.expr!r}"

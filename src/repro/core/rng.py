@@ -1,0 +1,51 @@
+"""Seedable random source shared by the stochastic engines.
+
+A thin wrapper over :mod:`random.Random` so every simulation entry point
+takes either a seed or a ready-made source, making all experiments in the
+benchmark harness reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+class RandomSource:
+    """Seedable RNG with the few primitives the engines need."""
+
+    def __init__(self, seed=None):
+        self._random = random.Random(seed)
+        self.seed = seed
+
+    def random(self):
+        return self._random.random()
+
+    def uniform(self, low, high):
+        return self._random.uniform(low, high)
+
+    def expovariate(self, rate):
+        return self._random.expovariate(rate)
+
+    def randint(self, low, high):
+        """Uniform integer in [low, high], inclusive."""
+        return self._random.randint(low, high)
+
+    def choice(self, sequence):
+        return self._random.choice(sequence)
+
+    def shuffle(self, sequence):
+        self._random.shuffle(sequence)
+
+    def spawn(self):
+        """An independent child source (for parallel experiment arms)."""
+        return RandomSource(self._random.getrandbits(64))
+
+    def __repr__(self):
+        return f"RandomSource(seed={self.seed!r})"
+
+
+def ensure_rng(rng_or_seed):
+    """Accept a :class:`RandomSource`, a seed, or ``None`` (fresh RNG)."""
+    if isinstance(rng_or_seed, RandomSource):
+        return rng_or_seed
+    return RandomSource(rng_or_seed)

@@ -1,0 +1,67 @@
+"""Plain-text result tables for the benchmark harness.
+
+Every bench regenerating a paper table/figure prints its rows through
+:class:`ResultTable` so that `pytest benchmarks/` output can be compared
+side by side with the paper.
+"""
+
+from __future__ import annotations
+
+
+def format_number(value, digits=4):
+    """Human-friendly formatting matching the paper's style."""
+    if value is None:
+        return "n/a"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, str):
+        return value
+    if isinstance(value, int):
+        return str(value)
+    if value == 0:
+        return "0"
+    if abs(value) < 1e-3 or abs(value) >= 1e5:
+        return f"{value:.{digits - 1}e}"
+    return f"{value:.{digits}g}"
+
+
+class ResultTable:
+    """Fixed-column ASCII table.
+
+    >>> t = ResultTable("property", "mctau", "mcpta")
+    >>> t.add_row("TA1", True, True)
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, *columns, title=None):
+        self.title = title
+        self.columns = [str(c) for c in columns]
+        self.rows = []
+
+    def add_row(self, *cells):
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}")
+        self.rows.append([format_number(c) for c in cells])
+
+    def render(self):
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt(cells):
+            return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(fmt(self.columns))
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(fmt(row))
+        return "\n".join(lines)
+
+    def print(self):
+        print()
+        print(self.render())

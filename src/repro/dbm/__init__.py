@@ -1,0 +1,23 @@
+"""Difference bound matrices and federations (zone representations)."""
+
+from .bounds import (
+    INF,
+    LE_ZERO,
+    LT_ZERO,
+    bound,
+    bound_add,
+    bound_negate,
+    bound_str,
+    bound_value,
+    is_strict,
+    le,
+    lt,
+)
+from .dbm import DBM
+from .federation import Federation
+
+__all__ = [
+    "INF", "LE_ZERO", "LT_ZERO", "bound", "bound_add", "bound_negate",
+    "bound_str", "bound_value", "is_strict", "le", "lt",
+    "DBM", "Federation",
+]

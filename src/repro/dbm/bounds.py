@@ -1,0 +1,79 @@
+"""Encoded clock-difference bounds.
+
+A bound is ``(value, strictness)`` meaning ``x - y < value`` (strict) or
+``x - y <= value`` (weak).  Following the UPPAAL DBM library we pack a
+bound into a single integer::
+
+    encoded = (value << 1) | (1 if weak else 0)
+
+so that plain integer comparison orders bounds by tightness:
+``(v, <) < (v, <=) < (v+1, <)``.  ``INF`` is a sentinel larger than any
+real bound.
+"""
+
+from __future__ import annotations
+
+# Sentinel for "no bound".  Any finite bound stays far below it, and the
+# arithmetic helpers special-case it, so its exact value only needs to be
+# large enough never to collide with model constants.
+INF = 1 << 60
+
+#: ``<= 0`` — the diagonal entry and the most common constraint.
+LE_ZERO = 1
+
+#: ``< 0`` — used for emptiness detection.
+LT_ZERO = 0
+
+
+def bound(value, strict):
+    """Encode ``x - y < value`` (strict) or ``x - y <= value``."""
+    return (value << 1) | (0 if strict else 1)
+
+
+def le(value):
+    """Encode a weak bound ``<= value``."""
+    return (value << 1) | 1
+
+def lt(value):
+    """Encode a strict bound ``< value``."""
+    return value << 1
+
+
+def bound_value(b):
+    """The integer constant of an encoded bound (undefined for INF)."""
+    return b >> 1
+
+
+def is_strict(b):
+    """True when the encoded bound is strict (``<``)."""
+    return (b & 1) == 0
+
+
+def bound_add(b1, b2):
+    """Tightest bound implied by chaining two difference bounds."""
+    if b1 >= INF or b2 >= INF:
+        return INF
+    # Sum of values; result weak only when both inputs are weak.
+    return (((b1 >> 1) + (b2 >> 1)) << 1) | (b1 & b2 & 1)
+
+
+def bound_negate(b):
+    """The complement boundary: ``not (x - y <= v)`` is ``y - x < -v``.
+
+    Weak bounds become strict on the negated difference and vice versa.
+    Undefined for INF.
+    """
+    if b >= INF:
+        raise ValueError("cannot negate INF")
+    value = b >> 1
+    if b & 1:  # weak <= v  ->  strict < -v on the reverse difference
+        return (-value) << 1
+    return ((-value) << 1) | 1
+
+
+def bound_str(b):
+    """Human-readable form, for debugging and error messages."""
+    if b >= INF:
+        return "<inf"
+    op = "<=" if (b & 1) else "<"
+    return f"{op}{b >> 1}"

@@ -1,0 +1,326 @@
+"""Difference bound matrices (DBMs) — the zone representation.
+
+A DBM over clocks ``x_1 .. x_{n-1}`` (plus the reference clock ``x_0 = 0``)
+stores, for every ordered pair, the tightest known bound on ``x_i - x_j``.
+All operations below keep the matrix in *canonical* (all-pairs-shortest-
+path closed) form, which makes emptiness, inclusion and hashing cheap.
+
+The algorithms follow Bengtsson & Yi, "Timed Automata: Semantics,
+Algorithms and Tools" — the same core as UPPAAL's C++ DBM library, which
+this module replaces (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from ..core.errors import ModelError
+from .bounds import (
+    INF,
+    LE_ZERO,
+    LT_ZERO,
+    bound_add,
+    bound_str,
+    le,
+    lt,
+)
+
+
+class DBM:
+    """A canonical difference bound matrix.
+
+    ``size`` counts the reference clock: a model with ``k`` real clocks
+    uses ``DBM(k + 1)``.  The default instance is the zone where all
+    clocks equal zero (the initial state of a timed automaton).
+    """
+
+    __slots__ = ("size", "m")
+
+    def __init__(self, size, _raw=None):
+        if size < 1:
+            raise ModelError("DBM needs at least the reference clock")
+        self.size = size
+        if _raw is not None:
+            self.m = _raw
+        else:
+            # All clocks exactly zero: every difference is <= 0.
+            self.m = [LE_ZERO] * (size * size)
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def zero(cls, size):
+        """The zone with every clock equal to 0."""
+        return cls(size)
+
+    @classmethod
+    def universal(cls, size):
+        """The zone containing every clock valuation (all non-negative)."""
+        raw = [INF] * (size * size)
+        for i in range(size):
+            raw[i * size + i] = LE_ZERO
+            raw[i] = LE_ZERO  # row 0: 0 - x_i <= 0
+        raw[0] = LE_ZERO
+        return cls(size, raw)
+
+    def copy(self):
+        return DBM(self.size, list(self.m))
+
+    # -- basic accessors ---------------------------------------------------
+
+    def get(self, i, j):
+        """Encoded bound on ``x_i - x_j``."""
+        return self.m[i * self.size + j]
+
+    def _set(self, i, j, b):
+        self.m[i * self.size + j] = b
+
+    def is_empty(self):
+        return self.m[0] < LE_ZERO
+
+    def _mark_empty(self):
+        self.m[0] = LT_ZERO
+        return self
+
+    # -- canonical form ----------------------------------------------------
+
+    def close(self):
+        """Floyd–Warshall all-pairs tightening; detects emptiness."""
+        n = self.size
+        m = self.m
+        for k in range(n):
+            row_k = k * n
+            for i in range(n):
+                row_i = i * n
+                d_ik = m[row_i + k]
+                if d_ik >= INF:
+                    continue
+                for j in range(n):
+                    d_kj = m[row_k + j]
+                    if d_kj >= INF:
+                        continue
+                    via = bound_add(d_ik, d_kj)
+                    if via < m[row_i + j]:
+                        m[row_i + j] = via
+        for i in range(n):
+            if m[i * n + i] < LE_ZERO:
+                return self._mark_empty()
+            m[i * n + i] = LE_ZERO
+        return self
+
+    def _close_one(self, a, b):
+        """Incremental closure after tightening entry (a, b)."""
+        n = self.size
+        m = self.m
+        d_ab = m[a * n + b]
+        if d_ab >= INF:
+            return self
+        for i in range(n):
+            d_ia = m[i * n + a]
+            if d_ia >= INF:
+                continue
+            d_iab = bound_add(d_ia, d_ab)
+            row_i = i * n
+            for j in range(n):
+                d_bj = m[b * n + j]
+                if d_bj >= INF:
+                    continue
+                via = bound_add(d_iab, d_bj)
+                if via < m[row_i + j]:
+                    m[row_i + j] = via
+        for i in range(n):
+            if m[i * n + i] < LE_ZERO:
+                return self._mark_empty()
+        return self
+
+    # -- zone operations (all in-place, returning self) ---------------------
+
+    def constrain(self, i, j, encoded_bound):
+        """Intersect with ``x_i - x_j  (< | <=)  c`` (encoded bound)."""
+        if self.is_empty():
+            return self
+        n = self.size
+        current = self.m[i * n + j]
+        if encoded_bound >= current:
+            return self  # no information added
+        # Quick emptiness check against the reverse bound.
+        if bound_add(encoded_bound, self.m[j * n + i]) < LE_ZERO:
+            return self._mark_empty()
+        self.m[i * n + j] = encoded_bound
+        return self._close_one(i, j)
+
+    def up(self):
+        """Delay (future): remove all upper bounds on clocks."""
+        if self.is_empty():
+            return self
+        n = self.size
+        for i in range(1, n):
+            self.m[i * n] = INF
+        return self
+
+    def down(self):
+        """Past: lower all clocks towards zero."""
+        if self.is_empty():
+            return self
+        n = self.size
+        m = self.m
+        for j in range(1, n):
+            best = LE_ZERO
+            for i in range(1, n):
+                if i != j and m[i * n + j] < best:
+                    best = m[i * n + j]
+            m[j] = best
+        return self
+
+    def reset(self, clock, value=0):
+        """Set ``x_clock := value`` (value must be a non-negative int)."""
+        if self.is_empty():
+            return self
+        if clock <= 0 or clock >= self.size:
+            raise ModelError(f"bad clock index {clock}")
+        n = self.size
+        m = self.m
+        v_le = le(value)
+        v_neg = le(-value)
+        for i in range(n):
+            if i == clock:
+                continue
+            # x_clock - x_i = value - x_i  <=  value + (0 - x_i)
+            m[clock * n + i] = bound_add(v_le, m[i])
+            # x_i - x_clock  <=  x_i - 0 + (-value)
+            m[i * n + clock] = bound_add(m[i * n], v_neg)
+        m[clock * n + clock] = LE_ZERO
+        return self
+
+    def free(self, clock):
+        """Remove all constraints on one clock (it may take any value)."""
+        if self.is_empty():
+            return self
+        n = self.size
+        m = self.m
+        for i in range(n):
+            if i != clock:
+                m[clock * n + i] = INF
+                m[i * n + clock] = m[i * n]
+        return self
+
+    def intersect(self, other):
+        """Zone intersection (both operands canonical)."""
+        if self.size != other.size:
+            raise ModelError("DBM size mismatch")
+        if self.is_empty():
+            return self
+        if other.is_empty():
+            return self._mark_empty()
+        changed = False
+        for idx, b in enumerate(other.m):
+            if b < self.m[idx]:
+                self.m[idx] = b
+                changed = True
+        if changed:
+            self.close()
+        return self
+
+    def extrapolate(self, max_constants):
+        """Classic k-extrapolation (maximal-constant abstraction).
+
+        ``max_constants[i]`` is the largest constant clock ``i`` is ever
+        compared against (0 for the reference clock).  Guarantees a finite
+        zone graph while preserving reachability for diagonal-free TA.
+        """
+        if self.is_empty():
+            return self
+        n = self.size
+        if len(max_constants) != n:
+            raise ModelError("need one max constant per clock (incl. ref)")
+        m = self.m
+        changed = False
+        for i in range(n):
+            for j in range(n):
+                if i == j:
+                    continue
+                b = m[i * n + j]
+                if b >= INF:
+                    continue
+                if b > le(max_constants[i]):
+                    m[i * n + j] = INF
+                    changed = True
+                elif b < lt(-max_constants[j]):
+                    m[i * n + j] = lt(-max_constants[j])
+                    changed = True
+        if changed:
+            self.close()
+        return self
+
+    # -- relations -----------------------------------------------------------
+
+    def includes(self, other):
+        """True when this zone is a superset of ``other`` (both canonical)."""
+        if other.is_empty():
+            return True
+        if self.is_empty():
+            return False
+        return all(mine >= theirs
+                   for mine, theirs in zip(self.m, other.m))
+
+    def __eq__(self, other):
+        if not isinstance(other, DBM):
+            return NotImplemented
+        if self.size != other.size:
+            return False
+        if self.is_empty() and other.is_empty():
+            return True
+        return self.m == other.m
+
+    def __hash__(self):
+        if self.is_empty():
+            return hash(("DBM-empty", self.size))
+        return hash(tuple(self.m))
+
+    def key(self):
+        """Hashable snapshot for state-space sets."""
+        if self.is_empty():
+            return ("empty", self.size)
+        return tuple(self.m)
+
+    # -- queries ---------------------------------------------------------------
+
+    def contains_point(self, valuation):
+        """True when the concrete clock valuation lies in the zone.
+
+        ``valuation`` lists the values of clocks 1..n-1 (reference
+        implicit).  Used heavily by the property-based tests.
+        """
+        if self.is_empty():
+            return False
+        values = (0.0,) + tuple(valuation)
+        n = self.size
+        for i in range(n):
+            for j in range(n):
+                b = self.m[i * n + j]
+                if b >= INF:
+                    continue
+                diff = values[i] - values[j]
+                limit = b >> 1
+                if b & 1:
+                    if diff > limit:
+                        return False
+                elif diff >= limit:
+                    return False
+        return True
+
+    def upper_bound(self, clock):
+        """Encoded bound on ``x_clock`` from above (INF when unbounded)."""
+        return self.m[clock * self.size]
+
+    def lower_bound(self, clock):
+        """The minimum value of ``x_clock`` in the zone (an integer)."""
+        return -(self.m[clock] >> 1)
+
+    def __repr__(self):
+        if self.is_empty():
+            return f"DBM(size={self.size}, empty)"
+        n = self.size
+        rows = []
+        for i in range(n):
+            rows.append(" ".join(
+                bound_str(self.m[i * n + j]).rjust(7) for j in range(n)))
+        return f"DBM(size={n},\n  " + "\n  ".join(rows) + ")"

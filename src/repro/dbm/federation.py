@@ -1,0 +1,146 @@
+"""Federations: finite unions of DBMs.
+
+Single zones are not closed under complement or set difference; engines
+that need those operations (timed games over dense time, test-purpose
+coverage) work with federations instead.  A federation is a reduced list
+of non-empty canonical DBMs over the same clock set.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import ModelError
+from .bounds import INF, LE_ZERO, bound_negate
+from .dbm import DBM
+
+
+class Federation:
+    """A union of zones.  Immutable-style API: operations return new
+    federations and never mutate their inputs."""
+
+    __slots__ = ("size", "zones")
+
+    def __init__(self, size, zones=()):
+        self.size = size
+        reduced = []
+        for z in zones:
+            if z.size != size:
+                raise ModelError("federation zone size mismatch")
+            if z.is_empty():
+                continue
+            if any(other.includes(z) for other in reduced):
+                continue
+            reduced = [o for o in reduced if not z.includes(o)]
+            reduced.append(z.copy())
+        self.zones = tuple(reduced)
+
+    @classmethod
+    def empty(cls, size):
+        return cls(size)
+
+    @classmethod
+    def from_zone(cls, zone):
+        return cls(zone.size, (zone,))
+
+    @classmethod
+    def universal(cls, size):
+        return cls(size, (DBM.universal(size),))
+
+    def is_empty(self):
+        return not self.zones
+
+    def union(self, other):
+        self._check(other)
+        return Federation(self.size, self.zones + other.zones)
+
+    def add(self, zone):
+        return Federation(self.size, self.zones + (zone,))
+
+    def intersect(self, other):
+        self._check(other)
+        out = []
+        for a in self.zones:
+            for b in other.zones:
+                z = a.copy().intersect(b)
+                if not z.is_empty():
+                    out.append(z)
+        return Federation(self.size, out)
+
+    def intersect_zone(self, zone):
+        return self.intersect(Federation.from_zone(zone))
+
+    def subtract(self, other):
+        """Set difference ``self \\ other``."""
+        self._check(other)
+        result = self.zones
+        for b in other.zones:
+            nxt = []
+            for a in result:
+                nxt.extend(_zone_minus(a, b))
+            result = nxt
+        return Federation(self.size, result)
+
+    def complement(self):
+        return Federation.universal(self.size).subtract(self)
+
+    def includes_zone(self, zone):
+        """True when the federation covers ``zone`` entirely."""
+        remainder = Federation.from_zone(zone).subtract(self)
+        return remainder.is_empty()
+
+    def includes(self, other):
+        return other.subtract(self).is_empty()
+
+    def contains_point(self, valuation):
+        return any(z.contains_point(valuation) for z in self.zones)
+
+    def up(self):
+        return Federation(self.size, [z.copy().up() for z in self.zones])
+
+    def down(self):
+        return Federation(self.size, [z.copy().down() for z in self.zones])
+
+    def _check(self, other):
+        if self.size != other.size:
+            raise ModelError("federation size mismatch")
+
+    def __len__(self):
+        return len(self.zones)
+
+    def __iter__(self):
+        return iter(self.zones)
+
+    def __eq__(self, other):
+        if not isinstance(other, Federation):
+            return NotImplemented
+        return self.includes(other) and other.includes(self)
+
+    def __repr__(self):
+        return f"Federation({len(self.zones)} zones, size={self.size})"
+
+
+def _zone_minus(a, b):
+    """``a \\ b`` as a list of disjoint-ish zones.
+
+    For each finite constraint of ``b``, the part of ``a`` violating that
+    constraint is in the difference; collecting these parts covers
+    ``a \\ b`` exactly (they may overlap, which reduction tolerates).
+    """
+    if b.includes(a):
+        return []
+    n = a.size
+    pieces = []
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                continue
+            bound_b = b.get(i, j)
+            if bound_b >= INF:
+                continue
+            if bound_b >= a.get(i, j):
+                continue  # a already satisfies this constraint everywhere
+            # Violating part: x_j - x_i tighter than the negation of b's
+            # bound on x_i - x_j.
+            piece = a.copy().constrain(j, i, bound_negate(bound_b))
+            if not piece.is_empty():
+                pieces.append(piece)
+    return pieces

@@ -1,0 +1,21 @@
+"""ECDAR-style compositional development: timed I/O refinement.
+
+The paper lists ECDAR among the UPPAAL flavours: a tool to "check
+incrementally refinement and consistency between component
+specifications given as timed automata".  This package implements the
+core relation — timed alternating simulation between timed I/O
+automata — over the discrete-time semantics, plus specification
+consistency and structural composition.
+"""
+
+from .refinement import (
+    RefinementResult,
+    check_consistency,
+    check_refinement,
+    compose,
+)
+
+__all__ = [
+    "RefinementResult", "check_consistency", "check_refinement",
+    "compose",
+]

@@ -1,0 +1,10 @@
+"""Model exporters: Graphviz DOT and UPPAAL XML."""
+
+from .dot import automaton_to_dot, bip_to_dot, lts_to_dot, network_to_dot
+from .uppaal_xml import export_network
+from .uppaal_import import import_network
+
+__all__ = [
+    "automaton_to_dot", "bip_to_dot", "lts_to_dot", "network_to_dot",
+    "export_network", "import_network",
+]

@@ -1,0 +1,166 @@
+"""Graphviz DOT export for the repository's model types.
+
+Every modelling front-end in the surveyed tools ships a graphical view
+(UPPAAL's editor, mime for MODEST, BIP's tooling); this module provides
+the equivalent for quick inspection: ``dot -Tpdf`` renders the output.
+"""
+
+from __future__ import annotations
+
+from ..core.expressions import Expr
+
+
+def _escape(text):
+    return str(text).replace('"', r'\"').replace("\n", r"\n")
+
+
+def _guard_text(edge):
+    parts = [repr(atom) for atom in edge.guard]
+    if edge.data_guard is not None:
+        if isinstance(edge.data_guard, Expr):
+            parts.append(repr(edge.data_guard))
+        else:
+            parts.append("<data guard>")
+    return " && ".join(parts)
+
+
+def automaton_to_dot(automaton, name=None):
+    """One timed automaton (or PTA template) as a DOT digraph."""
+    from ..pta.pta import ProbEdge
+
+    lines = [f'digraph "{_escape(name or automaton.name)}" {{',
+             "  rankdir=LR;",
+             '  node [shape=ellipse, fontsize=10];',
+             '  edge [fontsize=9];']
+    for loc_name, loc in automaton.locations.items():
+        attrs = []
+        label = loc_name
+        if loc.invariant:
+            label += r"\n" + " && ".join(repr(a) for a in loc.invariant)
+        if loc.committed:
+            attrs.append('style=filled, fillcolor=lightpink')
+        elif loc.urgent:
+            attrs.append('style=filled, fillcolor=lightyellow')
+        if loc_name == automaton.initial_location:
+            attrs.append("penwidth=2")
+        attr_text = (", " + ", ".join(attrs)) if attrs else ""
+        lines.append(
+            f'  "{_escape(loc_name)}" [label="{_escape(label)}"'
+            f'{attr_text}];')
+    for edge in automaton.edges:
+        if isinstance(edge, ProbEdge):
+            hub = f"palt_{id(edge)}"
+            lines.append(f'  "{hub}" [shape=point, label=""];')
+            label = _edge_label(edge)
+            lines.append(
+                f'  "{_escape(edge.source)}" -> "{hub}" '
+                f'[label="{_escape(label)}", arrowhead=none];')
+            for branch in edge.branches:
+                text = f"{branch.probability:g}"
+                if branch.resets:
+                    text += r"\n" + ", ".join(
+                        f"{c}:={v}" for c, v in branch.resets)
+                lines.append(
+                    f'  "{hub}" -> "{_escape(branch.target)}" '
+                    f'[label="{_escape(text)}", style=dashed];')
+        else:
+            label = _edge_label(edge)
+            style = "" if edge.controllable else ""
+            lines.append(
+                f'  "{_escape(edge.source)}" -> '
+                f'"{_escape(edge.target)}" '
+                f'[label="{_escape(label)}"{style}];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _edge_label(edge):
+    parts = []
+    guard = _guard_text(edge)
+    if guard:
+        parts.append(guard)
+    if edge.sync is not None:
+        parts.append(f"{edge.sync[0]}{edge.sync[1]}")
+    elif edge.label:
+        parts.append(str(edge.label))
+    if getattr(edge, "resets", ()):
+        parts.append(", ".join(f"{c}:={v}" for c, v in edge.resets))
+    return r"\n".join(parts)
+
+
+def network_to_dot(network):
+    """A network as one DOT file with a cluster per process."""
+    lines = [f'digraph "{_escape(network.name)}" {{',
+             "  rankdir=LR;",
+             "  compound=true;"]
+    for process in network.processes:
+        sub = automaton_to_dot(process.automaton, name=process.name)
+        lines.append(f'  subgraph "cluster_{_escape(process.name)}" {{')
+        lines.append(f'    label="{_escape(process.name)}";')
+        for line in sub.splitlines()[2:-1]:
+            # Prefix node ids with the process name to keep them unique.
+            lines.append("  " + line.replace(
+                '"', f'"{process.name}.', 1).replace(
+                ' -> "', f' -> "{process.name}.', 1))
+        lines.append("  }")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def lts_to_dot(lts):
+    """An LTS (mbt) as a DOT digraph; inputs suffixed '?', outputs '!'."""
+    lines = [f'digraph "{_escape(lts.name)}" {{', "  rankdir=LR;"]
+    for state in lts.states:
+        pen = ", penwidth=2" if state == lts.initial else ""
+        lines.append(f'  "{_escape(state)}" [fontsize=10{pen}];')
+    for state in lts.states:
+        for label, target in lts.transitions_from(state):
+            if label in lts.inputs:
+                text = f"{label}?"
+            elif label in lts.outputs:
+                text = f"{label}!"
+            else:
+                text = label
+            lines.append(f'  "{_escape(state)}" -> "{_escape(target)}" '
+                         f'[label="{_escape(text)}", fontsize=9];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def bip_to_dot(system):
+    """A flat BIP system: components as clusters, connectors as
+    diamond hubs."""
+    lines = [f'digraph "{_escape(system.name)}" {{',
+             "  rankdir=LR;", "  node [fontsize=10];"]
+    for component in system.components:
+        cname = component.name
+        lines.append(f'  subgraph "cluster_{_escape(cname)}" {{')
+        lines.append(f'    label="{_escape(cname)}";')
+        for place in component.places:
+            pen = ", penwidth=2" if place == component.initial_place \
+                else ""
+            lines.append(
+                f'    "{_escape(cname)}.{_escape(place)}" '
+                f'[label="{_escape(place)}"{pen}];')
+        for transition in component.transitions:
+            lines.append(
+                f'    "{_escape(cname)}.{_escape(transition.source)}" '
+                f'-> "{_escape(cname)}.{_escape(transition.target)}" '
+                f'[label="{_escape(transition.port)}", fontsize=9];')
+        lines.append("  }")
+    for connector in system.connectors:
+        hub = f"conn_{_escape(connector.name)}"
+        shape = "diamond" if not connector.is_broadcast else "triangle"
+        lines.append(f'  "{hub}" [shape={shape}, '
+                     f'label="{_escape(connector.name)}", fontsize=9];')
+        for comp_name, port in connector.endpoints:
+            component = system.component(comp_name)
+            anchor = (f'"{_escape(comp_name)}.'
+                      f'{_escape(component.initial_place)}"')
+            style = "bold" if connector.trigger == (comp_name, port) \
+                else "solid"
+            lines.append(f'  "{hub}" -> {anchor} '
+                         f'[label="{_escape(port)}", style={style}, '
+                         f'dir=none, color=gray40, fontsize=8];')
+    lines.append("}")
+    return "\n".join(lines)

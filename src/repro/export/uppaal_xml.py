@@ -1,0 +1,157 @@
+"""Export a network of timed automata to UPPAAL's XML format.
+
+The paper's mctau "allows ... export to UPPAAL XML, including automatic
+layout of the component automata"; this module plays that role for the
+models built here, so they can be opened in the real UPPAAL GUI.
+
+Fidelity notes: clock guards, invariants, channel synchronisations,
+committed/urgent locations and integer variables are exported exactly.
+Data guards and updates written as Python callables have no textual
+form — they are emitted as comments so the exported model remains
+loadable (and the user can fill in the C-like code, as Fig. 1c does).
+A simple grid layout is generated for the coordinates.
+"""
+
+from __future__ import annotations
+
+from xml.sax.saxutils import escape
+
+from ..core.expressions import Expr
+
+_HEADER = (
+    "<?xml version=\"1.0\" encoding=\"utf-8\"?>\n"
+    "<!DOCTYPE nta PUBLIC '-//Uppaal Team//DTD Flat System 1.1//EN' "
+    "'http://www.it.uu.se/research/group/darts/uppaal/flat-1_2.dtd'>\n")
+
+
+def _atom_text(atom):
+    lhs = atom.clock if atom.other is None else \
+        f"{atom.clock} - {atom.other}"
+    return f"{lhs} {atom.op} {atom.bound}"
+
+
+def _guard_text(edge):
+    parts = [_atom_text(a) for a in edge.guard]
+    if edge.data_guard is not None and isinstance(edge.data_guard, Expr):
+        parts.append(repr(edge.data_guard))
+    return " && ".join(parts)
+
+
+def _update_text(edge):
+    parts = [f"{clock} = {value}" for clock, value in edge.resets]
+    for update in edge.update:
+        if isinstance(update, Expr):
+            parts.append(repr(update))
+        elif hasattr(update, "target"):  # Assignment
+            parts.append(repr(update))
+    return ", ".join(parts)
+
+
+def _declarations_text(network):
+    lines = ["// exported by repro (DATE'12 reproduction toolset)"]
+    for channel in network.channels.values():
+        prefix = ""
+        if channel.urgent:
+            prefix += "urgent "
+        if channel.broadcast:
+            prefix += "broadcast "
+        lines.append(f"{prefix}chan {channel.name};")
+    decls = network.declarations
+    initial = decls.initial()
+    for name in decls.names:
+        value = initial[name]
+        if isinstance(value, bool):
+            lines.append(f"bool {name} = {'true' if value else 'false'};")
+        elif isinstance(value, tuple):
+            body = ", ".join(str(v) for v in value)
+            lines.append(f"int {name}[{len(value)}] = {{ {body} }};")
+        else:
+            lines.append(f"int {name} = {value};")
+    return "\n".join(lines)
+
+
+def _template_xml(process, grid=180):
+    automaton = process.automaton
+    tname = _sanitize(process.name)
+    out = [f"  <template>\n    <name>{escape(tname)}</name>"]
+    if automaton.clocks:
+        clocks = ", ".join(automaton.clocks)
+        out.append(f"    <declaration>clock {escape(clocks)};"
+                   f"</declaration>")
+    loc_ids = {}
+    for index, (loc_name, loc) in enumerate(automaton.locations.items()):
+        loc_id = f"id_{tname}_{index}"
+        loc_ids[loc_name] = loc_id
+        x, y = (index % 4) * grid, (index // 4) * grid
+        out.append(f'    <location id="{loc_id}" x="{x}" y="{y}">')
+        out.append(f"      <name>{escape(loc_name)}</name>")
+        if loc.invariant:
+            text = " && ".join(_atom_text(a) for a in loc.invariant)
+            out.append(f'      <label kind="invariant">{escape(text)}'
+                       f"</label>")
+        if loc.committed:
+            out.append("      <committed/>")
+        elif loc.urgent:
+            out.append("      <urgent/>")
+        out.append("    </location>")
+    out.append(f'    <init ref="{loc_ids[automaton.initial_location]}"/>')
+    for edge in automaton.edges:
+        out.append("    <transition>")
+        out.append(f'      <source ref="{loc_ids[edge.source]}"/>')
+        out.append(f'      <target ref="{loc_ids[edge.target]}"/>')
+        guard = _guard_text(edge)
+        if guard:
+            out.append(f'      <label kind="guard">{escape(guard)}'
+                       f"</label>")
+        if edge.sync is not None:
+            out.append(f'      <label kind="synchronisation">'
+                       f"{escape(edge.sync[0] + edge.sync[1])}</label>")
+        update = _update_text(edge)
+        if update:
+            out.append(f'      <label kind="assignment">{escape(update)}'
+                       f"</label>")
+        if edge.data_guard is not None and not isinstance(
+                edge.data_guard, Expr):
+            out.append('      <label kind="comments">data guard given '
+                       "as Python code; not exportable</label>")
+        out.append("    </transition>")
+    out.append("  </template>")
+    return "\n".join(out)
+
+
+def export_network(network, queries=()):
+    """The network as UPPAAL XML text.
+
+    ``queries`` (strings) are embedded in the <queries> section.
+    """
+    network.freeze()
+    parts = [_HEADER, "<nta>",
+             f"  <declaration>{escape(_declarations_text(network))}"
+             f"</declaration>"]
+    for process in network.processes:
+        parts.append(_template_xml(process))
+    system_names = ", ".join(
+        _sanitize(process.name) for process in network.processes)
+    instantiations = "\n".join(
+        f"{_sanitize(p.name)} = {_sanitize(p.name)}();"
+        for p in network.processes)
+    parts.append(f"  <system>{escape(instantiations)}\n"
+                 f"system {escape(system_names)};</system>")
+    if queries:
+        parts.append("  <queries>")
+        for query in queries:
+            parts.append("    <query>")
+            parts.append(f"      <formula>{escape(query)}</formula>")
+            parts.append("      <comment/>")
+            parts.append("    </query>")
+        parts.append("  </queries>")
+    parts.append("</nta>")
+    return "\n".join(parts)
+
+
+def _sanitize(name):
+    out = "".join(ch if ch.isalnum() or ch == "_" else "_"
+                  for ch in name)
+    if not out or out[0].isdigit():
+        out = "P_" + out
+    return out

@@ -1,0 +1,43 @@
+"""Model-based testing: ioco theory, test generation, timed online
+testing (TRON-style)."""
+
+from .lts import DELTA, LTS, TAU
+from .ioco import IocoVerdict, ioco_check, suspension_traces
+from .testgen import (
+    FAIL,
+    INCONCLUSIVE,
+    PASS,
+    TestNode,
+    generate_guided_test,
+    generate_test,
+    online_test,
+    run_test,
+    run_test_suite,
+    test_from_trace,
+)
+from .adapter import (
+    BrokenFifoBus,
+    FifoBus,
+    FifoBusAdapter,
+    IUTAdapter,
+    LeakyFifoBus,
+    LTSAdapter,
+)
+from .tron import (
+    OnlineTimedTester,
+    TimedIUTAdapter,
+    TimedTestResult,
+    run_timed_suite,
+)
+
+__all__ = [
+    "DELTA", "LTS", "TAU",
+    "IocoVerdict", "ioco_check", "suspension_traces",
+    "FAIL", "INCONCLUSIVE", "PASS", "TestNode", "generate_guided_test",
+    "generate_test", "online_test",
+    "run_test", "run_test_suite", "test_from_trace",
+    "BrokenFifoBus", "FifoBus", "FifoBusAdapter", "IUTAdapter",
+    "LeakyFifoBus", "LTSAdapter",
+    "OnlineTimedTester", "TimedIUTAdapter", "TimedTestResult",
+    "run_timed_suite",
+]

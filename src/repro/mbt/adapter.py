@@ -1,0 +1,147 @@
+"""IUT adapters: the bridge between tests and implementations under
+test.
+
+The testing hypothesis treats the IUT as a black box reachable through
+``reset`` / ``give_input`` / ``get_output``.  Two adapters are
+provided: one wrapping an LTS model (useful to test the testers, and to
+build mutants), and one wrapping an actual Python implementation of the
+paper's FIFO software-bus example — demonstrating that real code sits
+behind the same interface as a model.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import ModelError
+from ..core.rng import ensure_rng
+from .lts import TAU
+
+
+class IUTAdapter:
+    """Adapter contract used by the test executors."""
+
+    def reset(self):
+        raise NotImplementedError
+
+    def give_input(self, label):
+        raise NotImplementedError
+
+    def get_output(self):
+        """One output label, or ``None`` when quiescent."""
+        raise NotImplementedError
+
+
+class LTSAdapter(IUTAdapter):
+    """Drives an LTS as if it were a black-box implementation.
+
+    Nondeterminism is resolved randomly; inputs not accepted anywhere in
+    the current closure are ignored (input-enabled completion).
+    """
+
+    def __init__(self, lts, rng=None):
+        self.lts = lts
+        self.rng = ensure_rng(rng)
+        self.reset()
+
+    def reset(self):
+        self._states = self.lts.tau_closure({self.lts.initial})
+        # Keep one concrete state to be a faithful single machine.
+        self._current = self.rng.choice(sorted(self._states))
+
+    def _closure_moves(self, label_filter):
+        closure = self.lts.tau_closure({self._current})
+        moves = []
+        for state in closure:
+            for label, target in self.lts.transitions_from(state):
+                if label_filter(label):
+                    moves.append((label, target))
+        return moves
+
+    def give_input(self, label):
+        if label not in self.lts.inputs:
+            raise ModelError(f"{label!r} is not an input")
+        moves = self._closure_moves(lambda lbl: lbl == label)
+        if moves:
+            self._current = self.rng.choice(sorted(moves))[1]
+        # else: ignored (angelic input-enabledness)
+
+    def get_output(self):
+        moves = self._closure_moves(lambda lbl: lbl in self.lts.outputs)
+        if not moves:
+            return None
+        label, target = self.rng.choice(sorted(moves))
+        self._current = target
+        return label
+
+
+class FifoBus:
+    """A small software bus (cf. the Neopost case in the paper): clients
+    subscribe and published messages are delivered in FIFO order."""
+
+    def __init__(self, capacity=2):
+        self.capacity = capacity
+        self.queue = []
+        self.subscribed = False
+
+    def subscribe(self):
+        self.subscribed = True
+
+    def unsubscribe(self):
+        self.subscribed = False
+        self.queue.clear()
+
+    def publish(self, message):
+        if self.subscribed and len(self.queue) < self.capacity:
+            self.queue.append(message)
+
+    def poll(self):
+        if self.queue:
+            return self.queue.pop(0)
+        return None
+
+
+class FifoBusAdapter(IUTAdapter):
+    """Adapter exposing :class:`FifoBus` under the labels of the bus
+    specification (see ``repro.models.busspec``):
+
+    inputs  ``subscribe``, ``unsubscribe``, ``publish_a``, ``publish_b``
+    outputs ``deliver_a``, ``deliver_b``
+    """
+
+    def __init__(self, bus_factory=FifoBus):
+        self._factory = bus_factory
+        self.reset()
+
+    def reset(self):
+        self.bus = self._factory()
+
+    def give_input(self, label):
+        if label == "subscribe":
+            self.bus.subscribe()
+        elif label == "unsubscribe":
+            self.bus.unsubscribe()
+        elif label.startswith("publish_"):
+            self.bus.publish(label.split("_", 1)[1])
+        else:
+            raise ModelError(f"unknown input {label!r}")
+
+    def get_output(self):
+        message = self.bus.poll()
+        if message is None:
+            return None
+        return f"deliver_{message}"
+
+
+class BrokenFifoBus(FifoBus):
+    """Mutant: delivers in LIFO order — detectably non-conforming."""
+
+    def poll(self):
+        if self.queue:
+            return self.queue.pop()
+        return None
+
+
+class LeakyFifoBus(FifoBus):
+    """Mutant: keeps delivering after unsubscribe."""
+
+    def unsubscribe(self):
+        self.subscribed = False  # forgets to clear the queue

@@ -1,0 +1,93 @@
+"""The ioco conformance relation (Input/Output Conformance).
+
+``impl ioco spec`` iff for every suspension trace sigma of the
+specification::
+
+    out(impl after sigma)  ⊆  out(spec after sigma)
+
+Checked by a synchronous breadth-first product of the two determinized
+suspension automata.  The check is exact for finite LTS and returns a
+distinguishing trace on failure — the shortest evidence a tester could
+observe.
+"""
+
+from __future__ import annotations
+
+from .lts import DELTA
+
+
+class IocoVerdict:
+    """Result of an ioco check."""
+
+    __slots__ = ("conforms", "trace", "offending_output")
+
+    def __init__(self, conforms, trace=None, offending_output=None):
+        self.conforms = conforms
+        self.trace = trace
+        self.offending_output = offending_output
+
+    def __bool__(self):
+        return self.conforms
+
+    def __repr__(self):
+        if self.conforms:
+            return "IocoVerdict(conforms)"
+        return (f"IocoVerdict(fails: after {self.trace} the "
+                f"implementation may output {self.offending_output!r})")
+
+
+def ioco_check(impl, spec, max_pairs=100000):
+    """Decide ``impl ioco spec``.
+
+    ``impl`` should be (weakly) input-enabled — the testing hypothesis;
+    use :meth:`LTS.make_input_enabled` for angelic completion.
+    """
+    start = (impl.after_trace(()), spec.after_trace(()))
+    seen = {start}
+    queue = [(start, ())]
+    while queue:
+        (impl_set, spec_set), trace = queue.pop(0)
+        impl_out = impl.out(impl_set)
+        spec_out = spec.out(spec_set)
+        extra = impl_out - spec_out
+        if extra:
+            return IocoVerdict(False, list(trace), sorted(extra)[0])
+        # Extend by inputs the spec can take, and by the (conforming)
+        # outputs/quiescence the implementation can produce.
+        labels = spec.inputs_enabled(spec_set) | (impl_out & spec_out)
+        for label in sorted(labels):
+            next_impl = impl.after(impl_set, label)
+            next_spec = spec.after(spec_set, label)
+            if not next_spec:
+                continue  # sigma·label is not a suspension trace of spec
+            if not next_impl and label in spec.inputs:
+                continue  # impl ignores an input it never receives
+            pair = (next_impl, next_spec)
+            if pair not in seen:
+                seen.add(pair)
+                if len(seen) > max_pairs:
+                    raise MemoryError(
+                        f"ioco product exceeds {max_pairs} state pairs")
+                queue.append((pair, trace + (label,)))
+    return IocoVerdict(True)
+
+
+def suspension_traces(spec, max_length):
+    """All suspension traces of ``spec`` up to a length bound (for the
+    exhaustiveness arguments in tests and docs — exponential, use only
+    on small models)."""
+    start = spec.after_trace(())
+    out = [()]
+    frontier = [(start, ())]
+    for _ in range(max_length):
+        next_frontier = []
+        for states, trace in frontier:
+            labels = spec.inputs_enabled(states) | spec.out(states)
+            for label in sorted(labels):
+                succ = spec.after(states, label)
+                if succ:
+                    extended = trace + (label,)
+                    out.append(extended)
+                    next_frontier.append((succ, extended))
+        frontier = next_frontier
+    return out

@@ -1,0 +1,145 @@
+"""Labelled transition systems for the ioco testing theory.
+
+Paper, Section V: models are LTS with inputs and outputs; the testing
+hypothesis says implementations behave like *input-enabled* LTS; the
+conformance relation ioco is defined over *suspension traces* — traces
+that may also observe quiescence (the absence of outputs), written
+``delta``.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import ModelError
+
+TAU = "tau"
+DELTA = "delta"
+
+
+class LTS:
+    """An LTS with a designated input/output partition of its labels.
+
+    Input labels are conventionally written with a leading ``?`` in the
+    literature; here the partition is explicit via ``inputs`` and
+    ``outputs`` sets.
+    """
+
+    def __init__(self, name="lts", inputs=(), outputs=()):
+        self.name = name
+        self.inputs = set(inputs)
+        self.outputs = set(outputs)
+        overlap = self.inputs & self.outputs
+        if overlap:
+            raise ModelError(f"labels both input and output: {overlap}")
+        if TAU in self.inputs or TAU in self.outputs or \
+                DELTA in self.inputs or DELTA in self.outputs:
+            raise ModelError(f"{TAU!r}/{DELTA!r} are reserved labels")
+        self.states = []
+        self.initial = None
+        self._transitions = {}
+
+    def add_state(self, name):
+        if name in self._transitions:
+            raise ModelError(f"state {name!r} added twice")
+        self.states.append(name)
+        self._transitions[name] = []
+        if self.initial is None:
+            self.initial = name
+        return name
+
+    def add_transition(self, source, label, target):
+        for state in (source, target):
+            if state not in self._transitions:
+                raise ModelError(f"unknown state {state!r}")
+        if label != TAU and label not in self.inputs \
+                and label not in self.outputs:
+            raise ModelError(f"label {label!r} is neither input nor "
+                             "output (nor tau)")
+        self._transitions[source].append((label, target))
+
+    def transitions_from(self, state, label=None):
+        return [(lbl, tgt) for lbl, tgt in self._transitions[state]
+                if label is None or lbl == label]
+
+    # -- suspension semantics ----------------------------------------------------
+
+    def tau_closure(self, states):
+        closure = set(states)
+        stack = list(states)
+        while stack:
+            state = stack.pop()
+            for label, target in self._transitions[state]:
+                if label == TAU and target not in closure:
+                    closure.add(target)
+                    stack.append(target)
+        return frozenset(closure)
+
+    def after(self, states, label):
+        """``states after label`` for an observable label (including
+        DELTA); result is tau-closed."""
+        if label == DELTA:
+            return frozenset(s for s in states if self.is_quiescent(s))
+        out = set()
+        for state in states:
+            for lbl, target in self._transitions[state]:
+                if lbl == label:
+                    out.add(target)
+        return self.tau_closure(out)
+
+    def after_trace(self, trace):
+        current = self.tau_closure({self.initial})
+        for label in trace:
+            current = self.after(current, label)
+            if not current:
+                return current
+        return current
+
+    def is_quiescent(self, state):
+        """No output and no internal step is possible."""
+        return not any(label == TAU or label in self.outputs
+                       for label, _t in self._transitions[state])
+
+    def out(self, states):
+        """``out(states)``: enabled outputs, plus DELTA when some state
+        is quiescent."""
+        result = set()
+        for state in states:
+            for label, _target in self._transitions[state]:
+                if label in self.outputs:
+                    result.add(label)
+            if self.is_quiescent(state):
+                result.add(DELTA)
+        return result
+
+    def inputs_enabled(self, states):
+        result = set()
+        for state in states:
+            for label, _target in self._transitions[state]:
+                if label in self.inputs:
+                    result.add(label)
+        return result
+
+    def is_input_enabled(self):
+        """The testing hypothesis: every input accepted everywhere
+        (weak input-enabledness, after tau-closure)."""
+        for state in self.states:
+            closure = self.tau_closure({state})
+            enabled = set()
+            for s in closure:
+                enabled |= {label for label, _t in self._transitions[s]
+                            if label in self.inputs}
+            if enabled != self.inputs:
+                return False
+        return True
+
+    def make_input_enabled(self):
+        """Angelic completion: missing inputs become self-loops."""
+        for state in self.states:
+            present = {label for label, _t in self._transitions[state]
+                       if label in self.inputs}
+            for label in self.inputs - present:
+                self._transitions[state].append((label, state))
+        return self
+
+    def __repr__(self):
+        n_trans = sum(len(v) for v in self._transitions.values())
+        return f"LTS({self.name}, {len(self.states)} states, {n_trans} transitions)"

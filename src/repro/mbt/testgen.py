@@ -1,0 +1,250 @@
+"""Test-case generation from LTS specifications (Tretmans' algorithm).
+
+A test case is a finite tree whose internal nodes either *stimulate*
+(apply one input) or *observe* (wait for an output or quiescence); its
+leaves carry pass/fail verdicts.  The generation algorithm is sound
+(only non-conforming implementations fail) and, in the limit over all
+generated tests, exhaustive — the completeness property quoted in the
+paper.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import TestFailure
+from ..core.rng import ensure_rng
+from .lts import DELTA
+
+PASS = "pass"
+FAIL = "fail"
+INCONCLUSIVE = "inconclusive"
+VERDICTS = (PASS, FAIL, INCONCLUSIVE)
+
+
+class TestNode:
+    """One node of a test tree."""
+
+    __slots__ = ("kind", "stimulus", "branches")
+
+    def __init__(self, kind, stimulus=None, branches=None):
+        self.kind = kind            # 'stimulate' | 'observe' | verdict
+        self.stimulus = stimulus    # input label for 'stimulate'
+        self.branches = branches or {}
+
+    def size(self):
+        if self.kind in VERDICTS:
+            return 1
+        return 1 + sum(child.size() for child in self.branches.values())
+
+    def depth(self):
+        if self.kind in VERDICTS:
+            return 0
+        return 1 + max(child.depth() for child in self.branches.values())
+
+    def __repr__(self):
+        return f"TestNode({self.kind}, {self.stimulus or ''})"
+
+
+def generate_test(spec, rng=None, max_depth=10, stimulate_bias=0.5):
+    """Generate one random test case from a specification LTS."""
+    rng = ensure_rng(rng)
+
+    def build(spec_set, depth):
+        if depth >= max_depth or not spec_set:
+            return TestNode(PASS)
+        inputs = sorted(spec.inputs_enabled(spec_set))
+        do_stimulate = inputs and rng.random() < stimulate_bias
+        if do_stimulate:
+            stimulus = rng.choice(inputs)
+            after = spec.after(spec_set, stimulus)
+            return TestNode("stimulate", stimulus,
+                            {stimulus: build(after, depth + 1)})
+        # Observe: every possible output gets a branch; allowed ones
+        # continue, forbidden ones fail.
+        allowed = spec.out(spec_set)
+        branches = {}
+        for label in sorted(spec.outputs | {DELTA}):
+            if label in allowed:
+                branches[label] = build(
+                    spec.after(spec_set, label), depth + 1)
+            else:
+                branches[label] = TestNode(FAIL)
+        return TestNode("observe", None, branches)
+
+    return build(spec.after_trace(()), 0)
+
+
+def run_test(test, adapter):
+    """Execute a test tree against an IUT adapter.
+
+    The adapter contract (see :mod:`repro.mbt.adapter`): ``reset()``,
+    ``give_input(label)``, and ``get_output()`` returning an output
+    label or ``None`` for quiescence.  Returns the verdict string and
+    the observed trace.
+    """
+    adapter.reset()
+    node = test
+    trace = []
+    while node.kind not in VERDICTS:
+        if node.kind == "stimulate":
+            adapter.give_input(node.stimulus)
+            trace.append(node.stimulus)
+            node = node.branches[node.stimulus]
+        else:
+            output = adapter.get_output()
+            label = DELTA if output is None else output
+            trace.append(label)
+            node = node.branches.get(label, TestNode(FAIL))
+    return node.kind, trace
+
+
+def run_test_suite(spec, adapter, n_tests, rng=None, max_depth=10,
+                   stop_on_fail=False):
+    """Generate and execute ``n_tests`` tests; returns (verdicts,
+    failing traces)."""
+    rng = ensure_rng(rng)
+    verdicts = []
+    failures = []
+    for _ in range(n_tests):
+        test = generate_test(spec, rng=rng, max_depth=max_depth)
+        verdict, trace = run_test(test, adapter)
+        verdicts.append(verdict)
+        if verdict == FAIL:
+            failures.append(trace)
+            if stop_on_fail:
+                break
+    return verdicts, failures
+
+
+def online_test(spec, adapter, steps, rng=None, stimulate_bias=0.5):
+    """On-the-fly testing: derive, execute and check in lock-step
+    (the mode UPPAAL-TRON pioneered for timed systems; here untimed).
+
+    Raises :class:`TestFailure` on a fail verdict; returns the observed
+    trace on pass.
+    """
+    rng = ensure_rng(rng)
+    adapter.reset()
+    spec_set = spec.after_trace(())
+    trace = []
+    for _ in range(steps):
+        inputs = sorted(spec.inputs_enabled(spec_set))
+        if inputs and rng.random() < stimulate_bias:
+            stimulus = rng.choice(inputs)
+            adapter.give_input(stimulus)
+            trace.append(stimulus)
+            spec_set = spec.after(spec_set, stimulus)
+        else:
+            output = adapter.get_output()
+            label = DELTA if output is None else output
+            trace.append(label)
+            if label not in spec.out(spec_set):
+                raise TestFailure(
+                    f"after {trace[:-1]} the implementation produced "
+                    f"{label!r}, allowed: {sorted(spec.out(spec_set))}")
+            spec_set = spec.after(spec_set, label)
+        if not spec_set:
+            break
+    return trace
+
+
+def generate_guided_test(spec, target, max_depth=30):
+    """TGV-style test generation towards a *test purpose*.
+
+    ``target(state)`` marks the specification states the test tries to
+    drive the implementation into.  The shortest suspension-trace to a
+    target-intersecting determinized set is computed, and the test
+    follows it: the implementation PASSes when the purpose is reached,
+    FAILs on non-conforming outputs, and ends INCONCLUSIVE when a
+    conforming-but-off-path output makes the purpose unreachable in
+    this run — TGV's verdict trichotomy.
+    """
+    from ..core.errors import AnalysisError
+
+    start = spec.after_trace(())
+    # BFS over determinized sets for the shortest path to the purpose.
+    parents = {start: None}
+    queue = [start]
+    goal_set = None
+    while queue:
+        current = queue.pop(0)
+        if any(target(state) for state in current):
+            goal_set = current
+            break
+        labels = spec.inputs_enabled(current) | spec.out(current)
+        for label in sorted(labels):
+            succ = spec.after(current, label)
+            if succ and succ not in parents:
+                parents[succ] = (current, label)
+                queue.append(succ)
+    if goal_set is None:
+        raise AnalysisError("the test purpose is unreachable in the "
+                            "specification")
+    path = []
+    node = goal_set
+    while parents[node] is not None:
+        node, label = parents[node]
+        path.append(label)
+    path.reverse()
+    if len(path) > max_depth:
+        raise AnalysisError("purpose deeper than max_depth")
+
+    def build(spec_set, remaining):
+        if not remaining:
+            return TestNode(PASS)
+        label, rest = remaining[0], remaining[1:]
+        if label in spec.inputs:
+            after = spec.after(spec_set, label)
+            return TestNode("stimulate", label,
+                            {label: build(after, rest)})
+        # Observe: the on-path output continues; other allowed outputs
+        # are inconclusive; forbidden outputs fail.
+        allowed = spec.out(spec_set)
+        branches = {}
+        for output in sorted(spec.outputs | {DELTA}):
+            if output == label:
+                branches[output] = build(
+                    spec.after(spec_set, output), rest)
+            elif output in allowed:
+                branches[output] = TestNode(INCONCLUSIVE)
+            else:
+                branches[output] = TestNode(FAIL)
+        return TestNode("observe", None, branches)
+
+    return build(start, path)
+
+
+def test_from_trace(spec, trace):
+    """A test case following an explicit suspension trace (a linear
+    test purpose): inputs are stimulated, outputs observed — on-path
+    outputs continue, other conforming outputs are INCONCLUSIVE,
+    non-conforming ones FAIL.  The trace must be a suspension trace of
+    the specification."""
+    from ..core.errors import AnalysisError
+
+    def build(spec_set, remaining):
+        if not spec_set:
+            raise AnalysisError(
+                "the purpose trace leaves the specification")
+        if not remaining:
+            return TestNode(PASS)
+        label, rest = remaining[0], remaining[1:]
+        if label in spec.inputs:
+            return TestNode("stimulate", label, {
+                label: build(spec.after(spec_set, label), rest)})
+        allowed = spec.out(spec_set)
+        if label not in allowed:
+            raise AnalysisError(
+                f"purpose expects {label!r} where the specification "
+                f"allows only {sorted(allowed)}")
+        branches = {}
+        for output in sorted(spec.outputs | {DELTA}):
+            if output == label:
+                branches[output] = build(
+                    spec.after(spec_set, output), rest)
+            elif output in allowed:
+                branches[output] = TestNode(INCONCLUSIVE)
+            else:
+                branches[output] = TestNode(FAIL)
+        return TestNode("observe", None, branches)
+
+    return build(spec.after_trace(()), list(trace))

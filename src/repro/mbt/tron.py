@@ -1,0 +1,196 @@
+"""Online timed testing in the style of UPPAAL-TRON (rtioco).
+
+The tester holds the specification — a network of timed automata whose
+edge *labels* are partitioned into inputs (tester-controlled) and
+outputs (IUT-controlled) — and tracks the set of specification states
+consistent with everything observed so far, over integer time (the
+discrete semantics; sound for closed specifications).
+
+Each time unit the tester may stimulate an input, then observes the
+outputs the IUT emitted during the unit.  An observation that empties
+the consistent-state set is a *fail*: the IUT produced an output, or a
+silence, that no specification behaviour allows at that time — this is
+the environment-relativized timed input/output conformance (rtioco)
+check of the paper.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import ModelError, TestFailure
+from ..core.rng import ensure_rng
+from ..ta.discrete import DiscreteSemantics
+
+
+class TimedIUTAdapter:
+    """Contract for timed implementations under test.
+
+    Virtual time: ``advance()`` moves the IUT one time unit forward and
+    returns the list of output labels it emitted during that unit;
+    ``give_input(label)`` delivers a stimulus at the current instant.
+    """
+
+    def reset(self):
+        raise NotImplementedError
+
+    def give_input(self, label):
+        raise NotImplementedError
+
+    def advance(self):
+        raise NotImplementedError
+
+
+class TimedTestResult:
+    __slots__ = ("passed", "trace", "reason")
+
+    def __init__(self, passed, trace, reason=None):
+        self.passed = passed
+        self.trace = trace
+        self.reason = reason
+
+    def __bool__(self):
+        return self.passed
+
+    def __repr__(self):
+        status = "pass" if self.passed else f"FAIL ({self.reason})"
+        return f"TimedTestResult({status}, {len(self.trace)} events)"
+
+
+class OnlineTimedTester:
+    """rtioco tester over the discrete-time semantics of a TA spec."""
+
+    def __init__(self, network, inputs, outputs, rng=None,
+                 max_state_set=10000):
+        self.semantics = DiscreteSemantics(network)
+        self.inputs = set(inputs)
+        self.outputs = set(outputs)
+        if self.inputs & self.outputs:
+            raise ModelError("labels cannot be both input and output")
+        self.rng = ensure_rng(rng)
+        self.max_state_set = max_state_set
+
+    # -- state-set tracking -------------------------------------------------------
+
+    def _tau_closure(self, states):
+        """Close under unlabelled (internal) actions."""
+        closure = {s.key(): s for s in states}
+        stack = list(states)
+        while stack:
+            state = stack.pop()
+            for transition, succ in self.semantics.action_successors(state):
+                labels = set(transition.labels())
+                if labels & (self.inputs | self.outputs):
+                    continue
+                if succ.key() not in closure:
+                    closure[succ.key()] = succ
+                    stack.append(succ)
+            if len(closure) > self.max_state_set:
+                raise MemoryError("state-set explosion in tester")
+        return list(closure.values())
+
+    def _after_label(self, states, label):
+        out = {}
+        for state in states:
+            for transition, succ in self.semantics.action_successors(state):
+                if label in transition.labels():
+                    out[succ.key()] = succ
+        return self._tau_closure(list(out.values()))
+
+    def _after_tick(self, states):
+        out = {}
+        for state in states:
+            ticked = self.semantics.tick(state)
+            if ticked is not None:
+                out[ticked.key()] = ticked
+        return self._tau_closure(list(out.values()))
+
+    def _process_unit(self, states, outputs):
+        """Consistent states after one time unit during which the given
+        outputs (in order) were observed.
+
+        Each output may precede or follow the unit's tick; all
+        interleavings consistent with the output order are kept.
+        """
+        current = [(s, False) for s in states]
+        for output in outputs:
+            nxt = {}
+            for state, ticked in current:
+                for succ in self._after_label([state], output):
+                    nxt[(succ.key(), ticked)] = (succ, ticked)
+                if not ticked:
+                    for mid in self._after_tick([state]):
+                        for succ in self._after_label([mid], output):
+                            nxt[(succ.key(), True)] = (succ, True)
+            current = list(nxt.values())
+        final = {}
+        for state, ticked in current:
+            if ticked:
+                final[state.key()] = state
+            else:
+                for succ in self._after_tick([state]):
+                    final[succ.key()] = succ
+        return list(final.values())
+
+    def _enabled_inputs(self, states):
+        labels = set()
+        for state in states:
+            for transition, _succ in self.semantics.action_successors(
+                    state):
+                labels |= set(transition.labels()) & self.inputs
+        return sorted(labels)
+
+    # -- the test loop --------------------------------------------------------------
+
+    def run(self, adapter, duration, stimulate_bias=0.5):
+        """Test for ``duration`` time units; returns a
+        :class:`TimedTestResult`."""
+        adapter.reset()
+        states = self._tau_closure([self.semantics.initial()])
+        trace = []
+        for now in range(duration):
+            # Possibly stimulate.
+            inputs = self._enabled_inputs(states)
+            if inputs and self.rng.random() < stimulate_bias:
+                stimulus = self.rng.choice(inputs)
+                adapter.give_input(stimulus)
+                trace.append((now, "in", stimulus))
+                states = self._after_label(states, stimulus)
+                if not states:
+                    return TimedTestResult(
+                        False, trace,
+                        f"tester bug: input {stimulus} not allowed")
+            # Let a time unit pass on the implementation.  Its outputs
+            # happened at unknown instants within the unit; in integer
+            # time each may fall at the start (before the tick — e.g.
+            # an instantaneous committed-location response) or at the
+            # end, so both interleavings are tracked.
+            outputs = adapter.advance()
+            for output in outputs:
+                if output not in self.outputs:
+                    return TimedTestResult(
+                        False, trace + [(now, "out", output)],
+                        f"unknown output {output!r}")
+                trace.append((now, "out", output))
+            states = self._process_unit(states, outputs)
+            if not states:
+                reason = (
+                    f"implementation stayed quiet past a deadline "
+                    f"at time {now}" if not outputs else
+                    f"outputs {outputs} not allowed around time {now}")
+                return TimedTestResult(
+                    False, trace + [(now, "quiet", None)]
+                    if not outputs else trace, reason)
+        return TimedTestResult(True, trace)
+
+
+def run_timed_suite(tester, adapter_factory, n_runs, duration, rng=None,
+                    stimulate_bias=0.5):
+    """Run many randomized online tests; returns the failures."""
+    rng = ensure_rng(rng)
+    failures = []
+    for _ in range(n_runs):
+        tester.rng = rng.spawn()
+        result = tester.run(adapter_factory(), duration,
+                            stimulate_bias=stimulate_bias)
+        if not result.passed:
+            failures.append(result)
+    return failures

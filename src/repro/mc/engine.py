@@ -1,0 +1,166 @@
+"""The verification front-end: UPPAAL-style checking of path queries."""
+
+from __future__ import annotations
+
+from ..core.errors import QueryError
+from ..ta.zonegraph import ZoneGraph
+from . import liveness
+from .deadlock import has_deadlock
+from .queries import AF, AG, EF, EG, Deadlock, LeadsTo, Not
+from .reachability import build_graph, explore
+
+
+class VerificationResult:
+    """Outcome of a query: verdict plus diagnostics."""
+
+    __slots__ = ("query", "holds", "witness", "trace", "states_explored")
+
+    def __init__(self, query, holds, witness=None, trace=None,
+                 states_explored=0):
+        self.query = query
+        self.holds = holds
+        self.witness = witness
+        self.trace = trace
+        self.states_explored = states_explored
+
+    def __bool__(self):
+        return self.holds
+
+    def __repr__(self):
+        verdict = "satisfied" if self.holds else "NOT satisfied"
+        return (f"VerificationResult({self.query!r}: {verdict}, "
+                f"{self.states_explored} states)")
+
+
+class Verifier:
+    """Zone-based model checker for a network of timed automata."""
+
+    def __init__(self, network, extrapolate=True, use_inclusion=True,
+                 extra_constants=None, max_states=200000):
+        self.network = network
+        self.graph = ZoneGraph(network, extrapolate=extrapolate,
+                               extra_constants=extra_constants)
+        self.use_inclusion = use_inclusion
+        self.max_states = max_states
+        self._full_graph = None
+
+    # -- public API -------------------------------------------------------------
+
+    def check(self, query):
+        """Check one path query and return a :class:`VerificationResult`.
+
+        Accepts a query object or an UPPAAL-style query string
+        (see :mod:`repro.mc.parser`).
+        """
+        if isinstance(query, str):
+            from .parser import parse_query
+
+            query = parse_query(query)
+        if isinstance(query, EF):
+            return self._check_ef(query)
+        if isinstance(query, AG):
+            return self._check_ag(query)
+        if isinstance(query, AF):
+            return self._check_liveness(query)
+        if isinstance(query, EG):
+            return self._check_liveness(query)
+        if isinstance(query, LeadsTo):
+            return self._check_liveness(query)
+        raise QueryError(f"unsupported query {query!r}")
+
+    def deadlock_free(self):
+        """``A[] not deadlock``."""
+        return self.check(AG(Not(Deadlock())))
+
+    def sup(self, value_of):
+        """UPPAAL's ``sup`` query: the maximum of
+        ``value_of(valuation)`` over all reachable states."""
+        best = [None]
+
+        def observe(state):
+            value = value_of(state.valuation)
+            if best[0] is None or value > best[0]:
+                best[0] = value
+
+        explore(self.graph, on_state=observe,
+                use_inclusion=self.use_inclusion,
+                max_states=self.max_states)
+        return best[0]
+
+    def inf(self, value_of):
+        """UPPAAL's ``inf`` query: the minimum over reachable states."""
+        best = [None]
+
+        def observe(state):
+            value = value_of(state.valuation)
+            if best[0] is None or value < best[0]:
+                best[0] = value
+
+        explore(self.graph, on_state=observe,
+                use_inclusion=self.use_inclusion,
+                max_states=self.max_states)
+        return best[0]
+
+    # -- reachability queries ----------------------------------------------------
+
+    def _contains_deadlock_atom(self, formula):
+        if isinstance(formula, Deadlock):
+            return True
+        for attr in ("operand", "operands", "formula"):
+            inner = getattr(formula, attr, None)
+            if inner is None:
+                continue
+            items = inner if isinstance(inner, tuple) else (inner,)
+            if any(self._contains_deadlock_atom(i) for i in items):
+                return True
+        return False
+
+    def _goal_predicate(self, formula):
+        if isinstance(formula, Deadlock):
+            return lambda state: has_deadlock(self.graph, state)
+        if self._contains_deadlock_atom(formula):
+            raise QueryError(
+                "the deadlock atom may only appear alone in E<> deadlock / "
+                "A[] not deadlock")
+        return lambda state: formula.holds(self.network, state)
+
+    def _check_ef(self, query):
+        result = explore(self.graph, goal=self._goal_predicate(query.formula),
+                         use_inclusion=self.use_inclusion,
+                         max_states=self.max_states)
+        return VerificationResult(query, result.found, result.witness,
+                                  result.trace, result.states_explored)
+
+    def _check_ag(self, query):
+        formula = query.formula
+        # A[] phi  ==  not E<> not phi.
+        if isinstance(formula, Not) and isinstance(formula.operand, Deadlock):
+            negated = Deadlock()
+        else:
+            negated = formula.negate()
+        inner = self._check_ef(EF(negated))
+        return VerificationResult(query, not inner.holds, inner.witness,
+                                  inner.trace, inner.states_explored)
+
+    # -- liveness queries ----------------------------------------------------------
+
+    def _materialised(self):
+        if self._full_graph is None:
+            self._full_graph = build_graph(self.graph,
+                                           max_states=self.max_states)
+        return self._full_graph
+
+    def _check_liveness(self, query):
+        nodes, edges, initial = self._materialised()
+        if isinstance(query, AF):
+            holds, offender = liveness.check_af(
+                self.network, nodes, edges, initial, query.formula)
+        elif isinstance(query, EG):
+            holds, offender = liveness.check_eg(
+                self.network, nodes, edges, initial, query.formula)
+        else:
+            holds, offender = liveness.check_leadsto(
+                self.network, nodes, edges, initial,
+                query.premise, query.conclusion)
+        witness = nodes[offender] if offender is not None else None
+        return VerificationResult(query, holds, witness, None, len(nodes))

@@ -1,0 +1,274 @@
+"""Textual UPPAAL-style queries.
+
+Lets users write the paper's properties verbatim(ish)::
+
+    A[] forall (i : 0..2) forall (j : 0..2)
+        Train(i).Cross && Train(j).Cross imply i == j
+    Train(0).Appr --> Train(0).Cross
+    A[] not deadlock
+    E<> Gate.Occ && len > 1
+
+Grammar::
+
+    query   := 'A[]' sf | 'E<>' sf | 'A<>' sf | 'E[]' sf | sf '-->' sf
+    sf      := imply ( 'imply' imply )*
+    imply   := or ( '||' or )*       -- imply binds loosest, as in UPPAAL
+    or      := and ( '&&' and )*
+    and     := 'not'/'!' and | atom
+    atom    := 'deadlock' | 'true' | 'false' | '(' sf ')'
+             | quantifier | location | comparison
+    quantifier := ('forall'|'exists') '(' NAME ':' INT '..' INT ')' atom
+    location   := NAME ['(' INT ')'] '.' NAME
+    comparison := term ('<'|'<='|'=='|'!='|'>='|'>') term
+    term       := INT | NAME (a declared variable)
+
+Quantifiers substitute their variable into process indices
+(``Train(i)``) and into comparison terms before evaluation.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..core.errors import QueryError
+from .queries import (
+    AF,
+    AG,
+    And,
+    BoolFormula,
+    DataPred,
+    Deadlock,
+    EF,
+    EG,
+    LeadsTo,
+    LocationIs,
+    Not,
+    Or,
+)
+
+_TOKEN = re.compile(r"""
+    \s*(?:
+      (?P<op>A\[\]|E<>|A<>|E\[\]|-->|\|\||&&|==|!=|<=|>=|\.\.|[()<>!.:])
+    | (?P<num>-?\d+)
+    | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+    )""", re.VERBOSE)
+
+
+def _tokenize(text):
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN.match(text, pos)
+        if match is None:
+            if text[pos:].strip():
+                raise QueryError(
+                    f"bad character in query at: {text[pos:pos + 10]!r}")
+            break
+        if match.group("op"):
+            tokens.append(("op", match.group("op")))
+        elif match.group("num"):
+            tokens.append(("num", int(match.group("num"))))
+        else:
+            tokens.append(("name", match.group("name")))
+        pos = match.end()
+    tokens.append(("eof", None))
+    return tokens
+
+
+class _QueryParser:
+    def __init__(self, text):
+        self.tokens = _tokenize(text)
+        self.pos = 0
+        self.bindings = {}
+
+    def peek(self):
+        return self.tokens[self.pos]
+
+    def next(self):
+        token = self.tokens[self.pos]
+        if token[0] != "eof":
+            self.pos += 1
+        return token
+
+    def expect_op(self, op):
+        kind, value = self.next()
+        if kind != "op" or value != op:
+            raise QueryError(f"expected {op!r}, found {value!r}")
+
+    def accept_op(self, op):
+        kind, value = self.peek()
+        if kind == "op" and value == op:
+            self.next()
+            return True
+        return False
+
+    def accept_name(self, word):
+        kind, value = self.peek()
+        if kind == "name" and value == word:
+            self.next()
+            return True
+        return False
+
+    # -- query level ------------------------------------------------------------
+
+    def parse_query(self):
+        kind, value = self.peek()
+        if kind == "op" and value in ("A[]", "E<>", "A<>", "E[]"):
+            self.next()
+            formula = self.parse_formula()
+            self._expect_eof()
+            return {"A[]": AG, "E<>": EF, "A<>": AF,
+                    "E[]": EG}[value](formula)
+        premise = self.parse_formula()
+        if self.accept_op("-->"):
+            conclusion = self.parse_formula()
+            self._expect_eof()
+            return LeadsTo(premise, conclusion)
+        raise QueryError("query must start with A[], E<>, A<>, E[] or "
+                         "be a leads-to (p --> q)")
+
+    def _expect_eof(self):
+        if self.peek()[0] != "eof":
+            raise QueryError(
+                f"trailing input in query: {self.peek()[1]!r}")
+
+    # -- formulas ------------------------------------------------------------------
+
+    def parse_formula(self):
+        left = self._or()
+        while self.accept_name("imply"):
+            right = self._or()
+            left = Or(left.negate(), right)
+        return left
+
+    def _or(self):
+        left = self._and()
+        while self.accept_op("||") or self.accept_name("or"):
+            left = Or(left, self._and())
+        return left
+
+    def _and(self):
+        left = self._unary()
+        while self.accept_op("&&") or self.accept_name("and"):
+            left = And(left, self._unary())
+        return left
+
+    def _unary(self):
+        if self.accept_op("!") or self.accept_name("not"):
+            return Not(self._unary())
+        return self._atom()
+
+    def _atom(self):
+        kind, value = self.peek()
+        if kind == "op" and value == "(":
+            self.next()
+            inner = self.parse_formula()
+            self.expect_op(")")
+            return inner
+        if kind == "name" and value in ("forall", "exists"):
+            return self._quantifier()
+        if kind == "name" and value == "deadlock":
+            self.next()
+            return Deadlock()
+        if kind == "name" and value == "true":
+            self.next()
+            return BoolFormula(True)
+        if kind == "name" and value == "false":
+            self.next()
+            return BoolFormula(False)
+        return self._location_or_comparison()
+
+    def _quantifier(self):
+        _kind, word = self.next()
+        self.expect_op("(")
+        _k, var = self.next()
+        self.expect_op(":")
+        lo = self._int_term()
+        self.expect_op("..")
+        hi = self._int_term()
+        self.expect_op(")")
+        # The quantifier scopes to the end of the formula (as in
+        # UPPAAL): parse the full remaining formula once per value.
+        body_start = self.pos
+        parts = []
+        for i in range(lo, hi + 1):
+            self.pos = body_start
+            self.bindings[var] = i
+            parts.append(self.parse_formula())
+        self.bindings.pop(var, None)
+        if not parts:
+            return BoolFormula(word == "forall")
+        return And(*parts) if word == "forall" else Or(*parts)
+
+    def _int_term(self):
+        kind, value = self.next()
+        if kind == "num":
+            return value
+        if kind == "name" and value in self.bindings:
+            return self.bindings[value]
+        raise QueryError(f"expected an integer, found {value!r}")
+
+    def _location_or_comparison(self):
+        kind, value = self.next()
+        if kind == "num" or (kind == "name" and value in self.bindings):
+            left = value if kind == "num" else self.bindings[value]
+            return self._comparison(left)
+        if kind != "name":
+            raise QueryError(f"unexpected {value!r} in state formula")
+        name = value
+        if self.accept_op("("):
+            index = self._int_term()
+            self.expect_op(")")
+            name = f"{name}({index})"
+        if self.accept_op("."):
+            _k, location = self.next()
+            return LocationIs(name, location)
+        return self._comparison(("var", name))
+
+    def _comparison(self, left):
+        kind, op = self.next()
+        if kind != "op" or op not in ("<", "<=", "==", "!=", ">=", ">"):
+            raise QueryError(f"expected a comparison, found {op!r}")
+        right = self._comparison_term()
+        return _make_comparison(left, op, right)
+
+    def _comparison_term(self):
+        kind, value = self.next()
+        if kind == "num":
+            return value
+        if kind == "name":
+            if value in self.bindings:
+                return self.bindings[value]
+            return ("var", value)
+        raise QueryError(f"expected a value, found {value!r}")
+
+
+_OPS = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    ">=": lambda a, b: a >= b,
+    ">": lambda a, b: a > b,
+}
+
+
+def _make_comparison(left, op, right):
+    compare = _OPS[op]
+
+    def resolve(term, valuation):
+        if isinstance(term, tuple) and term[0] == "var":
+            return valuation[term[1]]
+        return term
+
+    description = (f"{left[1] if isinstance(left, tuple) else left} {op} "
+                   f"{right[1] if isinstance(right, tuple) else right}")
+    return DataPred(
+        lambda valuation: compare(resolve(left, valuation),
+                                  resolve(right, valuation)),
+        description=description)
+
+
+def parse_query(text):
+    """Parse an UPPAAL-style query string into a query object."""
+    return _QueryParser(text).parse_query()

@@ -1,0 +1,261 @@
+"""The query language of the model checker.
+
+Mirrors UPPAAL's property language (paper, Section II): state formulas
+over locations, data and clocks, wrapped in the path quantifiers
+``A[]`` (:class:`AG`), ``E<>`` (:class:`EF`), ``A<>`` (:class:`AF`),
+``E[]`` (:class:`EG`) and leads-to ``p --> q`` (:class:`LeadsTo`).
+
+State formulas are evaluated on *symbolic* states.  Location and data
+atoms are exact; clock atoms are existential (the zone intersects the
+constraint), which is the standard interpretation for ``E<>`` witnesses
+and (by duality) exact for ``A[]`` safety checking.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import QueryError
+from ..core.expressions import Expr
+
+
+class StateFormula:
+    """Base class of state formulas."""
+
+    def holds(self, network, state):
+        raise NotImplementedError
+
+    def is_clock_free(self):
+        """True when the formula never inspects the zone (then negation
+        is exact)."""
+        return True
+
+    def negate(self):
+        if not self.is_clock_free():
+            raise QueryError(
+                "cannot negate a clock-constrained state formula exactly")
+        return Not(self)
+
+    # Sugar.
+    def __and__(self, other):
+        return And(self, other)
+
+    def __or__(self, other):
+        return Or(self, other)
+
+    def __invert__(self):
+        return self.negate()
+
+    def implies(self, other):
+        return Or(self.negate(), other)
+
+
+class BoolFormula(StateFormula):
+    """Constant true/false."""
+
+    def __init__(self, value):
+        self.value = bool(value)
+
+    def holds(self, network, state):
+        return self.value
+
+    def __repr__(self):
+        return "true" if self.value else "false"
+
+
+TRUE_FORMULA = BoolFormula(True)
+FALSE_FORMULA = BoolFormula(False)
+
+
+class LocationIs(StateFormula):
+    """``Process.Location`` — the process stands in the location."""
+
+    def __init__(self, process_name, location_name):
+        self.process_name = process_name
+        self.location_name = location_name
+
+    def holds(self, network, state):
+        process = network.process_by_name(self.process_name)
+        loc_index = state.locs[process.index]
+        return process.location_names[loc_index] == self.location_name
+
+    def __repr__(self):
+        return f"{self.process_name}.{self.location_name}"
+
+
+class DataPred(StateFormula):
+    """A predicate over the discrete variables: an :class:`Expr` or a
+    Python callable taking the valuation."""
+
+    def __init__(self, pred, description=None):
+        self.pred = pred
+        self.description = description
+
+    def holds(self, network, state):
+        if isinstance(self.pred, Expr):
+            return bool(self.pred.eval(state.valuation))
+        return bool(self.pred(state.valuation))
+
+    def __repr__(self):
+        return self.description or f"DataPred({self.pred!r})"
+
+
+class ClockPred(StateFormula):
+    """Existential clock constraint: the zone intersects the atom."""
+
+    def __init__(self, process_name, atom):
+        self.process_name = process_name
+        self.atom = atom
+
+    def holds(self, network, state):
+        process = network.process_by_name(self.process_name)
+        zone = state.zone.copy()
+        for i, j, b in self.atom.encoded_constraints(process.resolve_clock):
+            zone.constrain(i, j, b)
+        return not zone.is_empty()
+
+    def is_clock_free(self):
+        return False
+
+    def __repr__(self):
+        return f"{self.process_name}:{self.atom!r}"
+
+
+class Not(StateFormula):
+    def __init__(self, operand):
+        # ``not deadlock`` is fine: the engine handles the deadlock atom
+        # itself.  Other clock-dependent formulas cannot be negated
+        # exactly under the existential interpretation.
+        if not operand.is_clock_free() and not isinstance(operand, Deadlock):
+            raise QueryError("negation over clock formulas is not exact")
+        self.operand = operand
+
+    def holds(self, network, state):
+        return not self.operand.holds(network, state)
+
+    def negate(self):
+        return self.operand
+
+    def __repr__(self):
+        return f"!({self.operand!r})"
+
+
+class And(StateFormula):
+    def __init__(self, *operands):
+        self.operands = operands
+
+    def holds(self, network, state):
+        return all(op.holds(network, state) for op in self.operands)
+
+    def is_clock_free(self):
+        return all(op.is_clock_free() for op in self.operands)
+
+    def negate(self):
+        return Or(*[op.negate() for op in self.operands])
+
+    def __repr__(self):
+        return "(" + " && ".join(repr(op) for op in self.operands) + ")"
+
+
+class Or(StateFormula):
+    def __init__(self, *operands):
+        self.operands = operands
+
+    def holds(self, network, state):
+        return any(op.holds(network, state) for op in self.operands)
+
+    def is_clock_free(self):
+        return all(op.is_clock_free() for op in self.operands)
+
+    def negate(self):
+        return And(*[op.negate() for op in self.operands])
+
+    def __repr__(self):
+        return "(" + " || ".join(repr(op) for op in self.operands) + ")"
+
+
+def forall(items, make_formula):
+    """UPPAAL's ``forall (i : range)`` quantifier, expanded eagerly."""
+    return And(*[make_formula(i) for i in items])
+
+
+def exists(items, make_formula):
+    """UPPAAL's ``exists (i : range)`` quantifier, expanded eagerly."""
+    return Or(*[make_formula(i) for i in items])
+
+
+class Deadlock(StateFormula):
+    """The UPPAAL ``deadlock`` atom.
+
+    Evaluated by the engine (it needs zone federations), so ``holds``
+    is not callable directly.
+    """
+
+    def holds(self, network, state):
+        raise QueryError("the deadlock atom is evaluated by the engine; "
+                         "use Verifier.check(AG(Not(Deadlock()))) "
+                         "or Verifier.deadlock_free()")
+
+    def is_clock_free(self):
+        return False
+
+    def negate(self):
+        raise QueryError("deadlock cannot be negated as a state formula")
+
+    def __repr__(self):
+        return "deadlock"
+
+
+# -- path queries --------------------------------------------------------------
+
+class Query:
+    """Base class of path queries."""
+
+
+class AG(Query):
+    """``A[] phi`` — invariantly phi."""
+
+    def __init__(self, formula):
+        self.formula = formula
+
+    def __repr__(self):
+        return f"A[] {self.formula!r}"
+
+
+class EF(Query):
+    """``E<> phi`` — possibly phi."""
+
+    def __init__(self, formula):
+        self.formula = formula
+
+    def __repr__(self):
+        return f"E<> {self.formula!r}"
+
+
+class AF(Query):
+    """``A<> phi`` — inevitably phi."""
+
+    def __init__(self, formula):
+        self.formula = formula
+
+    def __repr__(self):
+        return f"A<> {self.formula!r}"
+
+
+class EG(Query):
+    """``E[] phi`` — there is a maximal path along which phi holds."""
+
+    def __init__(self, formula):
+        self.formula = formula
+
+    def __repr__(self):
+        return f"E[] {self.formula!r}"
+
+
+class LeadsTo(Query):
+    """``phi --> psi`` — whenever phi holds, psi inevitably follows."""
+
+    def __init__(self, premise, conclusion):
+        self.premise = premise
+        self.conclusion = conclusion
+
+    def __repr__(self):
+        return f"{self.premise!r} --> {self.conclusion!r}"

@@ -1,0 +1,128 @@
+"""Forward symbolic reachability with inclusion (subsumption) checking.
+
+The passed/waiting-list algorithm of UPPAAL: a new symbolic state is
+discarded when an already-passed state with the same discrete part has a
+zone that includes it; conversely, passed states included in the new one
+are evicted.
+"""
+
+from __future__ import annotations
+
+
+class Reachability:
+    """Result of a reachability run."""
+
+    __slots__ = ("found", "witness", "trace", "states_explored",
+                 "states_stored")
+
+    def __init__(self, found, witness, trace, states_explored, states_stored):
+        self.found = found
+        self.witness = witness
+        self.trace = trace
+        self.states_explored = states_explored
+        self.states_stored = states_stored
+
+    def __bool__(self):
+        return self.found
+
+    def __repr__(self):
+        return (f"Reachability(found={self.found}, "
+                f"explored={self.states_explored})")
+
+
+class PassedList:
+    """Zones passed so far, indexed by discrete configuration."""
+
+    def __init__(self, use_inclusion=True):
+        self.use_inclusion = use_inclusion
+        self._zones = {}
+        self.size = 0
+
+    def add_if_new(self, state):
+        """True when the state is not subsumed (and is now recorded)."""
+        key = state.discrete_key()
+        bucket = self._zones.setdefault(key, [])
+        if self.use_inclusion:
+            for zone in bucket:
+                if zone.includes(state.zone):
+                    return False
+            kept = [z for z in bucket if not state.zone.includes(z)]
+            self.size -= len(bucket) - len(kept)
+            kept.append(state.zone)
+            self._zones[key] = kept
+            self.size += 1
+            return True
+        zone_key = state.zone.key()
+        for zone in bucket:
+            if zone.key() == zone_key:
+                return False
+        bucket.append(state.zone)
+        self.size += 1
+        return True
+
+
+def explore(graph, goal=None, on_state=None, use_inclusion=True,
+            max_states=None):
+    """Breadth-first symbolic exploration.
+
+    ``goal(state)`` stops the search with a positive result; ``on_state``
+    is an observer callback.  Returns a :class:`Reachability`, whose
+    ``trace`` is the list of (transition, state) steps from the initial
+    state to the witness (transition ``None`` for the initial state).
+    """
+    initial = graph.initial()
+    passed = PassedList(use_inclusion)
+    passed.add_if_new(initial)
+    # Each waiting entry carries its predecessor chain for the trace.
+    waiting = [(initial, ((None, initial),))]
+    explored = 0
+    while waiting:
+        state, chain = waiting.pop(0)
+        explored += 1
+        if on_state is not None:
+            on_state(state)
+        if goal is not None and goal(state):
+            return Reachability(True, state, list(chain), explored,
+                                passed.size)
+        if max_states is not None and explored >= max_states:
+            break
+        for transition, succ in graph.successors(state):
+            if passed.add_if_new(succ):
+                waiting.append((succ, chain + ((transition, succ),)))
+    return Reachability(False, None, None, explored, passed.size)
+
+
+def build_graph(graph, max_states=200000):
+    """Materialise the full symbolic graph without inclusion abstraction.
+
+    Liveness checking needs the exact graph: inclusion subsumption can
+    merge states with different futures.  Returns ``(nodes, edges,
+    initial_index)`` where ``nodes`` is a list of symbolic states and
+    ``edges[i]`` the list of ``(transition, j)`` successors.
+    """
+    initial = graph.initial()
+    index_of = {initial.key(): 0}
+    nodes = [initial]
+    edges = []
+    waiting = [0]
+    while waiting:
+        i = waiting.pop()
+        while len(edges) <= i:
+            edges.append(None)
+        succs = []
+        for transition, succ in graph.successors(nodes[i]):
+            key = succ.key()
+            j = index_of.get(key)
+            if j is None:
+                j = len(nodes)
+                index_of[key] = j
+                nodes.append(succ)
+                waiting.append(j)
+                if len(nodes) > max_states:
+                    raise MemoryError(
+                        f"symbolic graph exceeds {max_states} states")
+            succs.append((transition, j))
+        edges[i] = succs
+    while len(edges) < len(nodes):
+        edges.append([])
+    return nodes, edges, 0

@@ -1,0 +1,27 @@
+"""PRISM-style explicit probabilistic model checking engine."""
+
+from .model import MDP
+from .analysis import (
+    bounded_reachability,
+    expected_total_reward,
+    prob0_max,
+    prob0_min,
+    prob1_max,
+    prob1_min,
+    reachability_probability,
+)
+from .scheduler import (
+    extract_scheduler,
+    induced_chain,
+    simulate_chain,
+    validate_scheduler,
+)
+
+__all__ = [
+    "MDP",
+    "bounded_reachability", "expected_total_reward",
+    "prob0_max", "prob0_min", "prob1_max", "prob1_min",
+    "reachability_probability",
+    "extract_scheduler", "induced_chain", "simulate_chain",
+    "validate_scheduler",
+]

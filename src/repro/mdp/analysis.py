@@ -1,0 +1,246 @@
+"""MDP analyses: reachability probabilities and expected rewards.
+
+Implements the standard explicit-engine pipeline of a probabilistic
+model checker (PRISM's role in the paper's Table I):
+
+1. graph-based precomputation of the states with probability exactly 0
+   or 1 (Prob0/Prob1 for both optimisation directions);
+2. vectorised value iteration over the remaining states, optionally as
+   *interval iteration* (a converging upper bound alongside the lower
+   one) for certified accuracy;
+3. expected total reward until a target is reached, with the usual
+   infinity semantics when the target may be missed;
+4. step-bounded reachability.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.errors import AnalysisError
+
+
+# -- graph precomputations ------------------------------------------------------
+
+def prob0_max(mdp, targets):
+    """States where the *maximal* reachability probability is 0:
+    no path reaches the target at all."""
+    can_reach = set(targets)
+    preds = mdp.predecessors_map()
+    stack = list(targets)
+    while stack:
+        t = stack.pop()
+        for s in preds[t]:
+            if s not in can_reach:
+                can_reach.add(s)
+                stack.append(s)
+    return set(range(mdp.num_states)) - can_reach
+
+
+def prob0_min(mdp, targets):
+    """States where the *minimal* reachability probability is 0: some
+    scheduler avoids the target forever.
+
+    Greatest fixpoint: U = non-target states with some action whose
+    whole support stays in U.
+    """
+    targets = set(targets)
+    u = set(range(mdp.num_states)) - targets
+    changed = True
+    while changed:
+        changed = False
+        for s in list(u):
+            ok = False
+            for _label, pairs, _r in mdp.actions_of(s):
+                if all(t in u for t, _p in pairs):
+                    ok = True
+                    break
+            if not ok:
+                u.discard(s)
+                changed = True
+    return u
+
+
+def prob1_max(mdp, targets):
+    """States where the maximal reachability probability is 1 (Prob1E).
+
+    de Alfaro's nested fixpoint: nu X. mu Y. (s in T) or exists action
+    with support inside X and some successor in Y.
+    """
+    targets = set(targets)
+    x = set(range(mdp.num_states))
+    while True:
+        y = set(targets)
+        grew = True
+        while grew:
+            grew = False
+            for s in range(mdp.num_states):
+                if s in y:
+                    continue
+                for _label, pairs, _r in mdp.actions_of(s):
+                    support = [t for t, _p in pairs]
+                    if all(t in x for t in support) and any(
+                            t in y for t in support):
+                        y.add(s)
+                        grew = True
+                        break
+        if y == x:
+            return x
+        x = y
+
+
+def prob1_min(mdp, targets):
+    """States where the minimal reachability probability is 1 (Prob1A):
+    complement of prob0_min over the complement construction.
+
+    A state has min probability 1 iff no scheduler can make the
+    probability of *avoiding* the target positive, which is the
+    complement of ``prob0-style`` escape analysis: we compute the states
+    from which some scheduler reaches, with positive probability, the
+    region where the target can be avoided surely.
+    """
+    targets = set(targets)
+    avoid_surely = prob0_min(mdp, targets)  # min prob 0: avoidable
+    # States with min prob < 1: some scheduler reaches avoid_surely with
+    # positive probability (standard Prob1A complement).
+    bad = set(avoid_surely)
+    preds = mdp.predecessors_map()
+    stack = list(bad)
+    while stack:
+        t = stack.pop()
+        for s in preds[t]:
+            if s in bad or s in targets:
+                continue
+            # some action has a successor in bad -> the adversary (who
+            # minimises reachability) can steer towards avoidance.
+            for _label, pairs, _r in mdp.actions_of(s):
+                if any(u in bad for u, _p in pairs):
+                    bad.add(s)
+                    stack.append(s)
+                    break
+    return set(range(mdp.num_states)) - bad
+
+
+# -- value iteration -------------------------------------------------------------
+
+def _iterate(mdp, values, frozen_mask, maximize, rewards=None,
+             epsilon=1e-12, max_iterations=1000000):
+    """In-place Jacobi value iteration on the frozen sparse form."""
+    reduce_actions = np.maximum if maximize else np.minimum
+    probs, cols = mdp.probs, mdp.cols
+    action_offsets = mdp.action_offsets
+    state_offsets = mdp.state_offsets
+    action_rewards = rewards if rewards is not None else None
+    for iteration in range(max_iterations):
+        contrib = probs * values[cols]
+        action_values = np.add.reduceat(contrib, action_offsets)
+        # reduceat misbehaves on empty segments, but finalize() ensures
+        # every action has at least one transition.
+        if action_rewards is not None:
+            action_values = action_values + action_rewards
+        new_values = reduce_actions.reduceat(action_values, state_offsets)
+        new_values[frozen_mask] = values[frozen_mask]
+        delta = np.max(np.abs(new_values - values))
+        values[:] = new_values
+        if delta <= epsilon:
+            return iteration + 1
+    raise AnalysisError(
+        f"value iteration did not converge in {max_iterations} iterations")
+
+
+def reachability_probability(mdp, targets, maximize=True, epsilon=1e-12,
+                             interval=False):
+    """Vector of reachability probabilities for every state.
+
+    With ``interval=True``, runs interval iteration (a second sequence
+    converging from above) and returns the midpoint, guaranteeing the
+    result is within ``epsilon`` of the true value.
+    """
+    mdp.finalize()
+    targets = set(targets)
+    if not targets:
+        return np.zeros(mdp.num_states)
+    zeros = (prob0_max(mdp, targets) if maximize
+             else prob0_min(mdp, targets))
+    ones = (prob1_max(mdp, targets) if maximize
+            else prob1_min(mdp, targets))
+    values = np.zeros(mdp.num_states)
+    for s in ones:
+        values[s] = 1.0
+    frozen = np.zeros(mdp.num_states, dtype=bool)
+    for s in zeros | ones | targets:
+        frozen[s] = True
+    _iterate(mdp, values, frozen, maximize, epsilon=epsilon)
+    if not interval:
+        return values
+    upper = np.ones(mdp.num_states)
+    for s in zeros:
+        upper[s] = 0.0
+    _iterate(mdp, upper, frozen, maximize, epsilon=epsilon)
+    if np.any(upper + 1e-6 < values):
+        raise AnalysisError("interval iteration bounds crossed")
+    return (values + upper) / 2.0
+
+
+def expected_total_reward(mdp, targets, maximize=True, epsilon=1e-12,
+                          max_iterations=1000000):
+    """Expected reward accumulated until first reaching the target.
+
+    Uses the action rewards attached to the MDP.  States from which the
+    target might never be reached (under the optimising scheduler when
+    maximising, under *some* scheduler when that scheduler is also free
+    to avoid the target) have infinite expected reward, following the
+    standard model-checking semantics.
+    """
+    mdp.finalize()
+    targets = set(targets)
+    certain = (prob1_min(mdp, targets) if maximize
+               else prob1_max(mdp, targets))
+    values = np.zeros(mdp.num_states)
+    infinite = np.zeros(mdp.num_states, dtype=bool)
+    for s in range(mdp.num_states):
+        if s not in certain and s not in targets:
+            infinite[s] = True
+    frozen = np.zeros(mdp.num_states, dtype=bool)
+    for s in targets:
+        frozen[s] = True
+    # Run VI over finite states only: treat infinite states as frozen at
+    # a huge sentinel so they never look attractive when minimising.
+    values[infinite] = np.inf
+    frozen |= infinite
+    # np.inf * 0 = nan; replace inf contributions manually by masking:
+    # we instead run on a copy where inf is a large finite sentinel and
+    # restore afterwards.
+    sentinel = 1e18
+    work = np.where(np.isinf(values), sentinel, values)
+    if not maximize:
+        # Minimising with zero-reward cycles: the least fixpoint can be
+        # too low (a scheduler could "hide" in a free cycle), so iterate
+        # from above, which converges to the optimal proper policy.
+        work = np.where(frozen, work, sentinel / 4)
+        work[list(targets)] = 0.0
+    _iterate(mdp, work, frozen, maximize,
+             rewards=mdp.action_rewards, epsilon=epsilon,
+             max_iterations=max_iterations)
+    result = np.where(work >= sentinel / 2, np.inf, work)
+    return result
+
+
+def bounded_reachability(mdp, targets, steps, maximize=True):
+    """Probability of reaching the target within ``steps`` actions."""
+    mdp.finalize()
+    targets = set(targets)
+    values = np.zeros(mdp.num_states)
+    frozen = np.zeros(mdp.num_states, dtype=bool)
+    for s in targets:
+        values[s] = 1.0
+        frozen[s] = True
+    reduce_actions = np.maximum if maximize else np.minimum
+    for _ in range(steps):
+        contrib = mdp.probs * values[mdp.cols]
+        action_values = np.add.reduceat(contrib, mdp.action_offsets)
+        new_values = reduce_actions.reduceat(
+            action_values, mdp.state_offsets)
+        new_values[frozen] = values[frozen]
+        values = new_values
+    return values

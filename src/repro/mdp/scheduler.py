@@ -1,0 +1,107 @@
+"""Scheduler (policy) extraction and the induced Markov chain.
+
+Value iteration gives the optimal *values*; model-checking users also
+want the optimal *scheduler* — which nondeterministic choice attains
+them (PRISM's adversary export).  The induced chain is an MDP with a
+single action per state, ready for re-analysis or simulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.errors import AnalysisError
+from ..core.rng import ensure_rng
+from .model import MDP
+
+
+def extract_scheduler(mdp, values, maximize=True, targets=(),
+                      use_rewards=False):
+    """The memoryless scheduler attaining ``values``.
+
+    Returns a list: for each state, the index of the chosen action (into
+    ``mdp.actions_of(state)``).  ``use_rewards`` adds the action reward
+    to the backup (for expected-reward policies).
+    """
+    mdp.finalize()
+    targets = set(targets)
+    choice = []
+    for state in range(mdp.num_states):
+        actions = mdp.actions_of(state)
+        best_index = 0
+        best_value = None
+        for index, (_label, pairs, reward) in enumerate(actions):
+            backup = sum(p * values[t] for t, p in pairs)
+            if use_rewards:
+                backup += reward
+            if best_value is None or (
+                    backup > best_value + 1e-12 if maximize
+                    else backup < best_value - 1e-12):
+                best_value = backup
+                best_index = index
+        choice.append(best_index)
+    return choice
+
+
+def induced_chain(mdp, scheduler):
+    """The Markov chain obtained by fixing the scheduler."""
+    mdp.finalize()
+    chain = MDP(f"{mdp.name}-induced")
+    for state in range(mdp.num_states):
+        chain.add_state()
+    for label, states in mdp.labels.items():
+        for state in states:
+            chain.label_state(state, label)
+    for state in range(mdp.num_states):
+        label, pairs, reward = mdp.actions_of(state)[scheduler[state]]
+        chain.add_action(state, [(p, t) for t, p in pairs],
+                         label=label, reward=reward)
+    chain.initial_state = mdp.initial_state
+    return chain
+
+
+def simulate_chain(chain, targets, rng=None, max_steps=100000,
+                   start=None):
+    """One random walk; returns (reached_target, accumulated_reward,
+    steps)."""
+    chain.finalize()
+    rng = ensure_rng(rng)
+    targets = set(targets)
+    state = chain.initial_state if start is None else start
+    total_reward = 0.0
+    for step in range(max_steps):
+        if state in targets:
+            return True, total_reward, step
+        actions = chain.actions_of(state)
+        if len(actions) != 1:
+            raise AnalysisError("simulate_chain needs a Markov chain "
+                                "(one action per state)")
+        _label, pairs, reward = actions[0]
+        total_reward += reward
+        x = rng.random()
+        acc = 0.0
+        next_state = pairs[-1][0]
+        for target, p in pairs:
+            acc += p
+            if x < acc:
+                next_state = target
+                break
+        if next_state == state and state not in targets \
+                and len(pairs) == 1:
+            # Absorbing non-target state: the walk will never move.
+            return False, total_reward, step
+        state = next_state
+    return False, total_reward, max_steps
+
+
+def validate_scheduler(mdp, scheduler, targets, expected_probability,
+                       runs=2000, rng=None, tolerance=0.05):
+    """Monte-Carlo sanity check: the induced chain's empirical
+    reachability matches the computed value within ``tolerance``."""
+    chain = induced_chain(mdp, scheduler)
+    rng = ensure_rng(rng)
+    hits = sum(
+        1 for _ in range(runs)
+        if simulate_chain(chain, targets, rng=rng)[0])
+    empirical = hits / runs
+    return abs(empirical - expected_probability) <= tolerance, empirical

@@ -1,0 +1,32 @@
+"""The paper's case studies as ready-made models.
+
+* :mod:`~repro.models.traingate` — Fig. 1: trains + FIFO gate controller;
+* :mod:`~repro.models.traingame` — Figs. 2-3: the timed game version;
+* :mod:`~repro.models.brp` — Table I: the bounded retransmission protocol;
+* :mod:`~repro.models.dala` — Fig. 6: the DALA rover functional level in BIP;
+* :mod:`~repro.models.busspec` — Section V: testing specifications
+  (FIFO software bus, timed coffee machine).
+"""
+
+from .traingate import make_traingate, train_process_names
+from .traingame import (
+    crossing_predicate,
+    make_traingame,
+    safety_predicate,
+)
+from .brp import make_brp
+from .brp_modest import make_brp_modest
+from .dala import make_dala
+from .fischer import make_broken_fischer, make_fischer
+from .firewire import make_firewire
+from .wcet import make_wcet_model
+from .busspec import make_bus_spec, make_coffee_spec, make_lifo_bus_spec
+
+__all__ = [
+    "make_traingate", "train_process_names",
+    "crossing_predicate", "make_traingame", "safety_predicate",
+    "make_brp", "make_brp_modest", "make_dala",
+    "make_broken_fischer", "make_fischer", "make_firewire",
+    "make_wcet_model",
+    "make_bus_spec", "make_coffee_spec", "make_lifo_bus_spec",
+]

@@ -1,0 +1,218 @@
+"""The Bounded Retransmission Protocol (BRP) as a network of PTA.
+
+The paper's Table I analyses the BRP with parameters
+``(N, MAX, TD) = (16, 2, 1)``: ``N`` frames per file, at most ``MAX``
+retransmissions per frame, and a channel transmission delay of up to
+``TD`` time units.  Following the classic models (Helmink et al.;
+D'Argenio et al., TACAS'97; the PRISM case study) the data channel
+loses a frame with probability 0.02 and the ack channel loses an ack
+with probability 0.01 — Fig. 5 of the paper shows the 2% data channel
+in MODEST syntax.
+
+Processes:
+
+* ``Sender`` — sends frame ``i`` (1..N), waits for the ack with a
+  timeout of ``2*TD + 1``; on timeout retransmits up to MAX times, then
+  reports NOK (frame lost mid-file) or DK ("don't know", last frame);
+  after the last ack reports OK.
+* ``ChannelK`` / ``ChannelL`` — lossy channels with a nondeterministic
+  transmission delay in ``[0, TD]``.
+* ``Receiver`` — acknowledges every received frame and tracks how much
+  of the file arrived.
+
+Shared variables expose the observables used by Table I's properties:
+``premature`` (a timeout fired while a frame/ack was still in transit,
+property TA1), ``r_count`` (frames received, properties TA2/PA/PB).
+"""
+
+from __future__ import annotations
+
+from ..core.values import Declarations
+from ..pta.pta import PTA, PTANetwork
+from ..ta.syntax import clk
+
+
+def _sender(n_frames, max_retrans, timeout):
+    s = PTA("Sender", clocks=["x"])
+    s.add_location("send_frame", urgent=True)
+    s.add_location("wait_ack", invariant=[clk("x", "<=", timeout)])
+    s.add_location("frame_acked", urgent=True)
+    s.add_location("s_ok")
+    s.add_location("s_nok")
+    s.add_location("s_dk")
+    s.initial_location = "send_frame"
+
+    # Emit the current frame into channel K.
+    s.add_edge("send_frame", "wait_ack", sync=("put_k", "!"),
+               resets=[("x", 0)])
+
+    # The ack arrives in time.
+    s.add_edge("wait_ack", "frame_acked", sync=("ack_arrive", "?"))
+    s.add_edge(
+        "frame_acked", "send_frame",
+        data_guard=lambda env, n=n_frames: env["i"] < n,
+        update=[lambda env: env.__setitem__("i", env["i"] + 1),
+                lambda env: env.__setitem__("rc", 0)])
+    s.add_edge(
+        "frame_acked", "s_ok",
+        data_guard=lambda env, n=n_frames: env["i"] == n)
+
+    def note_premature(env):
+        if env["k_busy"] or env["l_busy"]:
+            env["premature"] = True
+
+    # Timeout: retransmit while retries remain.
+    s.add_edge(
+        "wait_ack", "send_frame", guard=[clk("x", ">=", timeout)],
+        data_guard=lambda env, m=max_retrans: env["rc"] < m,
+        update=[note_premature,
+                lambda env: env.__setitem__("rc", env["rc"] + 1)])
+    # Retries exhausted mid-file: failure (NOK).
+    s.add_edge(
+        "wait_ack", "s_nok", guard=[clk("x", ">=", timeout)],
+        data_guard=lambda env, m=max_retrans, n=n_frames:
+            env["rc"] == m and env["i"] < n,
+        update=[note_premature])
+    # Retries exhausted on the last frame: "don't know" (DK).
+    s.add_edge(
+        "wait_ack", "s_dk", guard=[clk("x", ">=", timeout)],
+        data_guard=lambda env, m=max_retrans, n=n_frames:
+            env["rc"] == m and env["i"] == n,
+        update=[note_premature])
+    return s
+
+
+def _channel(name, in_channel, out_channel, loss_probability, td, busy_flag):
+    c = PTA(name, clocks=["c"])
+    c.add_location("empty")
+    c.add_location("transit", invariant=[clk("c", "<=", td)])
+    c.initial_location = "empty"
+
+    def set_busy(env):
+        env[busy_flag] = True
+
+    def clear_busy(env):
+        env[busy_flag] = False
+
+    # Fig. 5: accept a message; it is delivered with probability
+    # 1 - loss or lost outright.
+    c.add_prob_edge(
+        "empty",
+        [(1.0 - loss_probability, "transit", [("c", 0)], [set_busy]),
+         (loss_probability, "empty", (), ())],
+        sync=(in_channel, "?"))
+    # Delivery after a nondeterministic delay of up to td.
+    c.add_edge("transit", "empty", sync=(out_channel, "!"),
+               update=[clear_busy])
+    return c
+
+
+def _receiver(n_frames):
+    r = PTA("Receiver", clocks=[])
+    r.add_location("wait")
+    r.add_location("reply", urgent=True)
+    r.initial_location = "wait"
+
+    def record_frame(env):
+        env["r_count"] = max(env["r_count"], env["i"])
+
+    r.add_edge("wait", "reply", sync=("frame_arrive", "?"),
+               update=[record_frame])
+    r.add_edge("reply", "wait", sync=("put_l", "!"))
+    return r
+
+
+def _watch():
+    """A passive process owning the global deadline clock ``t``."""
+    w = PTA("Watch", clocks=["t"])
+    w.add_location("run")
+    return w
+
+
+def make_brp(n_frames=16, max_retrans=2, td=1, with_deadline_clock=False):
+    """Build the BRP network; paper parameters are the defaults.
+
+    ``with_deadline_clock`` adds a global clock (process ``Watch``) used
+    by the time-bounded property Dmax — it enlarges the state space, so
+    it is off by default.
+    """
+    timeout = 2 * td + 1
+    network = PTANetwork(f"brp-N{n_frames}-MAX{max_retrans}-TD{td}")
+    decls = Declarations()
+    decls.declare_int("i", 1, 1, n_frames)        # current frame
+    decls.declare_int("rc", 0, 0, max_retrans)    # retransmission count
+    decls.declare_int("r_count", 0, 0, n_frames)  # frames received
+    decls.declare_bool("premature", False)        # TA1 observable
+    decls.declare_bool("k_busy", False)
+    decls.declare_bool("l_busy", False)
+    network.declarations = decls
+
+    for channel in ("put_k", "frame_arrive", "put_l", "ack_arrive"):
+        network.add_channel(channel)
+
+    network.add_process("Sender", _sender(n_frames, max_retrans, timeout))
+    network.add_process(
+        "ChannelK",
+        _channel("ChannelK", "put_k", "frame_arrive", 0.02, td, "k_busy"))
+    network.add_process("Receiver", _receiver(n_frames))
+    network.add_process(
+        "ChannelL",
+        _channel("ChannelL", "put_l", "ack_arrive", 0.01, td, "l_busy"))
+    if with_deadline_clock:
+        network.add_process("Watch", _watch())
+    return network.freeze()
+
+
+# -- the Table I properties, as predicates over digital states ----------------
+
+def sender_in(location_name):
+    def predicate(names, _valuation, _clocks):
+        return names[0] == location_name
+    return predicate
+
+
+def reported(names, _valuation, _clocks):
+    """The transfer finished: the sender reported OK, NOK or DK."""
+    return names[0] in ("s_ok", "s_nok", "s_dk")
+
+
+def not_success(names, _valuation, _clocks):
+    """P1: the sender does not report a successful transmission."""
+    return names[0] in ("s_nok", "s_dk")
+
+
+def uncertainty(names, _valuation, _clocks):
+    """P2: the sender reports uncertainty (don't know)."""
+    return names[0] == "s_dk"
+
+
+def premature_timeout(_names, valuation, _clocks):
+    """TA1 violation: a timeout fired while the channels were busy."""
+    return bool(valuation["premature"])
+
+
+def bogus_success(n_frames):
+    """TA2/PA violation: OK reported although the receiver missed
+    frames."""
+    def predicate(names, valuation, _clocks):
+        return names[0] == "s_ok" and valuation["r_count"] < n_frames
+    return predicate
+
+
+def bogus_failure(n_frames):
+    """PB violation: NOK reported although the receiver has the whole
+    file."""
+    def predicate(names, valuation, _clocks):
+        return names[0] == "s_nok" and valuation["r_count"] == n_frames
+    return predicate
+
+
+def success_within(deadline, network):
+    """Dmax target: OK reported and the global clock within the
+    deadline (requires ``with_deadline_clock=True``)."""
+    watch = network.process_by_name("Watch")
+    t_index = watch.resolve_clock("t")
+
+    def predicate(names, _valuation, clocks):
+        return names[0] == "s_ok" and clocks[t_index] <= deadline
+    return predicate

@@ -1,0 +1,121 @@
+"""The Bounded Retransmission Protocol written in MODEST.
+
+Section III of the paper analyses the BRP from a MODEST model whose
+channel process is shown in Fig. 5 ("The full model is available as
+part of the MODEST TOOLSET download").  This module provides a full
+MODEST-source BRP for *this* toolset: the channel processes are the
+Fig. 5 code verbatim (with 2% frame loss and 1% ack loss), and sender
+and receiver implement the same protocol as the hand-built PTA network
+in :mod:`repro.models.brp` — so the two models must agree, which the
+test suite checks.
+
+Timing conventions (as in the PTA model): transmission delay in
+``[0, TD]``, sender timeout ``TO = 2*TD + 1``, instantaneous
+retransmission and acknowledgement (enforced with zero-invariants).
+"""
+
+from __future__ import annotations
+
+from ..modest.flatten import flatten_model
+from ..modest.parser import parse_modest
+
+MODEST_BRP_TEMPLATE = """
+// The Bounded Retransmission Protocol, after Helmink et al. and
+// D'Argenio et al.; channels as in Fig. 5 of the paper.
+
+const int N = {n};        // frames per file
+const int MAX = {max_retrans};  // retransmissions per frame
+const int TD = {td};      // maximal transmission delay
+const int TO = {to};      // sender timeout (2*TD + 1)
+
+int i = 1;                // current frame
+int rc = 0;               // retransmission counter
+int rcount = 0;           // frames seen by the receiver
+bool ok = false;          // sender reported success
+bool nok = false;         // sender reported failure
+bool dk = false;          // sender reported "don't know"
+
+process Sender() {{
+  clock x;
+  do {{
+    :: invariant(x <= 0) put_k {{= x = 0 =}};
+       invariant(x <= TO) alt {{
+         :: ack_arrive;
+            alt {{
+              :: when(i < N)
+                 {{= i = i + 1, rc = 0, x = 0 =}}
+              :: when(i == N)
+                 {{= ok = true =}}; stop
+            }}
+         :: when(x >= TO && rc < MAX)
+            tau {{= rc = rc + 1, x = 0 =}}
+         :: when(x >= TO && rc == MAX && i < N)
+            give_up {{= nok = true =}}; stop
+         :: when(x >= TO && rc == MAX && i == N)
+            give_up {{= dk = true =}}; stop
+       }}
+  }}
+}}
+
+process ChannelK() {{
+  clock c;
+  put_k palt {{
+  :98: {{= c = 0 =}};
+     // transmission delay of
+     // up to TD time units
+     invariant(c <= TD) frame_arrive
+  : 2: {{==}} // message lost
+  }}; ChannelK()
+}}
+
+process Receiver() {{
+  clock r;
+  do {{
+    :: frame_arrive {{= rcount = i, r = 0 =}};
+       invariant(r <= 0) put_l
+  }}
+}}
+
+process ChannelL() {{
+  clock c;
+  put_l palt {{
+  :99: {{= c = 0 =}};
+     invariant(c <= TD) ack_arrive
+  : 1: {{==}} // ack lost
+  }}; ChannelL()
+}}
+
+par {{ :: Sender() :: ChannelK() :: Receiver() :: ChannelL() }}
+"""
+
+
+def brp_modest_source(n=16, max_retrans=2, td=1):
+    """The MODEST source text for the given parameters."""
+    return MODEST_BRP_TEMPLATE.format(
+        n=n, max_retrans=max_retrans, td=td, to=2 * td + 1)
+
+
+def make_brp_modest(n=16, max_retrans=2, td=1):
+    """Parse + flatten the MODEST BRP into a PTA network."""
+    return flatten_model(parse_modest(brp_modest_source(n, max_retrans,
+                                                        td)))
+
+
+# -- property predicates (same shapes as repro.models.brp) ---------------------
+
+def reported(names, valuation, clocks):
+    return bool(valuation["ok"] or valuation["nok"] or valuation["dk"])
+
+
+def not_success(names, valuation, clocks):
+    return bool(valuation["nok"] or valuation["dk"])
+
+
+def uncertainty(names, valuation, clocks):
+    return bool(valuation["dk"])
+
+
+def bogus_success(n):
+    def predicate(names, valuation, clocks):
+        return bool(valuation["ok"]) and valuation["rcount"] < n
+    return predicate

@@ -1,0 +1,138 @@
+"""Specification models for the model-based-testing experiments
+(paper, Section V — ioco tools have been applied to a software bus and
+similar message-passing systems).
+
+Two specifications:
+
+* :func:`make_bus_spec` — an LTS of a FIFO software bus with
+  subscription: published messages are delivered, in order, while
+  subscribed; the queue holds at most ``capacity`` messages (extra
+  publications are dropped).
+* :func:`make_coffee_spec` — a timed specification for the TRON-style
+  online tester: after a coin, coffee must appear after 2 to 4 time
+  units (and not before, and not never).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from ..mbt.lts import LTS
+from ..ta.network import Network
+from ..ta.syntax import Automaton, clk
+
+MESSAGES = ("a", "b")
+
+
+def make_bus_spec(capacity=2):
+    """The FIFO bus specification as an input-enabled LTS."""
+    inputs = ["subscribe", "unsubscribe"] + [
+        f"publish_{m}" for m in MESSAGES]
+    outputs = [f"deliver_{m}" for m in MESSAGES]
+    spec = LTS("fifobus", inputs=inputs, outputs=outputs)
+
+    def queue_states(length):
+        return ["".join(q) for q in product(MESSAGES, repeat=length)]
+
+    spec.add_state("off")
+    all_queues = [q for length in range(capacity + 1)
+                  for q in queue_states(length)]
+    for queue in all_queues:
+        spec.add_state(f"on:{queue}")
+    spec.initial = "off"
+
+    spec.add_transition("off", "subscribe", "on:")
+    for queue in all_queues:
+        state = f"on:{queue}"
+        spec.add_transition(state, "unsubscribe", "off")
+        for message in MESSAGES:
+            if len(queue) < capacity:
+                spec.add_transition(state, f"publish_{message}",
+                                    f"on:{queue}{message}")
+            else:
+                spec.add_transition(state, f"publish_{message}", state)
+        if queue:
+            spec.add_transition(state, f"deliver_{queue[0]}",
+                                f"on:{queue[1:]}")
+    return spec.make_input_enabled()
+
+
+def make_lifo_bus_spec(capacity=2):
+    """The *mutant* behaviour as a model (LIFO delivery) — used to show
+    ioco distinguishes it from the FIFO specification."""
+    spec = make_bus_spec(capacity)
+    mutant = LTS("lifobus", inputs=spec.inputs, outputs=spec.outputs)
+    for state in spec.states:
+        mutant.add_state(state)
+    mutant.initial = spec.initial
+    for state in spec.states:
+        for label, target in spec.transitions_from(state):
+            if label.startswith("deliver_") and state.startswith("on:"):
+                queue = state[3:]
+                if queue:
+                    # Deliver the most recent message instead.
+                    mutant.add_transition(
+                        state, f"deliver_{queue[-1]}",
+                        f"on:{queue[:-1]}")
+            else:
+                mutant.add_transition(state, label, target)
+    return mutant
+
+
+def make_coffee_spec():
+    """Timed specification: coin -> coffee within [2, 4] time units.
+
+    Edge labels: input ``coin`` (tester), output ``coffee`` (IUT).
+    """
+    machine = Automaton("Coffee", clocks=["x"])
+    machine.add_location("idle")
+    machine.add_location("brewing", invariant=[clk("x", "<=", 4)])
+    machine.add_edge("idle", "brewing", label="coin", resets=[("x", 0)])
+    machine.add_edge("brewing", "idle", guard=[clk("x", ">=", 2)],
+                     label="coffee")
+    network = Network("coffee")
+    network.add_process("M", machine)
+    return network.freeze()
+
+
+class CoffeeMachine:
+    """A correct implementation of the coffee specification
+    (:class:`repro.mbt.TimedIUTAdapter` contract; virtual time)."""
+
+    def __init__(self, brew_time=3):
+        if not (2 <= brew_time <= 4):
+            raise ValueError("a correct machine brews within [2, 4]")
+        self.brew_time = brew_time
+        self.reset()
+
+    def reset(self):
+        self.remaining = None
+
+    def give_input(self, label):
+        if label == "coin" and self.remaining is None:
+            self.remaining = self.brew_time
+
+    def advance(self):
+        if self.remaining is None:
+            return []
+        self.remaining -= 1
+        if self.remaining <= 0:
+            self.remaining = None
+            return ["coffee"]
+        return []
+
+
+class SlowCoffeeMachine(CoffeeMachine):
+    """Mutant: brews in 6 time units — violates the deadline."""
+
+    def __init__(self):
+        self.brew_time = 6
+        self.reset()
+
+
+class EagerCoffeeMachine(CoffeeMachine):
+    """Mutant: serves instantly — too early for the specification."""
+
+    def __init__(self):
+        self.brew_time = 1
+        self.reset()

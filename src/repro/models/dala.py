@@ -1,0 +1,203 @@
+"""A synthetic DALA rover functional level in BIP (paper, Fig. 6).
+
+The paper reports rebuilding the functional and execution-control level
+of the DALA autonomous rover with BIP: modules (navigation, locomotion,
+communication, science instruments, position manager) are atomic
+components, composed hierarchically; an execution controller (R2C)
+synthesised from the safety requirements *enforces them by
+construction*; fault-injection experiments show the controller stops
+the robot from reaching unsafe states.
+
+This model reproduces that experiment's *shape* (see DESIGN.md): the
+actual GenoM module code is proprietary to LAAS, so the modules here
+are small protocol skeletons exercising the identical BIP machinery —
+hierarchical composition with exported ports, rendezvous connectors,
+a broadcast poster refresh, priorities, D-Finder verification and
+engine runs under fault injection.
+
+Safety requirement (the classic DALA rule): **the antenna must never
+communicate while the robot is moving**.
+"""
+
+from __future__ import annotations
+
+from ..bip.component import AtomicComponent
+from ..bip.connector import Connector
+from ..bip.system import Composite, flatten
+
+
+def make_ndd():
+    """Navigation module: plans, then drives the robot."""
+    ndd = AtomicComponent("NDD", ports=["plan", "exec", "done"])
+    ndd.add_place("idle")
+    ndd.add_place("planning")
+    ndd.add_place("driving")
+    ndd.add_transition("plan", "idle", "planning")
+    ndd.add_transition("exec", "planning", "driving")
+    ndd.add_transition("done", "driving", "idle")
+    return ndd
+
+
+def make_rflex(counter_bound=100):
+    """Locomotion module: wheels either stopped or moving; counts
+    missions driven (wrap-around counter to keep the state space
+    finite)."""
+    rflex = AtomicComponent("RFLEX", ports=["go", "halt"])
+    rflex.add_place("stopped")
+    rflex.add_place("moving")
+    rflex.declare_int("missions", 0, 0, counter_bound - 1)
+
+    def count(env):
+        env["missions"] = (env["missions"] + 1) % counter_bound
+
+    rflex.add_transition("go", "stopped", "moving")
+    rflex.add_transition("halt", "moving", "stopped", update=count)
+    return rflex
+
+
+def make_antenna():
+    """Communication module: requests a window, transmits, finishes."""
+    antenna = AtomicComponent(
+        "Antenna", ports=["req", "comm_start", "comm_end"])
+    antenna.add_place("off")
+    antenna.add_place("want")
+    antenna.add_place("comm")
+    antenna.add_transition("req", "off", "want")
+    antenna.add_transition("comm_start", "want", "comm")
+    antenna.add_transition("comm_end", "comm", "off")
+    return antenna
+
+
+def make_science():
+    """Science instrument: measurements, freely interleaved."""
+    science = AtomicComponent("Science", ports=["m_start", "m_end"])
+    science.add_place("idle")
+    science.add_place("measuring")
+    science.add_transition("m_start", "idle", "measuring")
+    science.add_transition("m_end", "measuring", "idle")
+    return science
+
+
+def make_pom(counter_bound=100):
+    """Position manager: refreshes its poster continuously (broadcast
+    to interested modules)."""
+    pom = AtomicComponent("POM", ports=["refresh"])
+    pom.add_place("run")
+    pom.declare_int("ticks", 0, 0, counter_bound - 1)
+
+    def tick(env):
+        env["ticks"] = (env["ticks"] + 1) % counter_bound
+
+    pom.add_transition("refresh", "run", "run", update=tick)
+    return pom
+
+
+def make_r2c():
+    """The execution controller: grants motion or communication, never
+    both — the safety rule holds by construction of this component."""
+    r2c = AtomicComponent("R2C", ports=[
+        "grant_move", "release_move", "grant_comm", "release_comm"])
+    r2c.add_place("free")
+    r2c.add_place("moving_mode")
+    r2c.add_place("comm_mode")
+    r2c.add_transition("grant_move", "free", "moving_mode")
+    r2c.add_transition("release_move", "moving_mode", "free")
+    r2c.add_transition("grant_comm", "free", "comm_mode")
+    r2c.add_transition("release_comm", "comm_mode", "free")
+    return r2c
+
+
+def make_functional_level(counter_bound=100):
+    """The functional level as a composite exporting its control ports."""
+    functional = Composite("functional")
+    functional.add_child(make_ndd())
+    functional.add_child(make_rflex(counter_bound))
+    functional.add_child(make_antenna())
+    functional.add_child(make_science())
+    functional.add_child(make_pom(counter_bound))
+
+    # Internal connectors: planning, science, antenna requests and the
+    # poster refresh broadcast (POM triggers; Science listens when idle).
+    functional.add_connector(Connector("c_plan", [("NDD", "plan")]))
+    functional.add_connector(Connector("c_req", [("Antenna", "req")]))
+    functional.add_connector(Connector(
+        "c_refresh", [("POM", "refresh"), ("Science", "m_start")],
+        trigger=("POM", "refresh")))
+    functional.add_connector(Connector("c_m_end", [("Science", "m_end")]))
+
+    # Exported control ports for the execution-control level.
+    functional.export("move_start", "NDD", "exec")
+    functional.export("move_end", "NDD", "done")
+    functional.export("wheels_go", "RFLEX", "go")
+    functional.export("wheels_halt", "RFLEX", "halt")
+    functional.export("comm_start", "Antenna", "comm_start")
+    functional.export("comm_end", "Antenna", "comm_end")
+    return functional
+
+
+def make_dala(with_controller=True, counter_bound=100):
+    """The rover: functional level + (optionally) the R2C controller.
+
+    With the controller, motion and communication grants pass through
+    R2C, which excludes them mutually; without it (the fault-injection
+    baseline) the same module ports fire unguarded.  Returns the
+    *flattened* system, exercising the source-to-source transformation.
+    """
+    robot = Composite("dala")
+    functional = robot.add_child(make_functional_level(counter_bound))
+
+    if with_controller:
+        robot.add_child(make_r2c())
+        robot.add_connector(Connector(
+            "c_go", [("functional", "move_start"),
+                     ("functional", "wheels_go"),
+                     ("R2C", "grant_move")]))
+        robot.add_connector(Connector(
+            "c_halt", [("functional", "move_end"),
+                       ("functional", "wheels_halt"),
+                       ("R2C", "release_move")]))
+        robot.add_connector(Connector(
+            "c_comm_start", [("functional", "comm_start"),
+                             ("R2C", "grant_comm")]))
+        robot.add_connector(Connector(
+            "c_comm_end", [("functional", "comm_end"),
+                           ("R2C", "release_comm")]))
+        # Scheduling policy: releases take priority over new grants, so
+        # the rover finishes an activity before starting the next.
+        robot.add_priority("c_go", "c_halt")
+        robot.add_priority("c_comm_start", "c_halt")
+    else:
+        robot.add_connector(Connector(
+            "c_go", [("functional", "move_start"),
+                     ("functional", "wheels_go")]))
+        robot.add_connector(Connector(
+            "c_halt", [("functional", "move_end"),
+                       ("functional", "wheels_halt")]))
+        robot.add_connector(Connector(
+            "c_comm_start", [("functional", "comm_start")]))
+        robot.add_connector(Connector(
+            "c_comm_end", [("functional", "comm_end")]))
+    return flatten(robot)
+
+
+def unsafe(state, system=None):
+    """The safety violation: communicating while moving."""
+    # Flattened names: functional/RFLEX, functional/Antenna.
+    places = dict(zip(("functional/NDD", "functional/RFLEX",
+                       "functional/Antenna", "functional/Science",
+                       "functional/POM", "R2C"), state.places))
+    return (places.get("functional/RFLEX") == "moving"
+            and places.get("functional/Antenna") == "comm")
+
+
+def safety_invariant(state):
+    return not unsafe(state)
+
+
+def comm_request_fault(engine, step_index):
+    """Fault injector: the antenna spuriously requests communication
+    every few cycles, whatever the rover is doing."""
+    if step_index % 3 == 0:
+        index = engine.system.component_index("functional/Antenna")
+        if engine.state.places[index] == "off":
+            engine.inject_place("functional/Antenna", "want")

@@ -1,0 +1,88 @@
+"""IEEE 1394 (FireWire) root contention — abstract PTA model.
+
+The paper's Section III notes that, beyond the BRP, the mcpta approach
+was applied to "protocols that ... are inherently probabilistic due to
+the use of randomized schemes to resolve contention".  Root contention
+is the canonical such protocol: two nodes each flip a coin; on *fast*
+they answer quickly, on *slow* they wait longer; equal coins clash and
+the round repeats, different coins elect a root.
+
+This is the classic abstract model (after Stoelinga's `Impl` /
+PRISM's `abst`), with timing scaled to small integers: fast delay in
+``[FAST_MIN, FAST_MAX]``, slow delay in ``[SLOW_MIN, SLOW_MAX]`` with
+``SLOW_MIN > FAST_MAX`` (the standard's separation property).  The
+numbers of interest:
+
+* Pmin(root elected eventually) = 1 — the scheme terminates a.s.;
+* per-round success probability 1/2, so the expected number of rounds
+  is 2 and the expected election time is finite;
+* the probability of election within a deadline grows with the bound.
+"""
+
+from __future__ import annotations
+
+from ..pta.pta import PTA, PTANetwork
+from ..ta.syntax import clk
+
+FAST_MIN, FAST_MAX = 1, 2
+SLOW_MIN, SLOW_MAX = 4, 5
+
+
+def make_firewire(with_deadline_clock=False):
+    """The two-node root-contention abstraction as a PTA network.
+
+    A single automaton models the joint coin flip (the standard
+    abstraction): each round the pair of coins is resolved into
+    "clash" (equal, probability 1/2) or "elect" (different, 1/2),
+    and the corresponding fast/slow waiting windows elapse.
+    """
+    contention = PTA("RC", clocks=["x"])
+    contention.add_location("start", urgent=True)
+    # Coin outcomes: ff/ss clash (both fast / both slow); fs elects.
+    contention.add_location("clash_fast",
+                            invariant=[clk("x", "<=", FAST_MAX)])
+    contention.add_location("clash_slow",
+                            invariant=[clk("x", "<=", SLOW_MAX)])
+    contention.add_location("elect_wait",
+                            invariant=[clk("x", "<=", SLOW_MAX)])
+    contention.add_location("done")
+    contention.initial_location = "start"
+
+    contention.add_prob_edge(
+        "start",
+        [(0.25, "clash_fast", [("x", 0)]),
+         (0.25, "clash_slow", [("x", 0)]),
+         (0.5, "elect_wait", [("x", 0)])],
+        label="flip")
+    # Clashes retry after the waiting window.
+    contention.add_edge("clash_fast", "start",
+                        guard=[clk("x", ">=", FAST_MIN)],
+                        resets=[("x", 0)], label="retry")
+    contention.add_edge("clash_slow", "start",
+                        guard=[clk("x", ">=", SLOW_MIN)],
+                        resets=[("x", 0)], label="retry")
+    # Differing coins: the slow node wins after its window.
+    contention.add_edge("elect_wait", "done",
+                        guard=[clk("x", ">=", FAST_MIN)],
+                        label="root")
+
+    network = PTANetwork("firewire-rc")
+    network.add_process("RC", contention)
+    if with_deadline_clock:
+        watch = PTA("Watch", clocks=["t"])
+        watch.add_location("run")
+        network.add_process("Watch", watch)
+    return network.freeze()
+
+
+def elected(names, _valuation, _clocks):
+    return names[0] == "done"
+
+
+def elected_within(deadline, network):
+    watch = network.process_by_name("Watch")
+    t_index = watch.resolve_clock("t")
+
+    def predicate(names, _valuation, clocks):
+        return names[0] == "done" and clocks[t_index] <= deadline
+    return predicate

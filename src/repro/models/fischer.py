@@ -1,0 +1,75 @@
+"""Fischer's real-time mutual exclusion protocol.
+
+The canonical timed-automata benchmark (shipped with UPPAAL and used
+throughout the literature the paper surveys): ``n`` processes guard a
+critical section with one shared variable and real-time constraints
+only.  Correctness hinges on the timing: a process writes its id within
+``k`` time units of requesting and may only enter the critical section
+strictly later than ``k`` after writing, which guarantees every
+competitor's write has landed.
+
+``make_fischer(n, k)`` builds the correct protocol;
+``make_broken_fischer`` omits the lower time bound — the classic bug —
+and the model checker finds the mutual-exclusion violation.
+"""
+
+from __future__ import annotations
+
+from ..core.values import Declarations
+from ..ta.network import Network
+from ..ta.syntax import Automaton, clk
+
+
+def _process(pid, k, broken=False):
+    automaton = Automaton(f"Fischer{pid}", clocks=["x"])
+    automaton.add_location("idle")
+    automaton.add_location("req", invariant=[clk("x", "<=", k)])
+    automaton.add_location("wait")
+    automaton.add_location("cs")
+    automaton.initial_location = "idle"
+
+    def lock_free(env):
+        return env["id"] == 0
+
+    def holds_lock(env, pid=pid):
+        return env["id"] == pid
+
+    def take_lock(env, pid=pid):
+        env["id"] = pid
+
+    def release_lock(env):
+        env["id"] = 0
+
+    automaton.add_edge("idle", "req", data_guard=lock_free,
+                       resets=[("x", 0)])
+    automaton.add_edge("req", "wait", guard=[clk("x", "<=", k)],
+                       update=[take_lock], resets=[("x", 0)])
+    enter_guard = [] if broken else [clk("x", ">", k)]
+    automaton.add_edge("wait", "cs", guard=enter_guard,
+                       data_guard=holds_lock)
+    automaton.add_edge("wait", "req", data_guard=lock_free,
+                       resets=[("x", 0)])
+    automaton.add_edge("cs", "idle", update=[release_lock])
+    return automaton
+
+
+def make_fischer(n=3, k=2, broken=False):
+    """``n`` Fischer processes sharing the lock variable ``id``."""
+    network = Network(f"fischer-{n}{'-broken' if broken else ''}")
+    decls = Declarations()
+    decls.declare_int("id", 0, 0, n)
+    network.declarations = decls
+    for pid in range(1, n + 1):
+        network.add_process(f"P({pid})", _process(pid, k, broken))
+    return network.freeze()
+
+
+def make_broken_fischer(n=3, k=2):
+    """The classic incorrect variant (no lower bound on entering)."""
+    return make_fischer(n, k, broken=True)
+
+
+def mutual_exclusion_query(n):
+    """``A[]`` at most one process in the critical section."""
+    return ("A[] forall (i : 1..{n}) forall (j : 1..{n}) "
+            "P(i).cs && P(j).cs imply i == j").format(n=n)

@@ -1,0 +1,77 @@
+"""Python implementations of the train-gate controller, for online
+timed testing against :func:`repro.models.traingate.make_gate_spec`.
+
+The correct :class:`GateController` mirrors Fig. 1(b)/(c): a FIFO queue
+of approaching trains; a train approaching an occupied bridge is
+stopped immediately; when the crossing train leaves, the next queued
+train is restarted.  The mutants implement classic controller bugs.
+
+All classes follow the :class:`repro.mbt.TimedIUTAdapter` contract
+(virtual time: ``give_input`` at an instant, ``advance`` one unit
+returning the outputs emitted during it).
+"""
+
+from __future__ import annotations
+
+
+class GateController:
+    """The correct controller implementation."""
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self):
+        self.queue = []
+        self.pending = []   # outputs to emit in the current unit
+
+    # -- protocol ----------------------------------------------------------
+
+    def give_input(self, label):
+        kind, _sep, number = label.partition("_")
+        train = int(number)
+        if kind == "appr":
+            occupied = bool(self.queue)
+            self.queue.append(train)
+            if occupied:
+                self.pending.append(f"stop_{self._stop_target()}")
+        elif kind == "leave":
+            if self.queue and self.queue[0] == train:
+                self.queue.pop(0)
+                if self.queue:
+                    self.pending.append(f"go_{self._go_target()}")
+
+    def advance(self):
+        outputs, self.pending = self.pending, []
+        return outputs
+
+    # -- the decisions the mutants get wrong --------------------------------
+
+    def _stop_target(self):
+        return self.queue[-1]   # stop the newly arrived train (tail)
+
+    def _go_target(self):
+        return self.queue[0]    # restart the longest-waiting (front)
+
+
+class LifoGateController(GateController):
+    """Mutant: restarts the most recent train instead of the first —
+    the queue discipline bug ioco testing is built to catch."""
+
+    def _go_target(self):
+        return self.queue[-1]
+
+
+class SleepyGateController(GateController):
+    """Mutant: never stops an approaching train — the committed
+    ``Stopping`` location's deadline is missed."""
+
+    def give_input(self, label):
+        kind, _sep, number = label.partition("_")
+        train = int(number)
+        if kind == "appr":
+            self.queue.append(train)  # forgets to emit stop
+        elif kind == "leave":
+            if self.queue and self.queue[0] == train:
+                self.queue.pop(0)
+                if self.queue:
+                    self.pending.append(f"go_{self._go_target()}")

@@ -1,0 +1,199 @@
+"""The train crossing example of the paper (Fig. 1).
+
+A number of trains approach a one-track bridge on their own tracks; a
+controller stops and restarts trains so at most one crosses at a time.
+The controller keeps a FIFO queue of stopped trains implemented with the
+C-like code of Fig. 1c, reproduced below as Python callables operating
+on the shared variables ``list``/``len`` — exactly UPPAAL's modelling
+style.
+
+UPPAAL channel arrays (``appr[id]``, ``go[id]`` ...) are expanded into
+one channel per train (``appr_0``, ``appr_1`` ...), and the controller's
+``select e : id_t`` edges into one edge per train id.
+"""
+
+from __future__ import annotations
+
+from ..core.values import Declarations
+from ..ta.network import Network
+from ..ta.syntax import Automaton, clk
+
+
+def make_train(train_id, n_trains):
+    """The train template of Fig. 1(a), instantiated for ``train_id``.
+
+    The SMC rate of the Safe location is ``1 + id`` as in the paper's
+    performance-analysis section (II-c).
+    """
+    train = Automaton(f"Train{train_id}", clocks=["x"])
+    train.add_location("Safe", rate=1 + train_id)
+    train.add_location("Appr", invariant=[clk("x", "<=", 20)])
+    train.add_location("Stop")
+    train.add_location("Start", invariant=[clk("x", "<=", 15)])
+    train.add_location("Cross", invariant=[clk("x", "<=", 5)])
+    train.initial_location = "Safe"
+
+    train.add_edge("Safe", "Appr", sync=(f"appr_{train_id}", "!"),
+                   resets=[("x", 0)])
+    # The controller may stop the train during the first 10 time units.
+    train.add_edge("Appr", "Stop", guard=[clk("x", "<=", 10)],
+                   sync=(f"stop_{train_id}", "?"), resets=[("x", 0)])
+    train.add_edge("Appr", "Cross", guard=[clk("x", ">=", 10)],
+                   resets=[("x", 0)])
+    train.add_edge("Stop", "Start", sync=(f"go_{train_id}", "?"),
+                   resets=[("x", 0)])
+    train.add_edge("Start", "Cross", guard=[clk("x", ">=", 7)],
+                   resets=[("x", 0)])
+    train.add_edge("Cross", "Safe", guard=[clk("x", ">=", 3)],
+                   sync=(f"leave_{train_id}", "!"), resets=[("x", 0)])
+    return train
+
+
+# -- the controller's C-like queue code (Fig. 1c) -----------------------------
+
+def enqueue(env, element):
+    lst = list(env["list"])
+    length = env["len"]
+    lst[length] = element
+    env["list"] = tuple(lst)
+    env["len"] = length + 1
+
+
+def dequeue(env):
+    lst = list(env["list"])
+    length = env["len"] - 1
+    for i in range(length):
+        lst[i] = lst[i + 1]
+    lst[length] = 0
+    env["list"] = tuple(lst)
+    env["len"] = length
+
+
+def front(env):
+    return env["list"][0]
+
+
+def tail(env):
+    return env["list"][env["len"] - 1]
+
+
+def make_controller(n_trains):
+    """The controller template of Fig. 1(b).
+
+    ``Free`` / ``Occ`` track whether the bridge is free or occupied; a
+    committed location (``Stopping``) immediately stops a train that
+    approaches an occupied bridge.
+    """
+    gate = Automaton("Gate")
+    gate.add_location("Free")
+    gate.add_location("Occ")
+    gate.add_location("Stopping", committed=True)
+    gate.initial_location = "Free"
+
+    for e in range(n_trains):
+        # Free: a train approaches an empty bridge (len == 0) -> enqueue.
+        gate.add_edge(
+            "Free", "Occ",
+            data_guard=lambda env: env["len"] == 0,
+            sync=(f"appr_{e}", "?"),
+            update=[lambda env, e=e: enqueue(env, e)])
+        # Free: restart the first stopped train (len > 0).
+        gate.add_edge(
+            "Free", "Occ",
+            data_guard=lambda env, e=e: env["len"] > 0 and front(env) == e,
+            sync=(f"go_{e}", "!"))
+        # Occ: another train approaches -> enqueue it and stop it at once.
+        gate.add_edge(
+            "Occ", "Stopping", sync=(f"appr_{e}", "?"),
+            update=[lambda env, e=e: enqueue(env, e)])
+        gate.add_edge(
+            "Stopping", "Occ",
+            data_guard=lambda env, e=e: tail(env) == e,
+            sync=(f"stop_{e}", "!"))
+        # Occ: the crossing train leaves -> dequeue it, bridge free.
+        gate.add_edge(
+            "Occ", "Free",
+            data_guard=lambda env, e=e: env["len"] > 0 and front(env) == e,
+            sync=(f"leave_{e}", "?"),
+            update=[dequeue])
+    return gate
+
+
+def make_traingate(n_trains=6):
+    """The full network: ``n_trains`` trains plus the gate controller."""
+    network = Network(f"traingate-{n_trains}")
+    decls = Declarations()
+    decls.declare_array("list", [0] * (n_trains + 1))
+    decls.declare_int("len", 0, 0, n_trains)
+    network.declarations = decls
+
+    for t in range(n_trains):
+        for channel in ("appr", "stop", "go", "leave"):
+            network.add_channel(f"{channel}_{t}")
+    for t in range(n_trains):
+        network.add_process(f"Train({t})", make_train(t, n_trains))
+    network.add_process("Gate", make_controller(n_trains))
+    return network.freeze()
+
+
+def train_process_names(n_trains):
+    return [f"Train({t})" for t in range(n_trains)]
+
+
+def make_gate_spec(n_trains=2):
+    """The controller alone, as a *testing specification* for the
+    TRON-style online tester (Section V / E7): edges carry labels
+    instead of channel synchronisations — ``appr_e``/``leave_e`` are
+    inputs from the environment, ``stop_e``/``go_e`` outputs of the
+    implementation under test."""
+    gate = Automaton("GateSpec")
+    gate.add_location("Free")
+    gate.add_location("Occ")
+    gate.add_location("Stopping", committed=True)
+    gate.initial_location = "Free"
+
+    def not_queued(env, e):
+        """Environment assumption: a train approaches at most once
+        until it has left (enforced by the trains in the full model)."""
+        return e not in env["list"][:env["len"]]
+
+    for e in range(n_trains):
+        gate.add_edge(
+            "Free", "Occ",
+            data_guard=lambda env, e=e: env["len"] == 0,
+            update=[lambda env, e=e: enqueue(env, e)],
+            label=f"appr_{e}")
+        gate.add_edge(
+            "Free", "Occ",
+            data_guard=lambda env, e=e: env["len"] > 0 and front(env) == e,
+            label=f"go_{e}")
+        gate.add_edge(
+            "Occ", "Stopping",
+            data_guard=lambda env, e=e: not_queued(env, e),
+            update=[lambda env, e=e: enqueue(env, e)],
+            label=f"appr_{e}")
+        gate.add_edge(
+            "Stopping", "Occ",
+            data_guard=lambda env, e=e: tail(env) == e,
+            label=f"stop_{e}")
+        gate.add_edge(
+            "Occ", "Free",
+            data_guard=lambda env, e=e: env["len"] > 0 and front(env) == e,
+            update=[dequeue],
+            label=f"leave_{e}")
+    network = Network(f"gate-spec-{n_trains}")
+    decls = Declarations()
+    decls.declare_array("list", [0] * (n_trains + 1))
+    decls.declare_int("len", 0, 0, n_trains)
+    network.declarations = decls
+    network.add_process("GateSpec", gate)
+    return network.freeze()
+
+
+def gate_io(n_trains=2):
+    """(inputs, outputs) label partition for :func:`make_gate_spec`."""
+    inputs = [f"appr_{e}" for e in range(n_trains)] + [
+        f"leave_{e}" for e in range(n_trains)]
+    outputs = [f"stop_{e}" for e in range(n_trains)] + [
+        f"go_{e}" for e in range(n_trains)]
+    return inputs, outputs

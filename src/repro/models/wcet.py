@@ -1,0 +1,98 @@
+"""A METAMOC-style WCET model (paper, Section II: UPPAAL-CORA has been
+applied to worst-case execution time analysis).
+
+The program under analysis is a bounded loop whose body branches
+between a fast and a slow path; a one-line instruction cache makes the
+first fetch a miss (``fetch_cold``) and all later fetches hits
+(``fetch_hot``).  Execution time accumulates as a cost rate of 1 per
+time unit in every executing location, so
+
+* WCET = maximum cost to reach ``done`` (slow path every iteration),
+* BCET = minimum cost (fast path every iteration).
+
+Closed-form values for checking::
+
+    fetches = MISS_PENALTY + (iterations - 1) * HIT_TIME
+    WCET    = fetches + iterations * SLOW_MAX
+    BCET    = fetches + iterations * FAST_MIN
+"""
+
+from __future__ import annotations
+
+from ..cora.priced import PricedTA
+from ..core.values import Declarations
+from ..ta.network import Network
+from ..ta.syntax import Automaton, clk
+
+MISS_PENALTY = 10
+HIT_TIME = 2
+FAST_MIN, FAST_MAX = 3, 4
+SLOW_MIN, SLOW_MAX = 6, 8
+
+
+def make_wcet_program(iterations=3):
+    """The loop program as a priced timed automaton."""
+    program = Automaton("Prog", clocks=["x"])
+    program.add_location("fetch_cold",
+                         invariant=[clk("x", "<=", MISS_PENALTY)])
+    program.add_location("fetch_hot", invariant=[clk("x", "<=", HIT_TIME)])
+    program.add_location("branch", urgent=True)
+    program.add_location("fast", invariant=[clk("x", "<=", FAST_MAX)])
+    program.add_location("slow", invariant=[clk("x", "<=", SLOW_MAX)])
+    program.add_location("latch", urgent=True)
+    program.add_location("done")
+    program.initial_location = "fetch_cold"
+
+    def next_iteration(env):
+        env["i"] = env["i"] + 1
+
+    # Instruction fetch: a miss costs MISS_PENALTY, a hit HIT_TIME.
+    program.add_edge("fetch_cold", "branch",
+                     guard=[clk("x", ">=", MISS_PENALTY)],
+                     resets=[("x", 0)])
+    program.add_edge("fetch_hot", "branch",
+                     guard=[clk("x", ">=", HIT_TIME)],
+                     resets=[("x", 0)])
+    # Data-dependent branch: fast or slow body.
+    program.add_edge("branch", "fast", resets=[("x", 0)])
+    program.add_edge("branch", "slow", resets=[("x", 0)])
+    program.add_edge("fast", "latch", guard=[clk("x", ">=", FAST_MIN)],
+                     resets=[("x", 0)], update=[next_iteration])
+    program.add_edge("slow", "latch", guard=[clk("x", ">=", SLOW_MIN)],
+                     resets=[("x", 0)], update=[next_iteration])
+    # Loop back (warm cache now) or exit.
+    program.add_edge(
+        "latch", "fetch_hot",
+        data_guard=lambda env, n=iterations: env["i"] < n,
+        resets=[("x", 0)])
+    program.add_edge(
+        "latch", "done",
+        data_guard=lambda env, n=iterations: env["i"] >= n)
+    return program
+
+
+def make_wcet_model(iterations=3):
+    """The priced network: every executing location costs 1 per t.u."""
+    network = Network(f"wcet-{iterations}")
+    decls = Declarations()
+    decls.declare_int("i", 0, 0, iterations)
+    network.declarations = decls
+    network.add_process("P", make_wcet_program(iterations))
+    priced = PricedTA(network)
+    for location in ("fetch_cold", "fetch_hot", "fast", "slow"):
+        priced.set_rate("P", location, 1)
+    return priced
+
+
+def at_done(names, _valuation, _clocks):
+    return names[0] == "done"
+
+
+def expected_wcet(iterations):
+    fetches = MISS_PENALTY + (iterations - 1) * HIT_TIME
+    return fetches + iterations * SLOW_MAX
+
+
+def expected_bcet(iterations):
+    fetches = MISS_PENALTY + (iterations - 1) * HIT_TIME
+    return fetches + iterations * FAST_MIN

@@ -1,0 +1,43 @@
+"""The MODEST subset language and its multi-backend toolset."""
+
+from .ast import (
+    ActionPrefix,
+    Alt,
+    AssignBlock,
+    Call,
+    Invariant,
+    Loop,
+    ModestModel,
+    PaltBranch,
+    ProcessDef,
+    Sequence,
+    StopStmt,
+    VarDecl,
+    When,
+)
+from .lexer import Token, tokenize
+from .parser import parse_modest
+from .flatten import flatten_model, split_guard
+from .toolset import (
+    Emax,
+    Emin,
+    Interval,
+    Pmax,
+    Pmin,
+    Property,
+    Reach,
+    load,
+    mcpta,
+    mctau,
+    modes,
+    to_uppaal_xml,
+)
+
+__all__ = [
+    "ActionPrefix", "Alt", "AssignBlock", "Call", "Invariant", "Loop",
+    "ModestModel", "PaltBranch", "ProcessDef", "Sequence", "StopStmt",
+    "VarDecl", "When",
+    "Token", "tokenize", "parse_modest", "flatten_model", "split_guard",
+    "Emax", "Emin", "Interval", "Pmax", "Pmin", "Property", "Reach",
+    "load", "mcpta", "mctau", "modes", "to_uppaal_xml",
+]

@@ -1,0 +1,143 @@
+"""Abstract syntax of the MODEST subset.
+
+The subset covers the constructs the paper exercises (Fig. 5 and the
+BRP discussion): action prefixing, probabilistic alternatives ``palt``
+with weights and assignment blocks, ``when`` guards, ``invariant``
+deadlines, nondeterministic ``alt``, loops ``do``, sequential
+composition, tail-recursive process calls, ``par`` composition at the
+top level, and clock/int/bool/const declarations.
+"""
+
+from __future__ import annotations
+
+
+class Statement:
+    """Base class of behaviours."""
+
+
+class ActionPrefix(Statement):
+    """``act`` or ``act palt { :w: {= ... =} stmt ... }``.
+
+    ``branches`` is None for a plain action, else a list of
+    :class:`PaltBranch`.  ``assignments`` hold a plain action's
+    ``{= ... =}`` block.
+    """
+
+    def __init__(self, action, assignments=(), branches=None):
+        self.action = action
+        self.assignments = tuple(assignments)
+        self.branches = branches
+
+    def __repr__(self):
+        if self.branches is None:
+            return f"Act({self.action})"
+        return f"Act({self.action} palt x{len(self.branches)})"
+
+
+class PaltBranch:
+    """``:weight: {= assignments =} continuation``."""
+
+    def __init__(self, weight, assignments=(), continuation=None):
+        self.weight = weight
+        self.assignments = tuple(assignments)
+        self.continuation = continuation
+
+    def __repr__(self):
+        return f"PaltBranch({self.weight})"
+
+
+class AssignBlock(Statement):
+    """A standalone ``{= ... =}`` (an instantaneous tau step)."""
+
+    def __init__(self, assignments):
+        self.assignments = tuple(assignments)
+
+
+class Sequence(Statement):
+    def __init__(self, statements):
+        self.statements = list(statements)
+
+    def __repr__(self):
+        return f"Seq({len(self.statements)})"
+
+
+class Alt(Statement):
+    """Nondeterministic choice ``alt { :: s1 :: s2 }``."""
+
+    def __init__(self, alternatives):
+        self.alternatives = list(alternatives)
+
+
+class Loop(Statement):
+    """``do { :: s1 :: s2 }`` — repeat a choice forever (no break)."""
+
+    def __init__(self, alternatives):
+        self.alternatives = list(alternatives)
+
+
+class When(Statement):
+    """``when(guard) stmt``."""
+
+    def __init__(self, guard, body):
+        self.guard = guard
+        self.body = body
+
+
+class Invariant(Statement):
+    """``invariant(expr) stmt`` — a deadline on stmt's first action."""
+
+    def __init__(self, expr, body):
+        self.expr = expr
+        self.body = body
+
+
+class Call(Statement):
+    """A process instantiation ``Name()``."""
+
+    def __init__(self, name):
+        self.name = name
+
+    def __repr__(self):
+        return f"Call({self.name})"
+
+
+class StopStmt(Statement):
+    """``stop`` — timelock-free inaction."""
+
+
+# -- declarations and the model ------------------------------------------------
+
+class VarDecl:
+    def __init__(self, kind, name, init=None, is_const=False):
+        self.kind = kind            # 'clock' | 'int' | 'bool'
+        self.name = name
+        self.init = init            # an Expr or None
+        self.is_const = is_const
+
+    def __repr__(self):
+        return f"VarDecl({self.kind} {self.name})"
+
+
+class ProcessDef:
+    def __init__(self, name, declarations, body):
+        self.name = name
+        self.declarations = list(declarations)
+        self.body = body
+
+    def __repr__(self):
+        return f"ProcessDef({self.name})"
+
+
+class ModestModel:
+    """A parsed model: declarations, process definitions and the main
+    composition (a list of process calls, run in parallel)."""
+
+    def __init__(self, declarations, actions, processes, composition):
+        self.declarations = list(declarations)
+        self.actions = set(actions)
+        self.processes = {p.name: p for p in processes}
+        self.composition = list(composition)
+
+    def __repr__(self):
+        return (f"ModestModel({len(self.processes)} processes, "
+                f"par of {len(self.composition)})")

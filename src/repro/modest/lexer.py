@@ -1,0 +1,88 @@
+"""Tokenizer for the MODEST subset.
+
+Handles the lexical peculiarities of MODEST as used in the paper's
+Fig. 5: assignment blocks ``{= ... =}``, weight separators ``:w:``
+(lexed as ``:`` number ``:``), ``::`` alternative introducers, and
+C-style ``//`` comments.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import ParseError
+
+KEYWORDS = {
+    "process", "clock", "int", "bool", "const", "action",
+    "when", "invariant", "urgent", "palt", "alt", "do", "par",
+    "stop", "tau", "break", "true", "false", "rate",
+}
+
+# Longest first so '::' beats ':' and '{=' beats '{'.
+SYMBOLS = [
+    "{=", "=}", "::", "&&", "||", "==", "!=", "<=", ">=",
+    "{", "}", "(", ")", ";", ",", ":", "=", "<", ">",
+    "+", "-", "*", "/", "%", "!",
+]
+
+
+class Token:
+    __slots__ = ("kind", "value", "line", "column")
+
+    def __init__(self, kind, value, line, column):
+        self.kind = kind          # 'ident', 'number', 'keyword', symbol
+        self.value = value
+        self.line = line
+        self.column = column
+
+    def __repr__(self):
+        return f"Token({self.kind}, {self.value!r}, L{self.line})"
+
+
+def tokenize(text):
+    tokens = []
+    i = 0
+    line = 1
+    line_start = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            line_start = i
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if text.startswith("//", i):
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        column = i - line_start + 1
+        matched = None
+        for symbol in SYMBOLS:
+            if text.startswith(symbol, i):
+                matched = symbol
+                break
+        if matched:
+            tokens.append(Token(matched, matched, line, column))
+            i += len(matched)
+            continue
+        if ch.isdigit():
+            j = i
+            while j < n and text[j].isdigit():
+                j += 1
+            tokens.append(Token("number", int(text[i:j]), line, column))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            kind = "keyword" if word in KEYWORDS else "ident"
+            tokens.append(Token(kind, word, line, column))
+            i = j
+            continue
+        raise ParseError(f"unexpected character {ch!r}", line, column)
+    tokens.append(Token("eof", None, line, 0))
+    return tokens

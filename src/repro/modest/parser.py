@@ -1,0 +1,344 @@
+"""Recursive-descent parser for the MODEST subset.
+
+The grammar (statement level, simplified)::
+
+    model      := (decl | processdef)* composition?
+    decl       := ('clock'|'int'|'bool'|'const' type) name ('=' expr)? ';'
+                | 'action' name (',' name)* ';'
+    processdef := 'process' NAME '(' ')' '{' decl* stmt '}'
+    composition:= 'par' '{' ('::' call)+ '}' | call
+    stmt       := seqitem (';' seqitem)*
+    seqitem    := 'when' '(' expr ')' seqitem
+                | 'invariant' '(' expr ')' seqitem
+                | 'alt' '{' ('::' stmt)+ '}'
+                | 'do' '{' ('::' stmt)+ '}'
+                | 'stop' | NAME '(' ')' | assignblock
+                | action ('palt' '{' branch+ '}')? assignblock?
+    branch     := ':' NUMBER ':' assignblock? stmt?
+    assignblock:= '{=' (target '=' expr (',' ...)? )? '=}'
+
+Expressions use C precedence with ``&&``/``||``/``!``, comparisons and
+integer arithmetic, compiled to :mod:`repro.core.expressions`.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import ParseError
+from ..core.expressions import Assignment, BinOp, Const, UnOp, Var
+from .ast import (
+    ActionPrefix,
+    Alt,
+    AssignBlock,
+    Call,
+    Invariant,
+    Loop,
+    ModestModel,
+    PaltBranch,
+    ProcessDef,
+    Sequence,
+    StopStmt,
+    VarDecl,
+    When,
+)
+from .lexer import tokenize
+
+_STMT_STARTERS = {"when", "invariant", "alt", "do", "stop", "tau"}
+
+
+class Parser:
+    def __init__(self, text):
+        self.tokens = tokenize(text)
+        self.pos = 0
+
+    # -- token helpers ----------------------------------------------------------
+
+    def peek(self, offset=0):
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def next(self):
+        token = self.tokens[self.pos]
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def expect(self, kind):
+        token = self.next()
+        if token.kind != kind:
+            raise ParseError(f"expected {kind!r}, found {token.value!r}",
+                             token.line, token.column)
+        return token
+
+    def accept(self, kind):
+        if self.peek().kind == kind:
+            return self.next()
+        return None
+
+    def at_keyword(self, word):
+        token = self.peek()
+        return token.kind == "keyword" and token.value == word
+
+    def expect_keyword(self, word):
+        token = self.next()
+        if token.kind != "keyword" or token.value != word:
+            raise ParseError(f"expected {word!r}, found {token.value!r}",
+                             token.line, token.column)
+        return token
+
+    # -- model ------------------------------------------------------------------
+
+    def parse_model(self):
+        declarations = []
+        actions = set()
+        processes = []
+        composition = []
+        while self.peek().kind != "eof":
+            if self.at_keyword("process"):
+                processes.append(self._process_def())
+            elif self.at_keyword("action"):
+                self.next()
+                actions.add(self.expect("ident").value)
+                while self.accept(","):
+                    actions.add(self.expect("ident").value)
+                self.expect(";")
+            elif self._at_decl():
+                declarations.append(self._decl())
+            elif self.at_keyword("par"):
+                composition = self._par()
+            elif self.peek().kind == "ident":
+                composition = [self._call()]
+            else:
+                token = self.peek()
+                raise ParseError(f"unexpected {token.value!r} at top level",
+                                 token.line, token.column)
+        return ModestModel(declarations, actions, processes, composition)
+
+    def _at_decl(self):
+        token = self.peek()
+        return token.kind == "keyword" and token.value in (
+            "clock", "int", "bool", "const")
+
+    def _decl(self):
+        token = self.next()
+        is_const = False
+        kind = token.value
+        if kind == "const":
+            is_const = True
+            kind = self.next().value
+            if kind not in ("int", "bool"):
+                raise ParseError(f"bad const type {kind!r}", token.line)
+        name = self.expect("ident").value
+        init = None
+        if self.accept("="):
+            init = self._expr()
+        self.expect(";")
+        return VarDecl(kind, name, init, is_const)
+
+    def _process_def(self):
+        self.expect_keyword("process")
+        name = self.expect("ident").value
+        self.expect("(")
+        self.expect(")")
+        self.expect("{")
+        declarations = []
+        while self._at_decl():
+            declarations.append(self._decl())
+        body = self._stmt()
+        self.expect("}")
+        return ProcessDef(name, declarations, body)
+
+    def _par(self):
+        self.expect_keyword("par")
+        self.expect("{")
+        calls = []
+        while self.accept("::"):
+            calls.append(self._call())
+        self.expect("}")
+        if not calls:
+            raise ParseError("empty par composition", self.peek().line)
+        return calls
+
+    def _call(self):
+        name = self.expect("ident").value
+        self.expect("(")
+        self.expect(")")
+        return Call(name)
+
+    # -- statements ---------------------------------------------------------------
+
+    def _stmt(self):
+        items = [self._seq_item()]
+        while self.accept(";"):
+            # Allow a trailing semicolon before '}' (common style).
+            if self.peek().kind in ("}", "eof") or self.peek().kind == "::":
+                break
+            items.append(self._seq_item())
+        if len(items) == 1:
+            return items[0]
+        return Sequence(items)
+
+    def _seq_item(self):
+        token = self.peek()
+        if self.at_keyword("when"):
+            self.next()
+            self.expect("(")
+            guard = self._expr()
+            self.expect(")")
+            return When(guard, self._seq_item())
+        if self.at_keyword("invariant"):
+            self.next()
+            self.expect("(")
+            expr = self._expr()
+            self.expect(")")
+            return Invariant(expr, self._seq_item())
+        if self.at_keyword("alt"):
+            self.next()
+            return Alt(self._alternatives())
+        if self.at_keyword("do"):
+            self.next()
+            return Loop(self._alternatives())
+        if self.at_keyword("stop"):
+            self.next()
+            return StopStmt()
+        if self.at_keyword("tau"):
+            self.next()
+            return self._action_tail("tau")
+        if token.kind == "{=":
+            return AssignBlock(self._assign_block())
+        if token.kind == "ident":
+            if self.peek(1).kind == "(":
+                return self._call()
+            self.next()
+            return self._action_tail(token.value)
+        raise ParseError(f"unexpected {token.value!r} in behaviour",
+                         token.line, token.column)
+
+    def _alternatives(self):
+        self.expect("{")
+        alternatives = []
+        while self.accept("::"):
+            alternatives.append(self._stmt())
+        self.expect("}")
+        if not alternatives:
+            raise ParseError("empty alternative set", self.peek().line)
+        return alternatives
+
+    def _action_tail(self, action):
+        """After an action name: optional palt or assignment block."""
+        if self.at_keyword("palt"):
+            self.next()
+            self.expect("{")
+            branches = []
+            while self.peek().kind == ":":
+                branches.append(self._palt_branch())
+            self.expect("}")
+            if not branches:
+                raise ParseError("empty palt", self.peek().line)
+            return ActionPrefix(action, branches=branches)
+        if self.peek().kind == "{=":
+            return ActionPrefix(action, assignments=self._assign_block())
+        return ActionPrefix(action)
+
+    def _palt_branch(self):
+        """``:w:`` followed by a full statement; a leading ``{= ... =}``
+        executes atomically with the prefixing action (its assignments
+        ride on the probabilistic edge)."""
+        self.expect(":")
+        weight = self.expect("number").value
+        self.expect(":")
+        body = self._stmt()
+        self.accept(";")  # optional separator between branches
+        assignments = ()
+        continuation = body
+        if isinstance(body, AssignBlock):
+            assignments = body.assignments
+            continuation = None
+        elif isinstance(body, Sequence) and isinstance(
+                body.statements[0], AssignBlock):
+            assignments = body.statements[0].assignments
+            rest = body.statements[1:]
+            continuation = rest[0] if len(rest) == 1 else Sequence(rest)
+        return PaltBranch(weight, assignments, continuation)
+
+    def _assign_block(self):
+        self.expect("{=")
+        assignments = []
+        while self.peek().kind != "=}":
+            target = self.expect("ident").value
+            self.expect("=")
+            assignments.append(Assignment(target, self._expr()))
+            if not self.accept(","):
+                break
+        self.expect("=}")
+        return assignments
+
+    # -- expressions (precedence climbing) ----------------------------------------
+
+    def _expr(self):
+        return self._or()
+
+    def _or(self):
+        left = self._and()
+        while self.peek().kind == "||":
+            self.next()
+            left = BinOp("||", left, self._and())
+        return left
+
+    def _and(self):
+        left = self._cmp()
+        while self.peek().kind == "&&":
+            self.next()
+            left = BinOp("&&", left, self._cmp())
+        return left
+
+    def _cmp(self):
+        left = self._add()
+        while self.peek().kind in ("==", "!=", "<", "<=", ">", ">="):
+            op = self.next().kind
+            left = BinOp(op, left, self._add())
+        return left
+
+    def _add(self):
+        left = self._mul()
+        while self.peek().kind in ("+", "-"):
+            op = self.next().kind
+            left = BinOp(op, left, self._mul())
+        return left
+
+    def _mul(self):
+        left = self._unary()
+        while self.peek().kind in ("*", "/", "%"):
+            op = self.next().kind
+            left = BinOp(op, left, self._unary())
+        return left
+
+    def _unary(self):
+        token = self.peek()
+        if token.kind == "-":
+            self.next()
+            return UnOp("-", self._unary())
+        if token.kind == "!":
+            self.next()
+            return UnOp("!", self._unary())
+        return self._atom()
+
+    def _atom(self):
+        token = self.next()
+        if token.kind == "number":
+            return Const(token.value)
+        if token.kind == "keyword" and token.value == "true":
+            return Const(True)
+        if token.kind == "keyword" and token.value == "false":
+            return Const(False)
+        if token.kind == "ident":
+            return Var(token.value)
+        if token.kind == "(":
+            inner = self._expr()
+            self.expect(")")
+            return inner
+        raise ParseError(f"unexpected {token.value!r} in expression",
+                         token.line, token.column)
+
+
+def parse_modest(text):
+    """Parse MODEST source text into a :class:`ModestModel`."""
+    return Parser(text).parse_model()

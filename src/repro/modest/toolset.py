@@ -1,0 +1,233 @@
+"""The MODEST TOOLSET front-end: one model, three analysis backends.
+
+Mirrors the paper's Section III architecture:
+
+* :func:`mctau` — overapproximate probabilistic choice, hand the TA to
+  the UPPAAL-style model checker (:mod:`repro.mc`).  Safety verdicts are
+  exact; quantitative queries come back as the trivial interval [0, 1].
+* :func:`mcpta` — digital-clocks translation to an MDP, solved by the
+  PRISM-style engine (:mod:`repro.mdp`): exact probabilities and
+  expected values.
+* :func:`modes` — discrete-event simulation under an explicit scheduler
+  (:class:`repro.pta.DigitalSimulator`), returning statistical
+  estimates.
+
+All three accept either MODEST source text, a parsed
+:class:`~repro.modest.ast.ModestModel`, or an already-flattened
+:class:`~repro.pta.PTANetwork`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.errors import QueryError
+from ..mc.engine import Verifier
+from ..mc.queries import EF
+from ..mdp.analysis import (
+    expected_total_reward,
+    reachability_probability,
+)
+from ..pta.digital import build_digital_mdp
+from ..pta.overapprox import overapproximate_network
+from ..pta.pta import PTANetwork
+from ..pta.simulate import DigitalSimulator
+from ..smc.estimate import MeanEstimate, ProbabilityEstimate
+from .ast import ModestModel
+from .flatten import flatten_model
+from .parser import parse_modest
+
+
+def load(model):
+    """Coerce text / AST / network into a :class:`PTANetwork`."""
+    if isinstance(model, str):
+        model = parse_modest(model)
+    if isinstance(model, ModestModel):
+        model = flatten_model(model)
+    if not isinstance(model, PTANetwork):
+        raise QueryError(f"cannot analyse {model!r}")
+    return model
+
+
+# -- properties ----------------------------------------------------------------
+
+class Property:
+    """Base class of MODEST properties over state predicates.
+
+    Predicates take ``(location_names, valuation, clocks)`` — the same
+    signature across all three backends.
+    """
+
+    def __init__(self, name, predicate):
+        self.name = name
+        self.predicate = predicate
+
+
+class Reach(Property):
+    """Is the predicate reachable? (mctau: boolean; mcpta: probability;
+    modes: estimated probability)."""
+
+
+class Pmax(Property):
+    """Maximum probability of eventually satisfying the predicate."""
+
+
+class Pmin(Property):
+    """Minimum probability of eventually satisfying the predicate."""
+
+
+class Emax(Property):
+    """Maximum expected time until the predicate first holds."""
+
+
+class Emin(Property):
+    """Minimum expected time until the predicate first holds."""
+
+
+class Interval:
+    """mctau's answer to quantitative queries it cannot settle."""
+
+    def __init__(self, low, high):
+        self.low = low
+        self.high = high
+
+    def __repr__(self):
+        return f"[{self.low}, {self.high}]"
+
+    def __eq__(self, other):
+        return (isinstance(other, Interval) and self.low == other.low
+                and self.high == other.high)
+
+
+# -- backends -------------------------------------------------------------------
+
+def mctau(model, properties, max_states=200000):
+    """Analyse via nondeterministic overapproximation + model checking.
+
+    Returns ``{property_name: verdict}`` where reachability verdicts are
+    booleans/0 and quantitative properties yield :class:`Interval` or
+    ``None`` (n/a for expectations, as in Table I).
+    """
+    network = load(model)
+    ta = overapproximate_network(network)
+    verifier = Verifier(ta, max_states=max_states)
+    results = {}
+    for prop in properties:
+        predicate = _lift_predicate(ta, prop.predicate)
+        if isinstance(prop, Reach):
+            reachable = verifier.check(EF(predicate)).holds
+            results[prop.name] = reachable
+        elif isinstance(prop, (Pmax, Pmin)):
+            reachable = verifier.check(EF(predicate)).holds
+            # Unreachable even with nondeterministic losses: exactly 0.
+            results[prop.name] = 0.0 if not reachable else Interval(0, 1)
+        elif isinstance(prop, (Emax, Emin)):
+            results[prop.name] = None  # n/a
+        else:
+            raise QueryError(f"unsupported property {prop!r}")
+    return results
+
+
+def _lift_predicate(network, predicate):
+    from ..mc.queries import StateFormula
+
+    class _Pred(StateFormula):
+        def holds(self, net, state):
+            names = net.location_vector_names(state.locs)
+            return bool(predicate(names, state.valuation, None))
+
+    return _Pred()
+
+
+def mcpta(model, properties, extra_constants=None):
+    """Exact probabilistic model checking via digital clocks + MDP."""
+    network = load(model)
+    digital = build_digital_mdp(network, extra_constants=extra_constants)
+    results = {}
+    for prop in properties:
+        targets = digital.states_where(prop.predicate)
+        if isinstance(prop, Reach):
+            results[prop.name] = bool(targets) and _reachable(
+                digital.mdp, targets)
+        elif isinstance(prop, (Pmax, Pmin)):
+            values = reachability_probability(
+                digital.mdp, targets, maximize=isinstance(prop, Pmax))
+            results[prop.name] = float(values[0])
+        elif isinstance(prop, (Emax, Emin)):
+            values = expected_total_reward(
+                digital.mdp, targets, maximize=isinstance(prop, Emax))
+            results[prop.name] = float(values[0])
+        else:
+            raise QueryError(f"unsupported property {prop!r}")
+    return results
+
+
+def _reachable(mdp, targets):
+    from ..mdp.analysis import prob0_max
+
+    return 0 not in prob0_max(mdp, targets)
+
+
+def to_uppaal_xml(model, queries=()):
+    """Export a MODEST model (text / AST / network) as UPPAAL XML —
+    mctau's export path in the paper ("export to UPPAAL XML, including
+    automatic layout").  Probabilistic choices are overapproximated
+    nondeterministically first, as UPPAAL cannot represent them."""
+    from ..export.uppaal_xml import export_network
+    from ..pta.overapprox import overapproximate_network
+
+    network = load(model)
+    return export_network(overapproximate_network(network),
+                          queries=queries)
+
+
+def modes(model, properties, runs=10000, rng=None, policy="max-delay",
+          max_time=None, confidence=0.95):
+    """Statistical estimation by discrete-event simulation.
+
+    For probability properties returns a
+    :class:`~repro.smc.ProbabilityEstimate`; for expectations a
+    :class:`~repro.smc.MeanEstimate`.  Nondeterminism is resolved by the
+    simulator's scheduler ``policy`` — the results are estimates for
+    *that scheduler*, the standard caveat of simulating nondeterministic
+    models (paper, Section III-A).
+    """
+    network = load(model)
+    simulator = DigitalSimulator(network, policy=policy, rng=rng)
+    reach_props = [p for p in properties
+                   if isinstance(p, (Reach, Pmax, Pmin))]
+    time_props = [p for p in properties if isinstance(p, (Emax, Emin))]
+    observed = {p.name: 0 for p in reach_props}
+    durations = {p.name: [] for p in time_props}
+
+    for _ in range(runs):
+        hit_time = {p.name: None for p in properties}
+
+        def watch(elapsed, names, valuation, clocks):
+            for p in properties:
+                if hit_time[p.name] is None and p.predicate(
+                        names, valuation, clocks):
+                    hit_time[p.name] = elapsed
+
+        def stopper(names, valuation, clocks):
+            # Stop early once every watched predicate is settled.
+            return all(t is not None for t in hit_time.values())
+
+        simulator.run(stop=stopper, observer=watch, max_time=max_time)
+        for p in reach_props:
+            if hit_time[p.name] is not None:
+                observed[p.name] += 1
+        for p in time_props:
+            durations[p.name].append(
+                hit_time[p.name] if hit_time[p.name] is not None
+                else math.inf)
+
+    results = {}
+    for p in reach_props:
+        results[p.name] = ProbabilityEstimate(observed[p.name], runs,
+                                              confidence)
+    for p in time_props:
+        samples = [d for d in durations[p.name] if not math.isinf(d)]
+        results[p.name] = MeanEstimate(samples, confidence) if samples \
+            else None
+    return results

@@ -1,0 +1,202 @@
+"""The digital clocks translation: PTA network -> finite MDP.
+
+For closed, diagonal-free PTA, interpreting clocks over the integers
+(with a unit-delay ``tick`` action and saturation one past each clock's
+maximal constant) preserves minimal and maximal reachability
+probabilities and expected rewards (Kwiatkowska, Norman, Parker &
+Sproston) — this is how mcpta feeds PRISM in the paper, and how Table I's
+exact BRP probabilities are produced here.
+
+Tick actions carry reward 1, so expected *time* equals expected total
+reward in the resulting MDP.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from ..core.errors import ModelError
+from ..mdp.model import MDP
+from ..ta.transitions import (
+    delay_forbidden,
+    discrete_transitions,
+    has_urgent_sync,
+)
+from .pta import edge_branches
+
+
+class DigitalState:
+    """A digital-clocks configuration (hashable)."""
+
+    __slots__ = ("locs", "valuation", "clocks")
+
+    def __init__(self, locs, valuation, clocks):
+        self.locs = locs
+        self.valuation = valuation
+        self.clocks = clocks
+
+    def key(self):
+        return (self.locs, self.valuation.values, self.clocks)
+
+
+class DigitalMDP:
+    """The result of the translation: an MDP plus state metadata."""
+
+    def __init__(self, mdp, states, network):
+        self.mdp = mdp
+        self.states = states          # index -> DigitalState
+        self.network = network
+
+    def states_where(self, predicate):
+        """Indices of states satisfying ``predicate(locs_names, valuation,
+        clocks)``."""
+        out = set()
+        for index, state in enumerate(self.states):
+            names = self.network.location_vector_names(state.locs)
+            if predicate(names, state.valuation, state.clocks):
+                out.add(index)
+        return out
+
+    def location_states(self, process_name, location_name):
+        """Indices of states where a process stands in a location."""
+        process = self.network.process_by_name(process_name)
+
+        def predicate(names, _valuation, _clocks):
+            return names[process.index] == location_name
+
+        return self.states_where(predicate)
+
+    def __repr__(self):
+        return f"DigitalMDP({self.mdp.num_states} states)"
+
+
+def _check_closed_diagonal_free(network):
+    for process in network.processes:
+        atoms = []
+        for loc in process.locations:
+            atoms.extend(loc.invariant)
+        for edge in process.automaton.edges:
+            atoms.extend(edge.guard)
+        for atom in atoms:
+            if atom.other is not None:
+                raise ModelError(
+                    "digital clocks require diagonal-free PTA "
+                    f"({process.name}: {atom!r})")
+            if atom.op in ("<", ">"):
+                raise ModelError(
+                    "digital clocks require closed PTA "
+                    f"({process.name}: {atom!r})")
+
+
+def _invariants_hold(network, locs, clocks):
+    for process, loc_index in zip(network.processes, locs):
+        for atom in process.location(loc_index).invariant:
+            if not atom.holds(clocks[process.resolve_clock(atom.clock)]):
+                return False
+    return True
+
+
+def _fire_branches(network, state, transition):
+    """All probabilistic outcomes of firing ``transition``.
+
+    Returns a list of ``(probability, DigitalState)``; the joint
+    distribution is the product over the participants' branch choices.
+    A *Dirac* step into an invariant-violating state is simply disabled
+    (the empty list — UPPAAL's semantics for plain edges); a genuinely
+    probabilistic step with only *some* violating branches leaves the
+    distribution undefined and is a model error.
+    """
+    combos = list(product(*[edge_branches(edge)
+                            for _process, edge in
+                            transition.participants]))
+    outcomes = []
+    for combo in combos:
+        probability = 1.0
+        locs = list(state.locs)
+        env = state.valuation.env()
+        clocks = list(state.clocks)
+        for (process, _edge), branch in zip(transition.participants, combo):
+            probability *= branch.probability
+            locs[process.index] = process.location_index[branch.target]
+            for update in branch.update:
+                if callable(update):
+                    update(env)
+                else:
+                    update.apply(env)
+            for clock, value in branch.resets:
+                clocks[process.resolve_clock(clock)] = value
+        if probability <= 0.0:
+            continue
+        new_state = DigitalState(
+            tuple(locs), env.commit(), tuple(clocks))
+        if not _invariants_hold(network, new_state.locs, new_state.clocks):
+            if len(combos) == 1:
+                return []  # Dirac step: the edge is simply disabled
+            raise ModelError(
+                "probabilistic branch violates the target invariant "
+                f"(transition {transition.describe()})")
+        outcomes.append((probability, new_state))
+    return outcomes
+
+
+def build_digital_mdp(network, extra_constants=None, time_reward=True,
+                      max_states=2000000):
+    """Explore the digital-clocks semantics into a :class:`DigitalMDP`."""
+    network.freeze()
+    _check_closed_diagonal_free(network)
+    caps = tuple(c + 1 for c in network.max_constants(extra_constants))
+
+    mdp = MDP(network.name)
+    initial = DigitalState(
+        network.initial_locations(), network.initial_valuation(),
+        (0,) * network.dbm_size)
+    if not _invariants_hold(network, initial.locs, initial.clocks):
+        raise ModelError("initial state violates invariants")
+
+    index_of = {initial.key(): 0}
+    states = [initial]
+    mdp.add_state()
+    queue = [0]
+
+    def intern(state):
+        key = state.key()
+        idx = index_of.get(key)
+        if idx is None:
+            idx = mdp.add_state()
+            index_of[key] = idx
+            states.append(state)
+            queue.append(idx)
+            if idx >= max_states:
+                raise MemoryError(
+                    f"digital MDP exceeds {max_states} states")
+        return idx
+
+    while queue:
+        current = queue.pop()
+        state = states[current]
+        # Discrete actions.
+        for transition in discrete_transitions(
+                network, state.locs, state.valuation):
+            if not all(
+                    atom.holds(state.clocks[process.resolve_clock(
+                        atom.clock)])
+                    for process, atom in transition.clock_guard_atoms()):
+                continue
+            outcomes = _fire_branches(network, state, transition)
+            if not outcomes:
+                continue
+            pairs = [(p, intern(s)) for p, s in outcomes]
+            mdp.add_action(current, pairs,
+                           label=transition.describe(), reward=0.0)
+        # Tick.
+        if not delay_forbidden(network, state.locs) and \
+                not has_urgent_sync(network, state.locs, state.valuation):
+            ticked = (0,) + tuple(
+                min(v + 1, cap)
+                for v, cap in zip(state.clocks[1:], caps[1:]))
+            if _invariants_hold(network, state.locs, ticked):
+                succ = DigitalState(state.locs, state.valuation, ticked)
+                mdp.add_action(current, [(1.0, intern(succ))],
+                               label="tick",
+                               reward=1.0 if time_reward else 0.0)
+    return DigitalMDP(mdp, states, network)

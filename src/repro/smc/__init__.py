@@ -1,0 +1,28 @@
+"""Statistical model checking (UPPAAL-SMC)."""
+
+from .stochastic import ConcreteState, StochasticSimulator
+from .estimate import (
+    MeanEstimate,
+    ProbabilityEstimate,
+    chernoff_runs,
+    estimate_mean,
+    estimate_probability,
+)
+from .sprt import SPRTResult, sprt
+from .qualitative import (
+    expected_value,
+    probability_at_least,
+    probability_estimate,
+)
+from .cdf import FirstPassageRecorder, empirical_cdf, first_passage_cdfs
+from .rare import SplittingResult, fixed_effort_splitting
+
+__all__ = [
+    "ConcreteState", "StochasticSimulator",
+    "MeanEstimate", "ProbabilityEstimate", "chernoff_runs",
+    "estimate_mean", "estimate_probability",
+    "SPRTResult", "sprt",
+    "expected_value", "probability_at_least", "probability_estimate",
+    "FirstPassageRecorder", "empirical_cdf", "first_passage_cdfs",
+    "SplittingResult", "fixed_effort_splitting",
+]

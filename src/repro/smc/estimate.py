@@ -1,0 +1,118 @@
+"""Statistical estimation for SMC: point estimates and confidence
+intervals over Bernoulli observations, and sample-size planning.
+
+UPPAAL-SMC settles properties "with a desired level of confidence based
+on random simulation runs" (paper, Section II); the machinery is here:
+Clopper–Pearson (exact) intervals, the Chernoff–Hoeffding bound for
+a-priori run counts, and normal approximations for mean estimates (the
+mu/sigma columns of Table I).
+"""
+
+from __future__ import annotations
+
+import math
+
+from scipy import stats
+
+from ..core.errors import AnalysisError
+from ..core.rng import ensure_rng
+
+
+class ProbabilityEstimate:
+    """A Bernoulli estimate with an exact confidence interval."""
+
+    __slots__ = ("successes", "runs", "confidence", "low", "high")
+
+    def __init__(self, successes, runs, confidence=0.95):
+        if runs <= 0:
+            raise AnalysisError("need at least one run")
+        self.successes = successes
+        self.runs = runs
+        self.confidence = confidence
+        alpha = 1.0 - confidence
+        if successes == 0:
+            self.low = 0.0
+        else:
+            self.low = float(stats.beta.ppf(
+                alpha / 2, successes, runs - successes + 1))
+        if successes == runs:
+            self.high = 1.0
+        else:
+            self.high = float(stats.beta.ppf(
+                1 - alpha / 2, successes + 1, runs - successes))
+
+    @property
+    def mean(self):
+        return self.successes / self.runs
+
+    @property
+    def std(self):
+        """Standard deviation of the Bernoulli observations (the sigma
+        reported in Table I's modes column)."""
+        p = self.mean
+        return math.sqrt(p * (1.0 - p))
+
+    def __repr__(self):
+        return (f"ProbabilityEstimate({self.mean:.6g} "
+                f"[{self.low:.6g}, {self.high:.6g}] "
+                f"@{self.confidence:.0%}, {self.runs} runs)")
+
+
+class MeanEstimate:
+    """Sample mean with standard deviation and a normal-approximation
+    confidence interval (used for expected values such as Emax)."""
+
+    __slots__ = ("samples", "confidence")
+
+    def __init__(self, samples, confidence=0.95):
+        if not samples:
+            raise AnalysisError("need at least one sample")
+        self.samples = list(samples)
+        self.confidence = confidence
+
+    @property
+    def runs(self):
+        return len(self.samples)
+
+    @property
+    def mean(self):
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def std(self):
+        n = len(self.samples)
+        if n < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(sum((x - mu) ** 2 for x in self.samples) / (n - 1))
+
+    def interval(self):
+        z = stats.norm.ppf(0.5 + self.confidence / 2)
+        half = z * self.std / math.sqrt(self.runs)
+        return (self.mean - half, self.mean + half)
+
+    def __repr__(self):
+        lo, hi = self.interval()
+        return (f"MeanEstimate({self.mean:.6g} +- {self.std:.3g} "
+                f"[{lo:.6g}, {hi:.6g}])")
+
+
+def chernoff_runs(epsilon, delta):
+    """Runs needed so that P(|p_hat - p| >= epsilon) <= delta
+    (Chernoff–Hoeffding / Okamoto bound)."""
+    if not (0 < epsilon < 1) or not (0 < delta < 1):
+        raise AnalysisError("need 0 < epsilon, delta < 1")
+    return math.ceil(math.log(2.0 / delta) / (2.0 * epsilon * epsilon))
+
+
+def estimate_probability(run_once, runs, rng=None, confidence=0.95):
+    """Estimate P(run_once(rng) is truthy) from ``runs`` samples."""
+    rng = ensure_rng(rng)
+    successes = sum(1 for _ in range(runs) if run_once(rng))
+    return ProbabilityEstimate(successes, runs, confidence)
+
+
+def estimate_mean(run_once, runs, rng=None, confidence=0.95):
+    """Estimate E[run_once(rng)] from ``runs`` samples."""
+    rng = ensure_rng(rng)
+    return MeanEstimate([run_once(rng) for _ in range(runs)], confidence)

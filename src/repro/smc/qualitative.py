@@ -1,0 +1,96 @@
+"""Qualitative SMC: settle ``Pr[<= T](<> phi) >= theta`` by sequential
+hypothesis testing.
+
+UPPAAL-SMC's headline mode: properties are "settled with a desired
+level of confidence based on random simulation runs" (paper, Section
+II).  This module wires the stochastic simulator to Wald's SPRT so a
+single call answers a probability-threshold query over a TA network,
+and to fixed-budget estimation for the quantitative variant.
+"""
+
+from __future__ import annotations
+
+from ..core.rng import ensure_rng
+from .estimate import estimate_probability
+from .sprt import sprt
+from .stochastic import StochasticSimulator
+
+
+def _make_run_once(network, predicate, horizon, default_rate=1.0):
+    def run_once(rng):
+        simulator = StochasticSimulator(network, rng=rng,
+                                        default_rate=default_rate)
+        hit = []
+
+        def observer(t, names, valuation, clocks):
+            if not hit and predicate(names, valuation, clocks):
+                hit.append(t)
+
+        simulator.run(max_time=horizon, observer=observer,
+                      stop=lambda t, n, v, c: bool(hit))
+        return bool(hit)
+
+    return run_once
+
+
+def probability_at_least(network, predicate, theta, horizon,
+                         indifference=0.01, alpha=0.05, beta=0.05,
+                         rng=None, default_rate=1.0, max_runs=1000000):
+    """Test ``Pr[<= horizon](<> predicate) >= theta`` sequentially.
+
+    ``predicate`` takes ``(location_names, valuation, clocks)``.
+    Returns an :class:`~repro.smc.SPRTResult`; truthiness is the
+    verdict.  Error probabilities are bounded by ``alpha``/``beta``
+    outside the indifference region.
+    """
+    rng = ensure_rng(rng)
+    run_once = _make_run_once(network, predicate, horizon, default_rate)
+    return sprt(run_once, theta, indifference=indifference, alpha=alpha,
+                beta=beta, rng=rng, max_runs=max_runs)
+
+
+def probability_estimate(network, predicate, horizon, runs=738,
+                         confidence=0.95, rng=None, default_rate=1.0):
+    """Quantitative variant: ``Pr[<= horizon](<> predicate)`` with a
+    Clopper–Pearson interval (default budget = the Chernoff count for
+    eps = delta = 0.05)."""
+    rng = ensure_rng(rng)
+    run_once = _make_run_once(network, predicate, horizon, default_rate)
+    return estimate_probability(run_once, runs=runs, rng=rng,
+                                confidence=confidence)
+
+
+def expected_value(network, observe, horizon, runs=500, mode="max",
+                   confidence=0.95, rng=None, default_rate=1.0):
+    """Estimate UPPAAL-SMC's ``E[<= horizon](max|min|final: expr)``.
+
+    ``observe(names, valuation, clocks) -> number`` is evaluated at
+    every visited state; per run the maximum (``mode="max"``), minimum
+    (``"min"``) or last (``"final"``) observation is kept, and a
+    :class:`~repro.smc.MeanEstimate` over the runs is returned.
+    """
+    from ..core.errors import AnalysisError
+    from .estimate import MeanEstimate
+
+    if mode not in ("max", "min", "final"):
+        raise AnalysisError(f"unknown mode {mode!r}")
+    rng = ensure_rng(rng)
+    samples = []
+    for _ in range(runs):
+        simulator = StochasticSimulator(network, rng=rng.spawn(),
+                                        default_rate=default_rate)
+        seen = []
+
+        def observer(t, names, valuation, clocks):
+            seen.append(float(observe(names, valuation, clocks)))
+
+        simulator.run(max_time=horizon, observer=observer)
+        if not seen:
+            continue
+        if mode == "max":
+            samples.append(max(seen))
+        elif mode == "min":
+            samples.append(min(seen))
+        else:
+            samples.append(seen[-1])
+    return MeanEstimate(samples, confidence)

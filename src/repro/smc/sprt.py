@@ -1,0 +1,67 @@
+"""Wald's sequential probability ratio test (SPRT).
+
+The hypothesis-testing mode of statistical model checking: decide
+``P(phi) >= theta`` against ``P(phi) < theta`` with prescribed error
+bounds, sampling only as many runs as the evidence requires.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.errors import AnalysisError
+from ..core.rng import ensure_rng
+
+
+class SPRTResult:
+    """Verdict of a sequential test."""
+
+    __slots__ = ("accept", "runs", "successes", "theta", "indifference")
+
+    def __init__(self, accept, runs, successes, theta, indifference):
+        self.accept = accept        # True: P >= theta accepted
+        self.runs = runs
+        self.successes = successes
+        self.theta = theta
+        self.indifference = indifference
+
+    def __bool__(self):
+        return self.accept
+
+    def __repr__(self):
+        verdict = ">=" if self.accept else "<"
+        return (f"SPRTResult(P {verdict} {self.theta} after {self.runs} "
+                f"runs, {self.successes} successes)")
+
+
+def sprt(run_once, theta, indifference=0.01, alpha=0.05, beta=0.05,
+         rng=None, max_runs=1000000):
+    """Sequentially test H1: p >= theta + delta vs H0: p <= theta - delta.
+
+    ``alpha`` bounds the probability of accepting H1 when H0 holds,
+    ``beta`` the converse.  Returns an :class:`SPRTResult` whose
+    ``accept`` is True when H1 (probability at least theta) is accepted.
+    """
+    p0 = theta - indifference
+    p1 = theta + indifference
+    if not (0 < p0 and p1 < 1):
+        raise AnalysisError(
+            f"indifference region [{p0},{p1}] leaves the unit interval")
+    rng = ensure_rng(rng)
+    log_a = math.log((1 - beta) / alpha)      # accept H1 above this
+    log_b = math.log(beta / (1 - alpha))      # accept H0 below this
+    llr = 0.0
+    inc_success = math.log(p1 / p0)
+    inc_failure = math.log((1 - p1) / (1 - p0))
+    successes = 0
+    for run in range(1, max_runs + 1):
+        if run_once(rng):
+            successes += 1
+            llr += inc_success
+        else:
+            llr += inc_failure
+        if llr >= log_a:
+            return SPRTResult(True, run, successes, theta, indifference)
+        if llr <= log_b:
+            return SPRTResult(False, run, successes, theta, indifference)
+    raise AnalysisError(f"SPRT undecided after {max_runs} runs")

@@ -1,0 +1,237 @@
+"""The stochastic semantics of networks of timed automata (UPPAAL-SMC).
+
+Paper, Section II-c: every component, in its current location, picks a
+delay — exponentially distributed (with the location's rate) when the
+invariant gives no upper bound, uniformly over the allowed interval when
+it does.  The component with the shortest delay moves, choosing
+uniformly among its enabled output/internal edges; matching receivers
+are chosen uniformly (all of them for broadcast).  Committed and urgent
+locations act without delay.
+
+Limitations (documented, checked at model load): diagonal clock guards
+are not supported, and receiver edges are assumed clock-guard-free or
+enabled whenever their sender fires (true for all models in this
+repository except the train's ``stop`` reception, whose guard is
+checked and, failing, suppresses the receiver — matching UPPAAL-SMC's
+input-enabled filtering).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.errors import AnalysisError, ModelError
+from ..core.rng import ensure_rng
+
+INFINITY = math.inf
+
+
+class ConcreteState:
+    """Dense-time configuration: real-valued clocks."""
+
+    __slots__ = ("locs", "valuation", "clocks")
+
+    def __init__(self, locs, valuation, clocks):
+        self.locs = locs
+        self.valuation = valuation
+        self.clocks = clocks
+
+    def __repr__(self):
+        return f"ConcreteState(locs={self.locs})"
+
+
+def _edge_window(process, edge, clocks):
+    """Relative-delay window [lo, hi] in which the edge's clock guard
+    holds (hi may be inf)."""
+    lo, hi = 0.0, INFINITY
+    for atom in edge.guard:
+        if atom.other is not None:
+            raise ModelError("stochastic semantics: diagonal guards "
+                             f"unsupported ({atom!r})")
+        value = clocks[process.resolve_clock(atom.clock)]
+        if atom.op in (">", ">="):
+            lo = max(lo, atom.bound - value)
+        elif atom.op in ("<", "<="):
+            hi = min(hi, atom.bound - value)
+        else:  # ==
+            lo = max(lo, atom.bound - value)
+            hi = min(hi, atom.bound - value)
+    return lo, hi
+
+
+def _invariant_bound(process, loc, clocks):
+    """Maximum delay allowed by the location invariant (inf if none)."""
+    bound = INFINITY
+    for atom in loc.invariant:
+        if not atom.is_upper_bound():
+            continue
+        value = clocks[process.resolve_clock(atom.clock)]
+        bound = min(bound, atom.bound - value)
+    return bound
+
+
+class StochasticSimulator:
+    """Race-based simulation of a TA network."""
+
+    def __init__(self, network, rng=None, default_rate=1.0):
+        self.network = network.freeze()
+        self.rng = ensure_rng(rng)
+        self.default_rate = default_rate
+
+    def initial(self):
+        return ConcreteState(
+            self.network.initial_locations(),
+            self.network.initial_valuation(),
+            (0.0,) * self.network.dbm_size)
+
+    # -- per-component delay sampling ------------------------------------------
+
+    def _active_edges(self, process, state):
+        """Output/internal edges whose data guards hold."""
+        from ..ta.transitions import eval_data_guard
+
+        out = []
+        for edge in process.edges_from(state.locs[process.index]):
+            if edge.sync is not None and edge.sync[1] == "?":
+                continue
+            if eval_data_guard(edge, state.valuation):
+                out.append(edge)
+        return out
+
+    def _sample_delay(self, process, state):
+        """(delay, edges) — the component's bid in the race."""
+        loc = process.location(state.locs[process.index])
+        edges = self._active_edges(process, state)
+        inv = _invariant_bound(process, loc, state.clocks)
+        if not edges:
+            return INFINITY, []
+        if loc.committed or loc.urgent:
+            return 0.0, edges
+        windows = []
+        for edge in edges:
+            lo, hi = _edge_window(process, edge, state.clocks)
+            hi = min(hi, inv)
+            if lo <= hi:
+                windows.append((lo, hi, edge))
+        if not windows:
+            return INFINITY, []
+        lower = min(lo for lo, _hi, _e in windows)
+        if math.isinf(inv):
+            rate = loc.rate if loc.rate is not None else self.default_rate
+            delay = lower + self.rng.expovariate(rate)
+        else:
+            delay = self.rng.uniform(lower, inv)
+        enabled = [e for lo, hi, e in windows if lo <= delay <= hi]
+        return delay, enabled
+
+    # -- one step of the race ------------------------------------------------------
+
+    def step(self, state):
+        """Perform one stochastic step.
+
+        Returns ``(delay, transition_description, new_state)`` or ``None``
+        when no component can ever act (the run ends).
+        """
+        bids = []
+        inv_cap = INFINITY
+        for process in self.network.processes:
+            loc = process.location(state.locs[process.index])
+            inv_cap = min(inv_cap,
+                          _invariant_bound(process, loc, state.clocks))
+            delay, edges = self._sample_delay(process, state)
+            if edges:
+                bids.append((delay, process, edges))
+        if not bids:
+            return None
+        committed = [b for b in bids if b[0] == 0.0 and (
+            self.network.processes[b[1].index].location(
+                state.locs[b[1].index]).committed)]
+        pool = committed if committed else bids
+        delay, process, edges = min(pool, key=lambda b: b[0])
+        if math.isinf(delay):
+            return None
+        if delay > inv_cap + 1e-9:
+            # Another component's invariant expires first but it has no
+            # action: timelock.  End the run.
+            return None
+        new_clocks = tuple(c + delay for c in state.clocks)
+        mid = ConcreteState(state.locs, state.valuation, new_clocks)
+        edge = self.rng.choice(edges)
+        return self._fire(mid, process, edge, delay)
+
+    def _fire(self, state, process, edge, delay):
+        participants = [(process, edge)]
+        if edge.sync is not None:
+            channel = self.network.channels[edge.sync[0]]
+            receivers = self._ready_receivers(state, process, edge.sync[0])
+            if channel.broadcast:
+                participants.extend(receivers)
+            else:
+                if not receivers:
+                    return (delay, None, state)  # output blocks: no-op
+                participants.append(self.rng.choice(receivers))
+        # Execute: updates in order, then resets.
+        env = state.valuation.env()
+        locs = list(state.locs)
+        clocks = list(state.clocks)
+        for proc, e in participants:
+            locs[proc.index] = proc.location_index[e.target]
+            for update in e.update:
+                if callable(update):
+                    update(env)
+                else:
+                    update.apply(env)
+            for clock, value in e.resets:
+                clocks[proc.resolve_clock(clock)] = float(value)
+        description = " || ".join(
+            f"{p.name}:{e.source}->{e.target}" for p, e in participants)
+        return (delay,
+                description,
+                ConcreteState(tuple(locs), env.commit(), tuple(clocks)))
+
+    def _ready_receivers(self, state, sender, channel_name):
+        from ..ta.transitions import eval_data_guard
+
+        out = []
+        for process in self.network.processes:
+            if process.index == sender.index:
+                continue
+            candidates = []
+            for edge in process.edges_from(state.locs[process.index]):
+                if edge.sync != (channel_name, "?"):
+                    continue
+                if not eval_data_guard(edge, state.valuation):
+                    continue
+                lo, hi = _edge_window(process, edge, state.clocks)
+                if lo <= 0.0 <= hi:
+                    candidates.append(edge)
+            if candidates:
+                out.append((process, self.rng.choice(candidates)))
+        return out
+
+    # -- whole runs -------------------------------------------------------------------
+
+    def run(self, max_time, observer=None, stop=None, max_steps=100000):
+        """Simulate up to ``max_time`` time units.
+
+        ``observer(time, names, valuation, clocks)`` is called after the
+        initial state and after every step; ``stop`` (same signature,
+        returning truth) ends the run early.  Returns the elapsed time.
+        """
+        state = self.initial()
+        elapsed = 0.0
+        for _ in range(max_steps):
+            names = self.network.location_vector_names(state.locs)
+            if observer is not None:
+                observer(elapsed, names, state.valuation, state.clocks)
+            if stop is not None and stop(elapsed, names, state.valuation,
+                                         state.clocks):
+                return elapsed
+            if elapsed >= max_time:
+                return elapsed
+            move = self.step(state)
+            if move is None:
+                return elapsed
+            delay, _description, state = move
+            elapsed += delay
+        raise AnalysisError(f"run exceeded {max_steps} steps")

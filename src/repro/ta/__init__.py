@@ -1,0 +1,21 @@
+"""UPPAAL-style networks of timed automata."""
+
+from .syntax import Automaton, Channel, ClockAtom, Edge, Location, clk
+from .network import Network, Process
+from .transitions import (
+    Transition,
+    delay_forbidden,
+    discrete_transitions,
+    eval_data_guard,
+)
+from .zonegraph import SymState, ZoneGraph
+from .discrete import DiscreteSemantics, DiscreteState
+
+__all__ = [
+    "Automaton", "Channel", "ClockAtom", "Edge", "Location", "clk",
+    "Network", "Process",
+    "Transition", "delay_forbidden", "discrete_transitions",
+    "eval_data_guard",
+    "SymState", "ZoneGraph",
+    "DiscreteSemantics", "DiscreteState",
+]

@@ -1,0 +1,146 @@
+"""Discrete-time (integer clock) semantics of a network.
+
+For *closed* timed automata (no strict comparisons) the integer-time
+semantics preserves reachability and (un)controllability, which makes it
+a sound substrate for the game solver (``repro.tiga``), min-cost
+reachability (``repro.cora``) and the online tester (``repro.mbt``).
+Clocks saturate one past their maximal constant, so the state space is
+finite.  Diagonal clock constraints are rejected: saturation would not
+preserve clock differences.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import ModelError
+from .transitions import (
+    delay_forbidden,
+    discrete_transitions,
+    has_urgent_sync,
+)
+
+
+class DiscreteState:
+    """A configuration with concrete integer clock values."""
+
+    __slots__ = ("locs", "valuation", "clocks")
+
+    def __init__(self, locs, valuation, clocks):
+        self.locs = locs
+        self.valuation = valuation
+        self.clocks = clocks  # tuple, index 0 unused (reference clock)
+
+    def key(self):
+        return (self.locs, self.valuation.values, self.clocks)
+
+    def __eq__(self, other):
+        return isinstance(other, DiscreteState) and self.key() == other.key()
+
+    def __hash__(self):
+        return hash(self.key())
+
+    def __repr__(self):
+        return (f"DiscreteState(locs={self.locs}, "
+                f"clocks={self.clocks[1:]})")
+
+
+class DiscreteSemantics:
+    """Tick/action transition system over integer clock valuations."""
+
+    def __init__(self, network, extra_constants=None):
+        self.network = network.freeze()
+        self._check_closed_and_diagonal_free()
+        consts = network.max_constants(extra_constants)
+        #: one past the max constant: all larger values are equivalent
+        self.caps = tuple(c + 1 for c in consts)
+
+    def _check_closed_and_diagonal_free(self):
+        for process in self.network.processes:
+            atoms = []
+            for loc in process.locations:
+                atoms.extend(loc.invariant)
+            for edge in process.automaton.edges:
+                atoms.extend(edge.guard)
+            for atom in atoms:
+                if atom.other is not None:
+                    raise ModelError(
+                        "discrete-time semantics requires diagonal-free "
+                        f"automata ({process.name}: {atom!r})")
+                if atom.op in ("<", ">"):
+                    raise ModelError(
+                        "discrete-time semantics requires closed automata "
+                        f"({process.name}: {atom!r})")
+
+    # -- invariants -------------------------------------------------------------
+
+    def invariants_hold(self, locs, clocks):
+        for process, loc_index in zip(self.network.processes, locs):
+            for atom in process.location(loc_index).invariant:
+                value = clocks[process.resolve_clock(atom.clock)]
+                if not atom.holds(value):
+                    return False
+        return True
+
+    # -- transition system --------------------------------------------------------
+
+    def initial(self):
+        locs = self.network.initial_locations()
+        valuation = self.network.initial_valuation()
+        clocks = (0,) * self.network.dbm_size
+        if not self.invariants_hold(locs, clocks):
+            raise ModelError("initial state violates invariants")
+        return DiscreteState(locs, valuation, clocks)
+
+    def can_tick(self, state):
+        """One time unit may elapse."""
+        if delay_forbidden(self.network, state.locs):
+            return False
+        if has_urgent_sync(self.network, state.locs, state.valuation):
+            return False
+        return self.invariants_hold(state.locs, self._ticked(state.clocks))
+
+    def tick(self, state):
+        if not self.can_tick(state):
+            return None
+        return DiscreteState(
+            state.locs, state.valuation, self._ticked(state.clocks))
+
+    def _ticked(self, clocks):
+        # The reference clock (index 0) stays at zero.
+        return (0,) + tuple(
+            min(v + 1, cap)
+            for v, cap in zip(clocks[1:], self.caps[1:]))
+
+    def action_successors(self, state):
+        """All enabled discrete steps as ``(transition, successor)``."""
+        out = []
+        for transition in discrete_transitions(
+                self.network, state.locs, state.valuation):
+            succ = self.fire(state, transition)
+            if succ is not None:
+                out.append((transition, succ))
+        return out
+
+    def fire(self, state, transition):
+        """Fire one transition if its clock guards and the target
+        invariants allow it; return the successor or ``None``."""
+        for process, atom in transition.clock_guard_atoms():
+            if not atom.holds(state.clocks[process.resolve_clock(
+                    atom.clock)]):
+                return None
+        new_locs = transition.target_locations(state.locs)
+        new_valuation = transition.apply_updates(state.valuation)
+        clocks = list(state.clocks)
+        for clock_index, value in transition.clock_resets():
+            clocks[clock_index] = value
+        clocks = tuple(clocks)
+        if not self.invariants_hold(new_locs, clocks):
+            return None
+        return DiscreteState(new_locs, new_valuation, clocks)
+
+    def successors(self, state):
+        """Action successors plus the tick successor (if any)."""
+        out = self.action_successors(state)
+        ticked = self.tick(state)
+        if ticked is not None:
+            out.append(("tick", ticked))
+        return out

@@ -1,0 +1,145 @@
+"""Symbolic (zone-based) semantics of a network of timed automata.
+
+States pair a discrete configuration (location vector + variable
+valuation) with a DBM zone closed under delay, the classic UPPAAL
+representation.  Successor zones are extrapolated with per-clock maximal
+constants so exploration terminates.
+"""
+
+from __future__ import annotations
+
+from ..dbm.dbm import DBM
+from .transitions import (
+    delay_forbidden,
+    discrete_transitions,
+    has_urgent_sync,
+)
+
+
+class SymState:
+    """A symbolic state of the network."""
+
+    __slots__ = ("locs", "valuation", "zone")
+
+    def __init__(self, locs, valuation, zone):
+        self.locs = locs
+        self.valuation = valuation
+        self.zone = zone
+
+    def discrete_key(self):
+        return (self.locs, self.valuation.values)
+
+    def key(self):
+        return (self.locs, self.valuation.values, self.zone.key())
+
+    def __repr__(self):
+        return f"SymState(locs={self.locs}, vars={self.valuation.values})"
+
+
+class ZoneGraph:
+    """On-the-fly symbolic transition system of a network."""
+
+    def __init__(self, network, extrapolate=True, extra_constants=None):
+        self.network = network.freeze()
+        self.extrapolate = extrapolate
+        self._max_constants = network.max_constants(extra_constants)
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _apply_invariants(self, zone, locs):
+        for process, loc_index in zip(self.network.processes, locs):
+            location = process.location(loc_index)
+            for atom in location.invariant:
+                for i, j, b in atom.encoded_constraints(
+                        process.resolve_clock):
+                    zone.constrain(i, j, b)
+                    if zone.is_empty():
+                        return zone
+        return zone
+
+    def _delay_close(self, zone, locs, valuation):
+        """Let time pass (when allowed) and re-apply invariants."""
+        if delay_forbidden(self.network, locs):
+            return zone
+        if has_urgent_sync(self.network, locs, valuation):
+            return zone
+        zone.up()
+        return self._apply_invariants(zone, locs)
+
+    def _finish(self, zone):
+        if self.extrapolate and not zone.is_empty():
+            zone.extrapolate(self._max_constants)
+        return zone
+
+    # -- transition system ------------------------------------------------------
+
+    def initial(self):
+        locs = self.network.initial_locations()
+        valuation = self.network.initial_valuation()
+        zone = DBM.zero(self.network.dbm_size)
+        zone = self._apply_invariants(zone, locs)
+        zone = self._delay_close(zone, locs, valuation)
+        return SymState(locs, valuation, self._finish(zone))
+
+    def successors(self, state):
+        """Yield ``(transition, successor)`` pairs."""
+        out = []
+        transitions = discrete_transitions(
+            self.network, state.locs, state.valuation)
+        for transition in transitions:
+            succ = self._fire(state, transition)
+            if succ is not None:
+                out.append((transition, succ))
+        return out
+
+    def _fire(self, state, transition):
+        zone = state.zone.copy()
+        # Clock guards.
+        for process, atom in transition.clock_guard_atoms():
+            for i, j, b in atom.encoded_constraints(process.resolve_clock):
+                zone.constrain(i, j, b)
+            if zone.is_empty():
+                return None
+        if zone.is_empty():
+            return None
+        # Discrete part.
+        new_locs = transition.target_locations(state.locs)
+        new_valuation = transition.apply_updates(state.valuation)
+        # Clock resets, then target invariants, then delay closure.
+        for clock_index, value in transition.clock_resets():
+            zone.reset(clock_index, value)
+        zone = self._apply_invariants(zone, new_locs)
+        if zone.is_empty():
+            return None
+        zone = self._delay_close(zone, new_locs, new_valuation)
+        if zone.is_empty():
+            return None
+        return SymState(new_locs, new_valuation, self._finish(zone))
+
+    def enabled_action_zone_parts(self, state):
+        """For each enabled transition, the part of the zone where its
+        clock guards hold (before delay).  Used by the deadlock check."""
+        parts = []
+        transitions = discrete_transitions(
+            self.network, state.locs, state.valuation)
+        for transition in transitions:
+            zone = state.zone.copy()
+            for process, atom in transition.clock_guard_atoms():
+                for i, j, b in atom.encoded_constraints(
+                        process.resolve_clock):
+                    zone.constrain(i, j, b)
+                if zone.is_empty():
+                    break
+            if zone.is_empty():
+                continue
+            # The step must also land in a non-empty target situation:
+            # apply resets and target invariants.
+            probe = zone.copy()
+            for clock_index, value in transition.clock_resets():
+                probe.reset(clock_index, value)
+            probe = self._apply_invariants(
+                probe, transition.target_locations(state.locs))
+            if probe.is_empty():
+                continue
+            parts.append(zone)
+        return parts

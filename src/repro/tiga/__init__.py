@@ -1,0 +1,19 @@
+"""Timed games and controller synthesis (UPPAAL-TIGA)."""
+
+from .game import GameGraph
+from .solver import (
+    controller_wins_reachability,
+    controller_wins_safety,
+    solve_reachability,
+    solve_safety,
+)
+from .strategy import PlayResult, Strategy, execute
+from .optimal import optimal_time_from_initial, solve_time_optimal
+
+__all__ = [
+    "GameGraph",
+    "controller_wins_reachability", "controller_wins_safety",
+    "solve_reachability", "solve_safety",
+    "PlayResult", "Strategy", "execute",
+    "optimal_time_from_initial", "solve_time_optimal",
+]

@@ -1,0 +1,101 @@
+"""Time-optimal reachability strategies.
+
+UPPAAL-TIGA's marquee application is synthesizing *optimal* (and
+robust) controllers — the hydraulic-pump case study cited in the paper.
+This module computes, over the discrete-time arena, the minimal
+worst-case time in which the controller can force the goal, and the
+strategy achieving it:
+
+    V(goal) = 0
+    V(s) = min over controller options m (own edge: cost 0; tick:
+           cost 1) of max( cost(m) + V(target m),
+                           max over env edges u of V(target u) )
+
+The environment may always preempt instantaneously, hence the inner
+max over uncontrollable successors.  Value iteration from infinity
+converges because values are bounded by the finite arena's depth
+whenever the controller wins at all.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.errors import AnalysisError
+from .strategy import Strategy
+
+
+def solve_time_optimal(graph, goal, max_iterations=None):
+    """Minimal worst-case time-to-goal for every arena state.
+
+    Returns ``(values, strategy)``; ``values[i]`` is ``inf`` outside
+    the winning region.  The strategy picks, per state, the move whose
+    worst case attains the value.
+    """
+    n = graph.num_states
+    if max_iterations is None:
+        max_iterations = n + 1
+    values = [math.inf] * n
+    for index in goal:
+        values[index] = 0.0
+
+    def backup(i):
+        env_worst = 0.0
+        for _t, j in graph.unc[i]:
+            env_worst = max(env_worst, values[j])
+        best = math.inf
+        for transition, j in graph.ctrl[i]:
+            best = min(best, max(values[j], env_worst))
+        if graph.tick[i] is not None:
+            best = min(best, max(1.0 + values[graph.tick[i]], env_worst))
+        if best is math.inf and graph.tick[i] is None \
+                and not graph.ctrl[i] and graph.unc[i]:
+            # Forced environment move: time stands still, the adversary
+            # must fire one of its edges.
+            best = env_worst
+        return best
+
+    for _ in range(max_iterations):
+        changed = False
+        for i in range(n):
+            if i in goal:
+                continue
+            new_value = backup(i)
+            if new_value < values[i] - 1e-12:
+                values[i] = new_value
+                changed = True
+        if not changed:
+            break
+    else:
+        raise AnalysisError("time-optimal iteration did not converge")
+
+    choice = {}
+    for i in range(n):
+        if i in goal or math.isinf(values[i]):
+            continue
+        env_worst = 0.0
+        for _t, j in graph.unc[i]:
+            env_worst = max(env_worst, values[j])
+        move = None
+        for transition, j in graph.ctrl[i]:
+            if max(values[j], env_worst) <= values[i] + 1e-9:
+                move = (transition, j)
+                break
+        if move is None and graph.tick[i] is not None and \
+                max(1.0 + values[graph.tick[i]], env_worst) \
+                <= values[i] + 1e-9:
+            move = ("tick", graph.tick[i])
+        if move is None and graph.unc[i]:
+            move = ("stay", i)
+        if move is not None:
+            choice[i] = move
+    winning = set(goal) | set(choice)
+    return values, Strategy(graph, choice, winning, goal=set(goal))
+
+
+def optimal_time_from_initial(graph, goal_predicate):
+    """Convenience: the optimal worst-case time from the initial state
+    (``inf`` when the controller cannot force the goal)."""
+    goal = graph.satisfying(goal_predicate)
+    values, strategy = solve_time_optimal(graph, goal)
+    return values[0], strategy

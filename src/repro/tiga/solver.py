@@ -1,0 +1,124 @@
+"""Backward fixpoint solvers for timed safety and reachability games.
+
+The turn-based abstraction (Maler–Pnueli–Sifakis style) over the
+discrete-time arena:
+
+* in every state the controller proposes a move — one of its own edges
+  or "wait one tick" (when time may pass);
+* the environment may override the proposal with any of its enabled
+  edges.
+
+Reachability (the controller forces ``goal``): least fixpoint of
+
+    W <- goal  ∪  { s | all env moves lead into W, and progress into W
+                        is guaranteed: some controller move leads into
+                        W, or time cannot pass and the environment is
+                        forced to act (all its options are in W) }
+
+The forced-environment clause matters: in the paper's train game the
+controller wins "the approaching train eventually crosses" by doing
+nothing — the invariant ``x <= 20`` forces the train onto the bridge.
+
+Safety (the controller keeps ``safe`` forever): greatest fixpoint of
+
+    V <- safe  ∩  { s | all env moves stay in V and, if time may pass,
+                        the controller can stay in V (tick or own edge) }
+
+A state where nothing at all can happen counts as (vacuously) safe —
+the run stops there — matching the convention discussed in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from .strategy import Strategy
+
+
+def _env_closed(graph, i, region):
+    return all(j in region for _t, j in graph.unc[i])
+
+
+def solve_reachability(graph, goal):
+    """Least-fixpoint attractor.  Returns ``(winning_set, strategy)``.
+
+    ``goal`` is a set of state indices.  The strategy maps each winning
+    non-goal state to the move ("tick" or a transition) that decreases
+    the distance to the goal.
+    """
+    winning = set(goal)
+    choice = {}
+    changed = True
+    while changed:
+        changed = False
+        for i in range(graph.num_states):
+            if i in winning:
+                continue
+            if not _env_closed(graph, i, winning):
+                continue
+            move = None
+            for transition, j in graph.ctrl[i]:
+                if j in winning:
+                    move = (transition, j)
+                    break
+            if move is None and graph.tick[i] is not None \
+                    and graph.tick[i] in winning:
+                move = ("tick", graph.tick[i])
+            if move is None and graph.tick[i] is None and graph.unc[i]:
+                # Time cannot pass and the controller stays put: the
+                # environment must fire one of its edges, all of which
+                # lead into W.
+                move = ("stay", i)
+            if move is not None:
+                winning.add(i)
+                choice[i] = move
+                changed = True
+    return winning, Strategy(graph, choice, winning, goal=goal)
+
+
+def solve_safety(graph, safe):
+    """Greatest fixpoint inside ``safe``.  Returns ``(winning_set,
+    strategy)`` where the strategy picks, for each winning state, a move
+    that stays in the winning region ("tick", a controller edge, or
+    "stay" when nothing needs doing)."""
+    region = set(safe)
+    changed = True
+    while changed:
+        changed = False
+        for i in list(region):
+            if not _env_closed(graph, i, region):
+                region.discard(i)
+                changed = True
+                continue
+            if graph.tick[i] is not None and graph.tick[i] not in region:
+                # Time would escape: the controller must preempt with
+                # one of its own edges that stays inside.
+                if not any(j in region for _t, j in graph.ctrl[i]):
+                    region.discard(i)
+                    changed = True
+    choice = {}
+    for i in region:
+        if graph.tick[i] is not None and graph.tick[i] in region:
+            choice[i] = ("tick", graph.tick[i])
+            continue
+        for transition, j in graph.ctrl[i]:
+            if j in region:
+                choice[i] = (transition, j)
+                break
+        else:
+            choice[i] = ("stay", i)
+    return region, Strategy(graph, choice, region)
+
+
+def controller_wins_reachability(graph, goal_predicate):
+    """Convenience wrapper: can the controller force the predicate from
+    the initial state?  Returns ``(bool, strategy)``."""
+    goal = graph.satisfying(goal_predicate)
+    winning, strategy = solve_reachability(graph, goal)
+    return 0 in winning, strategy
+
+
+def controller_wins_safety(graph, safe_predicate):
+    """Can the controller keep the predicate invariant from the initial
+    state?  Returns ``(bool, strategy)``."""
+    safe = graph.satisfying(safe_predicate)
+    winning, strategy = solve_safety(graph, safe)
+    return 0 in winning, strategy

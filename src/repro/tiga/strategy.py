@@ -1,0 +1,118 @@
+"""Winning strategies and closed-loop execution.
+
+A :class:`Strategy` is a memoryless map from arena states to controller
+moves.  :func:`execute` plays the strategy against an environment
+policy (random by default) — the validation UPPAAL-TIGA users perform
+by plugging the synthesized controller back into the model, and what
+the paper's DALA experiment does with fault injection.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import AnalysisError
+from ..core.rng import ensure_rng
+
+
+class Strategy:
+    """A memoryless controller strategy over a :class:`GameGraph`."""
+
+    def __init__(self, graph, choice, winning, goal=None):
+        self.graph = graph
+        self._choice = choice
+        self.winning = winning
+        self.goal = goal if goal is not None else set()
+
+    def covers(self, state_index):
+        return state_index in self.winning
+
+    def move(self, state_index):
+        """The controller's move: ``("tick", j)``, ``("stay", i)`` or
+        ``(transition, j)``; ``None`` on goal states (nothing to do)."""
+        if state_index in self.goal:
+            return None
+        move = self._choice.get(state_index)
+        if move is None:
+            raise AnalysisError(
+                f"state {state_index} is outside the winning region")
+        return move
+
+    def __len__(self):
+        return len(self._choice)
+
+    def __repr__(self):
+        return (f"Strategy({len(self._choice)} decisions, "
+                f"{len(self.winning)} winning states)")
+
+
+class PlayResult:
+    """Outcome of one closed-loop play."""
+
+    __slots__ = ("reached_goal", "stayed_safe", "steps", "visited")
+
+    def __init__(self, reached_goal, stayed_safe, steps, visited):
+        self.reached_goal = reached_goal
+        self.stayed_safe = stayed_safe
+        self.steps = steps
+        self.visited = visited
+
+    def __repr__(self):
+        return (f"PlayResult(goal={self.reached_goal}, "
+                f"safe={self.stayed_safe}, steps={self.steps})")
+
+
+def execute(strategy, rng=None, max_steps=10000, safe=None,
+            environment=None, start=0):
+    """Play the strategy from ``start`` against the environment.
+
+    ``environment(state_index, env_moves, rng)`` picks the environment's
+    move — a ``(transition, succ)`` pair or ``None`` to let the
+    controller proceed; the default picks uniformly among the
+    environment's edges and "no move".  ``safe`` is an optional set of
+    indices whose complement aborts the play as unsafe.
+
+    The play stops on reaching a goal state (for reachability
+    strategies), after ``max_steps``, or when nothing can move.
+    """
+    graph = strategy.graph
+    rng = ensure_rng(rng)
+    current = start
+    visited = [current]
+    for step in range(max_steps):
+        if safe is not None and current not in safe:
+            return PlayResult(False, False, step, visited)
+        if strategy.goal and current in strategy.goal:
+            return PlayResult(True, True, step, visited)
+        env_moves = graph.unc[current]
+        if environment is not None:
+            env_pick = environment(current, env_moves, rng)
+        else:
+            options = [None] + list(env_moves)
+            env_pick = rng.choice(options)
+        if env_pick is not None:
+            current = env_pick[1]
+            visited.append(current)
+            continue
+        move = strategy.move(current) if strategy.covers(current) else None
+        if move is None:
+            # Nothing to do: if the environment idles too, time ticks on
+            # its own when possible, else the play is over.
+            if graph.tick[current] is not None:
+                current = graph.tick[current]
+                visited.append(current)
+                continue
+            return PlayResult(bool(strategy.goal)
+                              and current in strategy.goal,
+                              True, step, visited)
+        kind, j = move
+        if kind == "stay":
+            if graph.tick[current] is not None:
+                j = graph.tick[current]
+            elif env_moves:
+                # Time cannot pass and the controller waits: the
+                # environment is forced to act now.
+                j = rng.choice(env_moves)[1]
+            else:
+                return PlayResult(False, True, step, visited)
+        current = j
+        visited.append(current)
+    return PlayResult(False, True, max_steps, visited)

@@ -1,0 +1,369 @@
+"""Tests for the BIP framework: components, connectors, priorities,
+hierarchy/flattening, engine, and D-Finder deadlock detection."""
+
+import pytest
+
+from repro.bip import (
+    AtomicComponent,
+    BIPEngine,
+    BIPSystem,
+    Composite,
+    Connector,
+    component_invariant,
+    explore_statespace,
+    find_potential_deadlocks,
+    flatten,
+    trap_closure,
+)
+from repro.core import AnalysisError, ModelError
+
+
+def producer_consumer():
+    """Producer and consumer handing items over a rendezvous."""
+    producer = AtomicComponent("Prod", ports=["make", "give"])
+    producer.add_place("empty")
+    producer.add_place("full")
+    producer.add_transition("make", "empty", "full")
+    producer.add_transition("give", "full", "empty")
+
+    consumer = AtomicComponent("Cons", ports=["take", "use"])
+    consumer.add_place("idle")
+    consumer.add_place("busy")
+    consumer.add_transition("take", "idle", "busy")
+    consumer.add_transition("use", "busy", "idle")
+
+    system = BIPSystem("prodcons")
+    system.add_component(producer)
+    system.add_component(consumer)
+    system.add_connector(Connector("c_make", [("Prod", "make")]))
+    system.add_connector(Connector(
+        "c_hand", [("Prod", "give"), ("Cons", "take")]))
+    system.add_connector(Connector("c_use", [("Cons", "use")]))
+    return system
+
+
+class TestComponents:
+    def test_unknown_port(self):
+        c = AtomicComponent("C", ports=["p"])
+        c.add_place("s")
+        with pytest.raises(ModelError):
+            c.add_transition("q", "s", "s")
+
+    def test_unknown_place(self):
+        c = AtomicComponent("C", ports=["p"])
+        c.add_place("s")
+        with pytest.raises(ModelError):
+            c.add_transition("p", "s", "t")
+
+    def test_guarded_transition(self):
+        c = AtomicComponent("C", ports=["p"])
+        c.add_place("s")
+        c.declare_int("n", 0)
+        c.add_transition("p", "s", "s",
+                         guard=lambda env: env["n"] < 1,
+                         update=lambda env: env.__setitem__("n", 1))
+        system = BIPSystem()
+        system.add_component(c)
+        system.add_connector(Connector("c_p", [("C", "p")]))
+        state = system.initial_state()
+        [i] = system.enabled_interactions(state)
+        state = system.execute(state, i)
+        assert state.valuations[0]["n"] == 1
+        assert system.enabled_interactions(state) == []
+
+
+class TestConnectors:
+    def test_rendezvous_requires_all(self):
+        system = producer_consumer()
+        state = system.initial_state()
+        names = [i.connector.name
+                 for i in system.enabled_interactions(state)]
+        # give/take cannot fire yet: the producer is empty.
+        assert names == ["c_make"]
+
+    def test_rendezvous_fires_jointly(self):
+        system = producer_consumer()
+        state = system.initial_state()
+        [make] = system.enabled_interactions(state)
+        state = system.execute(state, make)
+        hand = [i for i in system.enabled_interactions(state)
+                if i.connector.name == "c_hand"]
+        assert len(hand) == 1
+        state = system.execute(state, hand[0])
+        assert state.places == ("empty", "busy")
+
+    def test_broadcast_takes_ready_receivers(self):
+        beat = AtomicComponent("Clock", ports=["tick"])
+        beat.add_place("run")
+        beat.add_transition("tick", "run", "run")
+        listeners = []
+        for name in ("A", "B"):
+            listener = AtomicComponent(name, ports=["hear"])
+            listener.add_place("wait")
+            listener.add_place("heard")
+            listener.add_transition("hear", "wait", "heard")
+            listeners.append(listener)
+        system = BIPSystem()
+        system.add_component(beat)
+        for listener in listeners:
+            system.add_component(listener)
+        system.add_connector(Connector(
+            "c_beat",
+            [("Clock", "tick"), ("A", "hear"), ("B", "hear")],
+            trigger=("Clock", "tick")))
+        state = system.initial_state()
+        [interaction] = system.enabled_interactions(state)
+        assert len(interaction.participants) == 3
+        state = system.execute(state, interaction)
+        assert state.places == ("run", "heard", "heard")
+        # Receivers consumed: next beat is the trigger alone.
+        [alone] = system.enabled_interactions(state)
+        assert len(alone.participants) == 1
+
+    def test_connector_guard(self):
+        system = producer_consumer()
+        system.connectors[0].guard = lambda ctx: False
+        assert system.enabled_interactions(system.initial_state()) == []
+
+    def test_transfer_moves_data(self):
+        src = AtomicComponent("Src", ports=["send"])
+        src.add_place("s")
+        src.declare_int("value", 42)
+        src.add_transition("send", "s", "s")
+        dst = AtomicComponent("Dst", ports=["recv"])
+        dst.add_place("s")
+        dst.declare_int("got", 0)
+        dst.add_transition("recv", "s", "s")
+        system = BIPSystem()
+        system.add_component(src)
+        system.add_component(dst)
+
+        def transfer(envs):
+            envs["Dst"]["got"] = envs["Src"]["value"]
+
+        system.add_connector(Connector(
+            "c_move", [("Src", "send"), ("Dst", "recv")],
+            transfer=transfer))
+        state = system.initial_state()
+        [i] = system.enabled_interactions(state)
+        state = system.execute(state, i)
+        assert state.valuations[1]["got"] == 42
+
+    def test_endpoint_validation(self):
+        system = producer_consumer()
+        with pytest.raises(ModelError):
+            system.add_connector(Connector("bad", [("Prod", "nope")]))
+        with pytest.raises(ModelError):
+            system.add_connector(Connector("bad2", [("Ghost", "p")]))
+
+    def test_trigger_must_be_endpoint(self):
+        with pytest.raises(ModelError):
+            Connector("c", [("A", "p")], trigger=("B", "q"))
+
+
+class TestPriorities:
+    def _two_loops(self):
+        a = AtomicComponent("A", ports=["p"])
+        a.add_place("s")
+        a.add_transition("p", "s", "s")
+        b = AtomicComponent("B", ports=["q"])
+        b.add_place("s")
+        b.add_transition("q", "s", "s")
+        system = BIPSystem()
+        system.add_component(a)
+        system.add_component(b)
+        system.add_connector(Connector("c_a", [("A", "p")]))
+        system.add_connector(Connector("c_b", [("B", "q")]))
+        return system
+
+    def test_priority_suppresses_lower(self):
+        system = self._two_loops()
+        system.add_priority("c_a", "c_b")
+        names = [i.connector.name for i in
+                 system.enabled_interactions(system.initial_state())]
+        assert names == ["c_b"]
+
+    def test_priority_inert_when_higher_disabled(self):
+        system = self._two_loops()
+        system.component("B").transitions[0].guard = lambda env: False
+        system.add_priority("c_a", "c_b")
+        names = [i.connector.name for i in
+                 system.enabled_interactions(system.initial_state())]
+        assert names == ["c_a"]
+
+    def test_guarded_priority(self):
+        system = self._two_loops()
+        system.add_priority("c_a", "c_b", condition=lambda ctx: False)
+        names = {i.connector.name for i in
+                 system.enabled_interactions(system.initial_state())}
+        assert names == {"c_a", "c_b"}
+
+    def test_unknown_connector_in_priority(self):
+        system = self._two_loops()
+        with pytest.raises(ModelError):
+            system.add_priority("c_a", "ghost")
+
+    def test_self_priority_rejected(self):
+        system = self._two_loops()
+        with pytest.raises(ModelError):
+            system.add_priority("c_a", "c_a")
+
+
+class TestHierarchy:
+    def test_flatten_resolves_exports(self):
+        inner = AtomicComponent("Leaf", ports=["p"])
+        inner.add_place("s")
+        inner.add_transition("p", "s", "s")
+        box = Composite("box")
+        box.add_child(inner)
+        box.export("surface", "Leaf", "p")
+        root = Composite("root")
+        root.add_child(box)
+        root.add_connector(Connector("c", [("box", "surface")]))
+        system = flatten(root)
+        assert [c.name for c in system.components] == ["box/Leaf"]
+        assert system.connectors[0].endpoints == [("box/Leaf", "p")]
+
+    def test_flatten_rejects_unexported_port(self):
+        inner = AtomicComponent("Leaf", ports=["p"])
+        inner.add_place("s")
+        box = Composite("box")
+        box.add_child(inner)
+        root = Composite("root")
+        root.add_child(box)
+        root.add_connector(Connector("c", [("box", "p")]))
+        with pytest.raises(ModelError):
+            flatten(root)
+
+    def test_double_export_rejected(self):
+        inner = AtomicComponent("Leaf", ports=["p"])
+        inner.add_place("s")
+        box = Composite("box")
+        box.add_child(inner)
+        box.export("surface", "Leaf", "p")
+        with pytest.raises(ModelError):
+            box.export("surface", "Leaf", "p")
+
+
+class TestEngine:
+    def test_run_until_deadlock(self):
+        c = AtomicComponent("C", ports=["p"])
+        c.add_place("s")
+        c.add_place("end")
+        c.add_transition("p", "s", "end")
+        system = BIPSystem()
+        system.add_component(c)
+        system.add_connector(Connector("c_p", [("C", "p")]))
+        engine = BIPEngine(system, rng=1)
+        trace = engine.run(max_steps=10)
+        assert len(trace) == 1
+        assert trace.deadlocked
+
+    def test_invariant_enforced(self):
+        system = producer_consumer()
+        engine = BIPEngine(system, rng=2)
+        with pytest.raises(AnalysisError):
+            engine.run(max_steps=50,
+                       invariant=lambda s: s.places[0] != "full")
+
+    def test_deterministic_policy(self):
+        system = producer_consumer()
+        engine = BIPEngine(system, policy="first")
+        trace = engine.run(max_steps=6)
+        assert len(trace) == 6
+
+    def test_fault_injection(self):
+        system = producer_consumer()
+        engine = BIPEngine(system, rng=3)
+
+        def inject(eng, step):
+            if step == 2:
+                eng.inject_place("Prod", "full")
+
+        engine.run(max_steps=3, fault_injector=inject)
+        # No crash: injection is a legal state perturbation.
+
+    def test_explore_statespace(self):
+        system = producer_consumer()
+        states, deadlocks = explore_statespace(system)
+        assert len(states) == 4
+        assert deadlocks == []
+
+
+class TestDFinder:
+    def test_component_invariant(self):
+        c = AtomicComponent("C", ports=["p"])
+        c.add_place("a")
+        c.add_place("b")
+        c.add_place("island")
+        c.add_transition("p", "a", "b")
+        assert component_invariant(c) == {"a", "b"}
+
+    def test_trap_closure(self):
+        # One transition consuming {x} producing {y}: the closure of
+        # {x} must include y.
+        net = [(frozenset({("C", "x")}), frozenset({("C", "y")}))]
+        trap = trap_closure({("C", "x")}, net)
+        assert trap == {("C", "x"), ("C", "y")}
+
+    def test_deadlock_free_system(self):
+        report = find_potential_deadlocks(producer_consumer())
+        assert report.deadlock_free
+
+    def test_real_deadlock_found(self):
+        """Two components that each wait for the other: classic cycle."""
+        a = AtomicComponent("A", ports=["get_x", "get_y"])
+        a.add_place("start")
+        a.add_place("has_x")
+        a.add_transition("get_x", "start", "has_x")
+        a.add_transition("get_y", "has_x", "start")
+        b = AtomicComponent("B", ports=["get_y", "get_x"])
+        b.add_place("start")
+        b.add_place("has_y")
+        b.add_transition("get_y", "start", "has_y")
+        b.add_transition("get_x", "has_y", "start")
+        system = BIPSystem()
+        system.add_component(a)
+        system.add_component(b)
+        # Rendezvous: A and B must agree on both steps -- but A wants x
+        # first and B wants y first: nothing can ever fire.
+        system.add_connector(Connector(
+            "c_x", [("A", "get_x"), ("B", "get_x")]))
+        system.add_connector(Connector(
+            "c_y", [("A", "get_y"), ("B", "get_y")]))
+        report = find_potential_deadlocks(system)
+        assert not report.deadlock_free
+        # And the exact exploration confirms it at the initial state.
+        _states, deadlocks = explore_statespace(system)
+        assert deadlocks
+
+    def test_reports_spurious_candidates_conservatively(self):
+        """D-Finder may report unreachable configurations -- but never
+        misses a reachable one (soundness)."""
+        system = producer_consumer()
+        report = find_potential_deadlocks(system)
+        _states, exact = explore_statespace(system)
+        exact_keys = {s.places for s in exact}
+        assert exact_keys <= set(report.potential_deadlocks) | exact_keys
+
+
+class TestMaximalProgress:
+    def test_bigger_interaction_wins(self):
+        """A rendezvous suppresses the lone firing of its parts."""
+        a = AtomicComponent("A", ports=["p"])
+        a.add_place("s")
+        a.add_transition("p", "s", "s")
+        b = AtomicComponent("B", ports=["q"])
+        b.add_place("s")
+        b.add_transition("q", "s", "s")
+        system = BIPSystem()
+        system.add_component(a)
+        system.add_component(b)
+        system.add_connector(Connector("c_solo", [("A", "p")]))
+        system.add_connector(Connector(
+            "c_joint", [("A", "p"), ("B", "q")]))
+        rules = system.add_maximal_progress()
+        assert rules
+        names = {i.connector.name for i in
+                 system.enabled_interactions(system.initial_state())}
+        assert names == {"c_joint"}

@@ -1,0 +1,175 @@
+"""Tests for the BRP case study (the model behind Table I).
+
+The full (N=16) analyses live in ``benchmarks/bench_table1_brp.py``;
+here we verify the model's structure and the exact probabilities on
+smaller instances where the closed form is easy to state:
+
+    q = P(attempt fails) = 0.02 + 0.98 * 0.01 = 0.0298
+    P(frame fails)       = q ** (MAX + 1)
+    P1 = 1 - (1 - q**(MAX+1)) ** N
+    P2 = (1 - q**(MAX+1)) ** (N-1) * q**(MAX+1)
+"""
+
+import pytest
+
+from repro.mdp import expected_total_reward, reachability_probability
+from repro.models import brp
+from repro.pta import DigitalSimulator, build_digital_mdp
+from repro.pta import overapproximate_network
+from repro.mc import EF, DataPred, LocationIs, Verifier
+
+
+Q_ATTEMPT = 0.02 + 0.98 * 0.01
+
+
+def frame_fail(max_retrans):
+    return Q_ATTEMPT ** (max_retrans + 1)
+
+
+def p1_closed_form(n, max_retrans):
+    return 1.0 - (1.0 - frame_fail(max_retrans)) ** n
+
+
+def p2_closed_form(n, max_retrans):
+    return (1.0 - frame_fail(max_retrans)) ** (n - 1) * \
+        frame_fail(max_retrans)
+
+
+@pytest.fixture(scope="module")
+def small():
+    """N=2, MAX=1 instance and its digital MDP."""
+    network = brp.make_brp(n_frames=2, max_retrans=1, td=1)
+    return network, build_digital_mdp(network)
+
+
+class TestStructure:
+    def test_processes(self, small):
+        network, _dm = small
+        names = [p.name for p in network.processes]
+        assert names == ["Sender", "ChannelK", "Receiver", "ChannelL"]
+
+    def test_deadline_clock_optional(self):
+        network = brp.make_brp(2, 1, 1, with_deadline_clock=True)
+        assert network.processes[-1].name == "Watch"
+
+    def test_state_space_finite(self, small):
+        _network, dm = small
+        assert 0 < dm.mdp.num_states < 2000
+
+
+class TestExactProbabilities:
+    def test_p1(self, small):
+        _network, dm = small
+        v = reachability_probability(
+            dm.mdp, dm.states_where(brp.not_success), maximize=True)
+        assert v[0] == pytest.approx(p1_closed_form(2, 1), rel=1e-9)
+
+    def test_p2(self, small):
+        _network, dm = small
+        v = reachability_probability(
+            dm.mdp, dm.states_where(brp.uncertainty), maximize=True)
+        assert v[0] == pytest.approx(p2_closed_form(2, 1), rel=1e-9)
+
+    def test_pa_pb_are_zero(self, small):
+        _network, dm = small
+        assert not dm.states_where(brp.bogus_success(2))
+        assert not dm.states_where(brp.bogus_failure(2))
+
+    def test_no_premature_timeouts(self, small):
+        _network, dm = small
+        assert not dm.states_where(brp.premature_timeout)
+
+    def test_success_probability_complements_p1(self, small):
+        _network, dm = small
+        ok = dm.location_states("Sender", "s_ok")
+        v = reachability_probability(dm.mdp, ok, maximize=False)
+        assert v[0] == pytest.approx(1.0 - p1_closed_form(2, 1), rel=1e-9)
+
+    def test_p1_grows_with_file_length(self):
+        values = []
+        for n in (1, 2, 4):
+            dm = build_digital_mdp(brp.make_brp(n, 1, 1))
+            v = reachability_probability(
+                dm.mdp, dm.states_where(brp.not_success), maximize=True)
+            values.append(v[0])
+        assert values[0] < values[1] < values[2]
+
+    def test_p1_shrinks_with_more_retransmissions(self):
+        values = []
+        for max_retrans in (0, 1, 2):
+            dm = build_digital_mdp(brp.make_brp(2, max_retrans, 1))
+            v = reachability_probability(
+                dm.mdp, dm.states_where(brp.not_success), maximize=True)
+            values.append(v[0])
+        assert values[0] > values[1] > values[2]
+
+
+class TestTiming:
+    def test_emax_close_to_analytic(self, small):
+        """Per frame: 2 t.u. round trip plus 3 per retransmission."""
+        _network, dm = small
+        v = expected_total_reward(
+            dm.mdp, dm.states_where(brp.reported), maximize=True)
+        analytic = 2 * (2 + 3 * Q_ATTEMPT)  # coarse: one retry weighted
+        assert v[0] == pytest.approx(analytic, rel=0.05)
+
+    def test_dmax_deadline(self):
+        network = brp.make_brp(2, 1, 1, with_deadline_clock=True)
+        watch = network.process_by_name("Watch")
+        t_index = watch.resolve_clock("t")
+        dm = build_digital_mdp(network, extra_constants={t_index: 12})
+        target = dm.states_where(brp.success_within(11, network))
+        v = reachability_probability(dm.mdp, target, maximize=True)
+        # Generous deadline: essentially the success probability.
+        assert v[0] == pytest.approx(1.0 - p1_closed_form(2, 1), rel=1e-3)
+
+    def test_tight_deadline_cuts_probability(self):
+        network = brp.make_brp(2, 1, 1, with_deadline_clock=True)
+        watch = network.process_by_name("Watch")
+        t_index = watch.resolve_clock("t")
+        dm = build_digital_mdp(network, extra_constants={t_index: 12})
+        loose = reachability_probability(
+            dm.mdp, dm.states_where(brp.success_within(11, network)),
+            maximize=True)[0]
+        tight = reachability_probability(
+            dm.mdp, dm.states_where(brp.success_within(2, network)),
+            maximize=True)[0]
+        assert tight <= loose
+
+
+class TestMctauView:
+    def test_overapproximation_proves_safety(self):
+        ta = overapproximate_network(brp.make_brp(2, 1, 1))
+        v = Verifier(ta)
+        # TA1: no premature timeout, even with losses nondeterministic.
+        assert not v.check(
+            EF(DataPred(lambda env: env["premature"]))).holds
+        # PA as reachability: bogus success unreachable.
+        from repro.mc import And
+        assert not v.check(EF(And(
+            LocationIs("Sender", "s_ok"),
+            DataPred(lambda env: env["r_count"] < 2)))).holds
+
+    def test_overapproximation_reaches_all_verdicts(self):
+        ta = overapproximate_network(brp.make_brp(2, 1, 1))
+        v = Verifier(ta)
+        for report in ("s_ok", "s_nok", "s_dk"):
+            assert v.check(EF(LocationIs("Sender", report))).holds, report
+
+
+class TestModesView:
+    def test_simulation_statistics(self):
+        network = brp.make_brp(2, 1, 1)
+        sim = DigitalSimulator(network, policy="max-delay", rng=21)
+        times = []
+        failures = 0
+        for _ in range(300):
+            run = sim.run(stop=brp.reported)
+            names = network.location_vector_names(run.final_state.locs)
+            if names[0] != "s_ok":
+                failures += 1
+            times.append(run.elapsed)
+        mean = sum(times) / len(times)
+        # Analytic max-scheduler mean ~ 2*(2 + 3*q) ~ 4.18.
+        assert 3.9 < mean < 4.5
+        assert failures < 10

@@ -1,0 +1,117 @@
+"""Tests for the MODEST-source BRP: the language pipeline end to end.
+
+The two BRP models in this repository — the hand-built PTA network
+(:mod:`repro.models.brp`) and the MODEST text
+(:mod:`repro.models.brp_modest`) — implement the same protocol, so the
+parser + flattener + digital-clocks chain must produce the same
+numbers as the direct construction.
+"""
+
+import pytest
+
+from repro.mdp import expected_total_reward, reachability_probability
+from repro.models import brp
+from repro.models import brp_modest as bm
+from repro.modest import Emax, Pmax, mcpta, mctau, modes, parse_modest
+
+Q_FRAME = (0.02 + 0.98 * 0.01) ** 3  # one frame exhausts 3 attempts
+
+
+def closed_form_p1(n):
+    return 1.0 - (1.0 - Q_FRAME) ** n
+
+
+def closed_form_p2(n):
+    return (1.0 - Q_FRAME) ** (n - 1) * Q_FRAME
+
+
+class TestParsing:
+    def test_source_parses(self):
+        model = parse_modest(bm.brp_modest_source(4, 2, 1))
+        assert set(model.processes) == {
+            "Sender", "ChannelK", "Receiver", "ChannelL"}
+        assert [c.name for c in model.composition] == [
+            "Sender", "ChannelK", "Receiver", "ChannelL"]
+
+    def test_flattening_creates_channels(self):
+        network = bm.make_brp_modest(2, 1, 1)
+        assert set(network.channels) == {
+            "put_k", "frame_arrive", "put_l", "ack_arrive"}
+
+    def test_channel_branch_probabilities(self):
+        network = bm.make_brp_modest(2, 1, 1)
+        channel_k = network.process_by_name("ChannelK").automaton
+        [edge] = [e for e in channel_k.edges if hasattr(e, "branches")]
+        assert edge.branches[0].probability == pytest.approx(0.98)
+        channel_l = network.process_by_name("ChannelL").automaton
+        [edge_l] = [e for e in channel_l.edges if hasattr(e, "branches")]
+        assert edge_l.branches[0].probability == pytest.approx(0.99)
+
+
+class TestAgainstClosedForm:
+    @pytest.mark.parametrize("n", [1, 2, 4])
+    def test_p1(self, n):
+        result = mcpta(bm.make_brp_modest(n, 2, 1),
+                       [Pmax("P1", bm.not_success)])
+        assert result["P1"] == pytest.approx(closed_form_p1(n), rel=1e-9)
+
+    def test_p2(self):
+        result = mcpta(bm.make_brp_modest(4, 2, 1),
+                       [Pmax("P2", bm.uncertainty)])
+        assert result["P2"] == pytest.approx(closed_form_p2(4), rel=1e-9)
+
+    def test_no_bogus_success(self):
+        result = mcpta(bm.make_brp_modest(2, 1, 1),
+                       [Pmax("PA", bm.bogus_success(2))])
+        assert result["PA"] == 0.0
+
+
+class TestAgainstPTAModel:
+    """The MODEST text and the hand-built PTA must agree."""
+
+    @pytest.mark.parametrize("n,max_retrans", [(2, 1), (4, 2)])
+    def test_p1_agrees(self, n, max_retrans):
+        modest_net = bm.make_brp_modest(n, max_retrans, 1)
+        modest_p1 = mcpta(modest_net,
+                          [Pmax("P1", bm.not_success)])["P1"]
+
+        from repro.pta import build_digital_mdp
+
+        pta_net = brp.make_brp(n, max_retrans, 1)
+        digital = build_digital_mdp(pta_net)
+        pta_p1 = reachability_probability(
+            digital.mdp, digital.states_where(brp.not_success),
+            maximize=True)[0]
+        assert modest_p1 == pytest.approx(pta_p1, rel=1e-9)
+
+    def test_emax_agrees(self):
+        modest_net = bm.make_brp_modest(4, 2, 1)
+        modest_emax = mcpta(modest_net,
+                            [Emax("E", bm.reported)])["E"]
+
+        from repro.pta import build_digital_mdp
+
+        pta_net = brp.make_brp(4, 2, 1)
+        digital = build_digital_mdp(pta_net)
+        pta_emax = expected_total_reward(
+            digital.mdp, digital.states_where(brp.reported),
+            maximize=True)[0]
+        assert modest_emax == pytest.approx(pta_emax, rel=1e-6)
+
+
+class TestOtherBackends:
+    def test_mctau_overapproximation(self):
+        source = bm.brp_modest_source(2, 1, 1)
+        results = mctau(source, [Pmax("PA", bm.bogus_success(2)),
+                                 Pmax("P1", bm.not_success)])
+        assert results["PA"] == 0.0       # unreachable: exactly zero
+        assert results["P1"] != 0.0       # reachable: trivial interval
+
+    def test_modes_simulation(self):
+        results = modes(bm.brp_modest_source(2, 1, 1),
+                        [Pmax("P1", bm.not_success),
+                         Emax("E", bm.reported)],
+                        runs=300, rng=6)
+        assert results["P1"].mean < 0.05
+        # Two frames at ~2.09 t.u. each under the max-delay scheduler.
+        assert 3.5 < results["E"].mean < 5.0

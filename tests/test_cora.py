@@ -1,0 +1,134 @@
+"""Tests for priced timed automata and min-cost reachability."""
+
+import pytest
+
+from repro.cora import PricedTA, min_cost_reachability
+from repro.core import ModelError
+from repro.ta import Automaton, Network, clk
+
+
+def single(automaton):
+    net = Network()
+    net.add_process("P", automaton)
+    return net
+
+
+def goal(location):
+    return lambda names, v, c: names[0] == location
+
+
+class TestPricedTA:
+    def test_unknown_location(self):
+        a = Automaton("A", clocks=[])
+        a.add_location("s")
+        priced = PricedTA(single(a))
+        with pytest.raises(ModelError):
+            priced.set_rate("P", "nowhere", 1)
+
+    def test_negative_prices_rejected(self):
+        a = Automaton("A", clocks=[])
+        a.add_location("s")
+        e = a.add_edge("s", "s")
+        priced = PricedTA(single(a))
+        with pytest.raises(ModelError):
+            priced.set_rate("P", "s", -1)
+        with pytest.raises(ModelError):
+            priced.set_edge_cost(e, -1)
+
+
+class TestMinCost:
+    def test_pure_edge_costs_pick_cheap_path(self):
+        a = Automaton("A", clocks=[])
+        a.add_location("s")
+        a.add_location("mid")
+        a.add_location("goal")
+        expensive = a.add_edge("s", "goal")
+        step1 = a.add_edge("s", "mid")
+        step2 = a.add_edge("mid", "goal")
+        priced = PricedTA(single(a))
+        priced.set_edge_cost(expensive, 10)
+        priced.set_edge_cost(step1, 2)
+        priced.set_edge_cost(step2, 3)
+        result = min_cost_reachability(priced, goal("goal"))
+        assert result.cost == 5
+        assert len(result.trace) == 2
+
+    def test_time_costs_favour_cheap_waiting_location(self):
+        """Classic priced-TA example: wait 4 time units before the goal
+        edge; waiting in `cheap` costs 1/t.u., in `dear` 5/t.u."""
+        a = Automaton("A", clocks=["x"])
+        a.add_location("dear")
+        a.add_location("cheap")
+        a.add_location("goal")
+        a.add_edge("dear", "cheap")
+        a.add_edge("dear", "goal", guard=[clk("x", ">=", 4)])
+        a.add_edge("cheap", "goal", guard=[clk("x", ">=", 4)])
+        priced = PricedTA(single(a))
+        priced.set_rate("P", "dear", 5)
+        priced.set_rate("P", "cheap", 1)
+        result = min_cost_reachability(priced, goal("goal"))
+        # Move to cheap immediately and wait there: 4 * 1 = 4.
+        assert result.cost == 4
+
+    def test_tradeoff_between_rate_and_edge_cost(self):
+        """Switching to the cheap location costs 3: worth it only
+        because 4 t.u. of waiting saves 4 * (5-1) = 16."""
+        a = Automaton("A", clocks=["x"])
+        a.add_location("dear")
+        a.add_location("cheap")
+        a.add_location("goal")
+        switch = a.add_edge("dear", "cheap")
+        a.add_edge("dear", "goal", guard=[clk("x", ">=", 4)])
+        a.add_edge("cheap", "goal", guard=[clk("x", ">=", 4)])
+        priced = PricedTA(single(a))
+        priced.set_rate("P", "dear", 5)
+        priced.set_rate("P", "cheap", 1)
+        priced.set_edge_cost(switch, 3)
+        result = min_cost_reachability(priced, goal("goal"))
+        assert result.cost == 7  # 3 + 4*1, beating 4*5 = 20
+
+    def test_unreachable_goal(self):
+        a = Automaton("A", clocks=[])
+        a.add_location("s")
+        a.add_location("island")
+        priced = PricedTA(single(a))
+        result = min_cost_reachability(priced, goal("island"))
+        assert result.cost is None
+        assert not result
+
+    def test_cost_respects_invariant_deadline(self):
+        """The invariant forces leaving by x == 2, so the run cannot
+        dodge the expensive rate by waiting elsewhere."""
+        a = Automaton("A", clocks=["x"])
+        a.add_location("s", invariant=[clk("x", "<=", 2)])
+        a.add_location("goal")
+        a.add_edge("s", "goal", guard=[clk("x", ">=", 2)])
+        priced = PricedTA(single(a))
+        priced.set_rate("P", "s", 3)
+        result = min_cost_reachability(priced, goal("goal"))
+        assert result.cost == 6
+
+    def test_zero_cost_when_no_prices(self):
+        a = Automaton("A", clocks=["x"])
+        a.add_location("s")
+        a.add_location("goal")
+        a.add_edge("s", "goal", guard=[clk("x", ">=", 3)])
+        priced = PricedTA(single(a))
+        result = min_cost_reachability(priced, goal("goal"))
+        assert result.cost == 0
+
+    def test_wcet_style_longest_shortest_path(self):
+        """A two-task pipeline where the cost counts execution time:
+        the cheapest schedule is the sum of the best-case times."""
+        task = Automaton("T", clocks=["x"])
+        task.add_location("run1", invariant=[clk("x", "<=", 5)])
+        task.add_location("run2", invariant=[clk("x", "<=", 9)])
+        task.add_location("done")
+        task.add_edge("run1", "run2", guard=[clk("x", ">=", 2)],
+                      resets=[("x", 0)])
+        task.add_edge("run2", "done", guard=[clk("x", ">=", 3)])
+        priced = PricedTA(single(task))
+        priced.set_rate("P", "run1", 1)
+        priced.set_rate("P", "run2", 1)
+        result = min_cost_reachability(priced, goal("done"))
+        assert result.cost == 5  # BCET: 2 + 3

@@ -1,0 +1,155 @@
+"""Unit tests for the expression language."""
+
+import pytest
+
+from repro.core import (
+    Assignment,
+    BinOp,
+    Const,
+    EvaluationError,
+    Index,
+    Ite,
+    UnOp,
+    Var,
+    conjoin,
+    lift,
+)
+
+
+class TestEval:
+    def test_const(self):
+        assert Const(5).eval({}) == 5
+        assert Const(True).eval({}) is True
+
+    def test_var(self):
+        assert Var("x").eval({"x": 3}) == 3
+
+    def test_unknown_var_raises(self):
+        with pytest.raises(EvaluationError):
+            Var("missing").eval({"x": 3})
+
+    def test_arithmetic(self):
+        env = {"x": 7, "y": 2}
+        assert BinOp("+", Var("x"), Var("y")).eval(env) == 9
+        assert BinOp("-", Var("x"), Var("y")).eval(env) == 5
+        assert BinOp("*", Var("x"), Var("y")).eval(env) == 14
+        assert BinOp("/", Var("x"), Var("y")).eval(env) == 3
+        assert BinOp("%", Var("x"), Var("y")).eval(env) == 1
+
+    def test_c_style_division_truncates_towards_zero(self):
+        assert BinOp("/", Const(-7), Const(2)).eval({}) == -3
+        assert BinOp("%", Const(-7), Const(2)).eval({}) == -1
+
+    def test_division_by_zero(self):
+        with pytest.raises(EvaluationError):
+            BinOp("/", Const(1), Const(0)).eval({})
+        with pytest.raises(EvaluationError):
+            BinOp("%", Const(1), Const(0)).eval({})
+
+    def test_comparisons(self):
+        env = {"x": 4}
+        assert BinOp("<", Var("x"), Const(5)).eval(env)
+        assert BinOp("<=", Var("x"), Const(4)).eval(env)
+        assert not BinOp(">", Var("x"), Const(4)).eval(env)
+        assert BinOp(">=", Var("x"), Const(4)).eval(env)
+        assert BinOp("==", Var("x"), Const(4)).eval(env)
+        assert BinOp("!=", Var("x"), Const(5)).eval(env)
+
+    def test_boolean_short_circuit(self):
+        # The right operand would raise if evaluated.
+        bad = BinOp("/", Const(1), Const(0))
+        assert BinOp("&&", Const(False), bad).eval({}) is False
+        assert BinOp("||", Const(True), bad).eval({}) is True
+
+    def test_min_max(self):
+        assert BinOp("min", Const(3), Const(8)).eval({}) == 3
+        assert BinOp("max", Const(3), Const(8)).eval({}) == 8
+
+    def test_unary(self):
+        assert UnOp("-", Const(4)).eval({}) == -4
+        assert UnOp("!", Const(False)).eval({}) is True
+
+    def test_ite(self):
+        env = {"x": 1}
+        e = Ite(BinOp(">", Var("x"), Const(0)), Const(10), Const(20))
+        assert e.eval(env) == 10
+        assert e.eval({"x": -1}) == 20
+
+    def test_index(self):
+        env = {"a": (5, 6, 7), "i": 2}
+        assert Index(Var("a"), Var("i")).eval(env) == 7
+
+    def test_index_out_of_range(self):
+        with pytest.raises(EvaluationError):
+            Index(Var("a"), Const(9)).eval({"a": (1, 2)})
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(EvaluationError):
+            BinOp("**", Const(2), Const(3))
+        with pytest.raises(EvaluationError):
+            UnOp("~", Const(2))
+
+
+class TestSugar:
+    def test_operator_overloads(self):
+        x, y = Var("x"), Var("y")
+        env = {"x": 2, "y": 5}
+        assert (x + y).eval(env) == 7
+        assert (x + 1).eval(env) == 3
+        assert (10 - x).eval(env) == 8
+        assert (x * 3).eval(env) == 6
+        assert (x < y).eval(env)
+        assert (x <= 2).eval(env)
+        assert (y > x).eval(env)
+        assert (y >= 5).eval(env)
+        assert x.eq(2).eval(env)
+        assert x.ne(3).eval(env)
+        assert x.eq(2).and_(y.eq(5)).eval(env)
+        assert x.eq(99).or_(y.eq(5)).eval(env)
+        assert x.eq(99).not_().eval(env)
+
+    def test_lift_rejects_junk(self):
+        with pytest.raises(EvaluationError):
+            lift("not an expression")
+
+    def test_conjoin(self):
+        assert conjoin([]).eval({}) is True
+        e = conjoin([Var("a"), Var("b"), Var("c")])
+        assert e.eval({"a": True, "b": True, "c": True})
+        assert not e.eval({"a": True, "b": False, "c": True})
+
+
+class TestVariables:
+    def test_collect(self):
+        e = (Var("x") + Var("y")) < Var("z")
+        assert e.variables() == {"x", "y", "z"}
+
+    def test_const_has_none(self):
+        assert Const(3).variables() == set()
+
+    def test_ite_collects_all_branches(self):
+        e = Ite(Var("c"), Var("a"), Var("b"))
+        assert e.variables() == {"a", "b", "c"}
+
+
+class TestAssignment:
+    def test_simple(self):
+        env = {"x": 1, "y": 2}
+        Assignment("x", Var("y") + 3).apply(env)
+        assert env["x"] == 5
+
+    def test_array_element(self):
+        env = {"a": (0, 0, 0), "i": 1}
+        Assignment("a", Const(9), index=Var("i")).apply(env)
+        assert env["a"] == (0, 9, 0)
+
+    def test_array_index_out_of_range(self):
+        env = {"a": (0, 0)}
+        with pytest.raises(EvaluationError):
+            Assignment("a", Const(1), index=Const(5)).apply(env)
+
+    def test_variables_read(self):
+        a = Assignment("x", Var("y"))
+        assert a.variables_read() == {"y"}
+        b = Assignment("a", Var("v"), index=Var("i"))
+        assert b.variables_read() == {"v", "i", "a"}

@@ -1,0 +1,54 @@
+"""Tests for trace formatting and the MODEST XML export path."""
+
+from repro.mc import EF, LocationIs, Verifier, format_state, format_trace
+from repro.models.traingate import make_traingate
+from repro.modest import to_uppaal_xml
+
+
+FIG5 = """
+const int TD = 1;
+process Channel() {
+  clock c;
+  put palt {
+  :98: {= c = 0 =}; invariant(c <= TD) get
+  : 2: {==}
+  }; Channel()
+}
+"""
+
+
+class TestFormatTrace:
+    def test_trace_lines(self):
+        network = make_traingate(2)
+        verifier = Verifier(network)
+        result = verifier.check(EF(LocationIs("Train(0)", "Cross")))
+        text = format_trace(network, result.trace)
+        assert "(initial)" in text
+        assert "Train(0).Cross" in text
+        assert "appr_0!" in text
+
+    def test_format_state_contents(self):
+        network = make_traingate(2)
+        verifier = Verifier(network)
+        state = verifier.graph.initial()
+        line = format_state(network, state)
+        assert "Gate.Free" in line
+        assert "len=0" in line
+        assert "Train(0).x" in line
+
+    def test_no_trace(self):
+        assert format_trace(make_traingate(2), None) == "(no trace)"
+
+
+class TestModestExport:
+    def test_fig5_exports_to_uppaal(self):
+        xml = to_uppaal_xml(FIG5, queries=["E<> Channel.L2"])
+        assert "<nta>" in xml
+        assert "clock c;" in xml
+        assert "c &lt;= 1" in xml  # XML-escaped invariant
+        assert "E&lt;&gt; Channel.L2" in xml or "E<> Channel.L2" in xml
+
+    def test_probabilistic_edges_become_plain(self):
+        xml = to_uppaal_xml(FIG5)
+        # Two branches -> two transitions from the initial location.
+        assert xml.count("<transition>") >= 3

@@ -1,0 +1,20 @@
+"""Run the doctest examples embedded in public docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.bip.component
+import repro.core.values
+import repro.ta.syntax
+
+
+@pytest.mark.parametrize("module", [
+    repro.core.values,
+    repro.ta.syntax,
+    repro.bip.component,
+])
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures " \
+                                f"in {module.__name__}"

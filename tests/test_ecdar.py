@@ -1,0 +1,136 @@
+"""Tests for ECDAR-style refinement, consistency and composition."""
+
+import pytest
+
+from repro.core import ModelError
+from repro.ecdar import check_consistency, check_refinement, compose
+from repro.ta import Automaton, clk
+
+
+def coffee_spec(lo=2, hi=4):
+    """After coin, coffee within [lo, hi]."""
+    spec = Automaton(f"spec_{lo}_{hi}", clocks=["x"])
+    spec.add_location("idle")
+    spec.add_location("brew", invariant=[clk("x", "<=", hi)])
+    spec.add_edge("idle", "brew", label="coin", resets=[("x", 0)])
+    spec.add_edge("brew", "idle", guard=[clk("x", ">=", lo)],
+                  label="coffee")
+    return spec
+
+
+IO = (["coin"], ["coffee"])
+
+
+class TestRefinement:
+    def test_reflexive(self):
+        assert check_refinement(coffee_spec(), coffee_spec(), *IO)
+
+    def test_tighter_timing_refines(self):
+        """Serving within [3, 3] refines serving within [2, 4]."""
+        assert check_refinement(coffee_spec(3, 3), coffee_spec(2, 4), *IO)
+
+    def test_looser_timing_does_not_refine(self):
+        result = check_refinement(coffee_spec(1, 5), coffee_spec(2, 4),
+                                  *IO)
+        assert not result
+        assert result.counterexample is not None
+
+    def test_early_output_rejected(self):
+        result = check_refinement(coffee_spec(0, 1), coffee_spec(2, 4),
+                                  *IO)
+        assert not result
+
+    def test_refused_input_rejected(self):
+        """An implementation without the coin edge refuses a demanded
+        input."""
+        impl = Automaton("no_coin", clocks=["x"])
+        impl.add_location("idle")
+        result = check_refinement(impl, coffee_spec(), *IO)
+        assert not result
+        assert "refuses" in result.counterexample[2]
+
+    def test_extra_output_rejected(self):
+        impl = coffee_spec()
+        impl.add_edge("idle", "idle", label="coffee")  # unpaid coffee!
+        result = check_refinement(impl, coffee_spec(), *IO)
+        assert not result
+        assert "no specification match" in result.counterexample[2]
+
+    def test_fewer_outputs_refine(self):
+        """A spec offering coffee or tea is refined by coffee-only."""
+        spec = Automaton("either", clocks=[])
+        spec.add_location("idle")
+        spec.add_location("paid")
+        spec.add_edge("idle", "paid", label="coin")
+        spec.add_edge("paid", "idle", label="coffee")
+        spec.add_edge("paid", "idle", label="tea")
+        impl = Automaton("coffee_only", clocks=[])
+        impl.add_location("idle")
+        impl.add_location("paid")
+        impl.add_edge("idle", "paid", label="coin")
+        impl.add_edge("paid", "idle", label="coffee")
+        assert check_refinement(impl, spec, ["coin"], ["coffee", "tea"])
+
+    def test_io_partition_enforced(self):
+        with pytest.raises(ModelError):
+            check_refinement(coffee_spec(), coffee_spec(),
+                             ["coin"], ["coin"])
+
+
+class TestConsistency:
+    def test_consistent_spec(self):
+        assert check_consistency(coffee_spec(), *IO)
+
+    def test_timelocked_spec_inconsistent(self):
+        spec = Automaton("stuck", clocks=["x"])
+        spec.add_location("s", invariant=[clk("x", "<=", 1)])
+        # Nothing to do when x reaches 1: immediate inconsistency.
+        assert not check_consistency(spec, *IO)
+
+    def test_input_cannot_rescue(self):
+        spec = Automaton("needy", clocks=["x"])
+        spec.add_location("s", invariant=[clk("x", "<=", 1)])
+        spec.add_location("t")
+        spec.add_edge("s", "t", label="coin")  # input: may never arrive
+        assert not check_consistency(spec, *IO)
+
+    def test_output_rescues(self):
+        spec = Automaton("ok", clocks=["x"])
+        spec.add_location("s", invariant=[clk("x", "<=", 1)])
+        spec.add_location("t")
+        spec.add_edge("s", "t", label="coffee")
+        assert check_consistency(spec, *IO)
+
+
+class TestComposition:
+    def test_matched_labels_become_channels(self):
+        user = Automaton("User", clocks=[])
+        user.add_location("u0")
+        user.add_location("u1")
+        user.add_edge("u0", "u1", label="coin")
+        user.add_edge("u1", "u0", label="coffee")
+        network, inputs, outputs = compose(
+            user, (["coffee"], ["coin"]),
+            coffee_spec(), (["coin"], ["coffee"]))
+        assert set(network.channels) == {"coin", "coffee"}
+        assert inputs == []
+        assert set(outputs) == {"coin", "coffee"}
+
+    def test_output_clash_rejected(self):
+        with pytest.raises(ModelError):
+            compose(coffee_spec(), ([], ["coffee"]),
+                    coffee_spec(), ([], ["coffee"]))
+
+    def test_composition_runs(self):
+        """The composed system reaches the brewing state."""
+        from repro.mc import EF, LocationIs, Verifier
+
+        user = Automaton("User", clocks=["y"])
+        user.add_location("u0", invariant=[clk("y", "<=", 1)])
+        user.add_location("u1")
+        user.add_edge("u0", "u1", label="coin")
+        network, _inputs, _outputs = compose(
+            user, ([], ["coin"]), coffee_spec(), (["coin"], ["coffee"]))
+        verifier = Verifier(network)
+        name = coffee_spec().name
+        assert verifier.check(EF(LocationIs(name, "brew"))).holds

@@ -1,0 +1,125 @@
+"""Tests for the DOT and UPPAAL XML exporters."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.export import (
+    automaton_to_dot,
+    bip_to_dot,
+    export_network,
+    lts_to_dot,
+    network_to_dot,
+)
+from repro.models.brp import make_brp
+from repro.models.busspec import make_bus_spec
+from repro.models.dala import make_dala
+from repro.models.traingate import make_train, make_traingate
+
+
+def parse_xml(text):
+    """Parse exported UPPAAL XML (skipping the DOCTYPE line)."""
+    lines = [line for line in text.splitlines()
+             if not line.startswith("<!DOCTYPE")
+             and not line.startswith("<?xml")]
+    return ET.fromstring("\n".join(lines))
+
+
+class TestDot:
+    def test_automaton_dot_structure(self):
+        dot = automaton_to_dot(make_train(0, 2))
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert '"Safe"' in dot and '"Cross"' in dot
+        assert "appr_0!" in dot
+
+    def test_invariants_in_labels(self):
+        dot = automaton_to_dot(make_train(0, 2))
+        assert "x <= 20" in dot
+
+    def test_network_dot_has_clusters(self):
+        dot = network_to_dot(make_traingate(2))
+        assert dot.count("subgraph") == 3  # 2 trains + gate
+        assert "Train(0)" in dot
+
+    def test_prob_edges_rendered_with_hub(self):
+        from repro.pta import overapproximate_network  # noqa: F401
+
+        net = make_brp(2, 1, 1)
+        channel = net.process_by_name("ChannelK").automaton
+        dot = automaton_to_dot(channel)
+        assert "palt_" in dot
+        assert "0.98" in dot
+
+    def test_lts_dot(self):
+        dot = lts_to_dot(make_bus_spec(1))
+        assert "subscribe?" in dot
+        assert "deliver_a!" in dot
+
+    def test_bip_dot(self):
+        dot = bip_to_dot(make_dala(counter_bound=2))
+        assert "cluster_functional/NDD".replace("/", "") in \
+            dot.replace("/", "") or "functional" in dot
+        assert "diamond" in dot      # rendezvous connectors
+        assert "triangle" in dot     # the broadcast refresh
+
+    def test_balanced_braces(self):
+        for dot in (automaton_to_dot(make_train(0, 2)),
+                    network_to_dot(make_traingate(2)),
+                    lts_to_dot(make_bus_spec(1)),
+                    bip_to_dot(make_dala(counter_bound=2))):
+            assert dot.count("{") == dot.count("}")
+
+
+class TestUppaalXml:
+    @pytest.fixture(scope="class")
+    def xml_root(self):
+        network = make_traingate(2)
+        return parse_xml(export_network(
+            network, queries=["A[] not deadlock"]))
+
+    def test_templates_present(self, xml_root):
+        names = [t.findtext("name") for t in xml_root.findall("template")]
+        assert "Train_0_" in names and "Gate" in names
+
+    def test_channels_declared(self, xml_root):
+        decl = xml_root.findtext("declaration")
+        assert "chan appr_0;" in decl
+        assert "int len = 0;" in decl
+        assert "int list[3]" in decl
+
+    def test_clock_declaration(self, xml_root):
+        template = xml_root.find("template")
+        assert "clock x;" in template.findtext("declaration")
+
+    def test_locations_and_invariants(self, xml_root):
+        template = xml_root.find("template")
+        invariants = [label.text
+                      for label in template.iter("label")
+                      if label.get("kind") == "invariant"]
+        assert "x <= 20" in invariants
+
+    def test_synchronisation_labels(self, xml_root):
+        syncs = [label.text for label in xml_root.iter("label")
+                 if label.get("kind") == "synchronisation"]
+        assert "appr_0!" in syncs and "appr_0?" in syncs
+
+    def test_init_refs_resolve(self, xml_root):
+        for template in xml_root.findall("template"):
+            ids = {loc.get("id")
+                   for loc in template.findall("location")}
+            assert template.find("init").get("ref") in ids
+
+    def test_system_block(self, xml_root):
+        system = xml_root.findtext("system")
+        assert "system" in system
+
+    def test_queries_embedded(self, xml_root):
+        formulas = [q.findtext("formula")
+                    for q in xml_root.find("queries").findall("query")]
+        assert formulas == ["A[] not deadlock"]
+
+    def test_python_guards_marked(self):
+        network = make_traingate(2)
+        text = export_network(network)
+        assert "not exportable" in text

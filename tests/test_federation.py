@@ -1,0 +1,108 @@
+"""Unit and property tests for federations (unions of zones)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dbm import DBM, Federation, le, lt
+
+
+def interval(lo, hi, size=2, clock=1):
+    """Zone lo <= x_clock <= hi."""
+    z = DBM.zero(size).up()
+    z.constrain(clock, 0, le(hi)).constrain(0, clock, le(-lo))
+    return z
+
+
+class TestFederationBasics:
+    def test_empty(self):
+        f = Federation.empty(2)
+        assert f.is_empty()
+        assert not f.contains_point((3,))
+
+    def test_from_zone(self):
+        f = Federation.from_zone(interval(2, 5))
+        assert f.contains_point((3,))
+        assert not f.contains_point((6,))
+
+    def test_union(self):
+        f = Federation.from_zone(interval(0, 2)).union(
+            Federation.from_zone(interval(5, 7)))
+        assert f.contains_point((1,))
+        assert f.contains_point((6,))
+        assert not f.contains_point((3,))
+
+    def test_reduction_drops_subsumed(self):
+        f = Federation(2, [interval(0, 10), interval(2, 5)])
+        assert len(f) == 1
+
+    def test_intersect(self):
+        f1 = Federation.from_zone(interval(0, 6))
+        f2 = Federation.from_zone(interval(4, 9))
+        both = f1.intersect(f2)
+        assert both.contains_point((5,))
+        assert not both.contains_point((2,))
+
+    def test_subtract_middle(self):
+        f = Federation.from_zone(interval(0, 10)).subtract(
+            Federation.from_zone(interval(3, 6)))
+        assert f.contains_point((2,))
+        assert f.contains_point((7,))
+        assert not f.contains_point((4,))
+
+    def test_subtract_everything(self):
+        f = Federation.from_zone(interval(2, 4)).subtract(
+            Federation.from_zone(interval(0, 10)))
+        assert f.is_empty()
+
+    def test_complement(self):
+        f = Federation.from_zone(interval(3, 5)).complement()
+        assert f.contains_point((1,))
+        assert f.contains_point((9,))
+        assert not f.contains_point((4,))
+
+    def test_includes_zone(self):
+        f = Federation(2, [interval(0, 4), interval(4, 9)])
+        # The union covers [0,9] even though neither zone alone does.
+        assert f.includes_zone(interval(2, 7))
+        assert not f.includes_zone(interval(2, 12))
+
+    def test_equality_is_semantic(self):
+        f1 = Federation(2, [interval(0, 4), interval(4, 9)])
+        f2 = Federation(2, [interval(0, 9)])
+        assert f1 == f2
+
+    def test_up(self):
+        f = Federation.from_zone(interval(2, 3)).up()
+        assert f.contains_point((100,))
+        assert not f.contains_point((1,))
+
+    def test_down(self):
+        f = Federation.from_zone(interval(5, 6)).down()
+        assert f.contains_point((0,))
+        assert f.contains_point((6,))
+        assert not f.contains_point((7,))
+
+
+intervals = st.tuples(st.integers(0, 12), st.integers(0, 12)).map(
+    lambda t: (min(t), max(t)))
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(intervals, max_size=4), st.lists(intervals, max_size=4),
+       st.integers(0, 12))
+def test_subtract_semantics(a_ints, b_ints, x):
+    """Point-wise semantics of federation difference on 1-clock zones."""
+    fa = Federation(2, [interval(lo, hi) for lo, hi in a_ints])
+    fb = Federation(2, [interval(lo, hi) for lo, hi in b_ints])
+    diff = fa.subtract(fb)
+    in_a = any(lo <= x <= hi for lo, hi in a_ints)
+    in_b = any(lo <= x <= hi for lo, hi in b_ints)
+    assert diff.contains_point((x,)) == (in_a and not in_b)
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(intervals, max_size=4), st.integers(0, 12))
+def test_complement_semantics(ints, x):
+    f = Federation(2, [interval(lo, hi) for lo, hi in ints])
+    comp = f.complement()
+    assert comp.contains_point((x,)) == (not f.contains_point((x,)))

@@ -1,0 +1,54 @@
+"""Tests for Fischer's protocol: the classic timing-dependent mutex."""
+
+import pytest
+
+from repro.mc import EF, LocationIs, Verifier
+from repro.models.fischer import (
+    make_broken_fischer,
+    make_fischer,
+    mutual_exclusion_query,
+)
+
+
+class TestCorrectProtocol:
+    @pytest.fixture(scope="class")
+    def verifier(self):
+        return Verifier(make_fischer(3, 2))
+
+    def test_mutual_exclusion(self, verifier):
+        assert verifier.check(mutual_exclusion_query(3)).holds
+
+    def test_critical_section_reachable(self, verifier):
+        for pid in range(1, 4):
+            assert verifier.check(EF(LocationIs(f"P({pid})", "cs"))).holds
+
+    def test_deadlock_free(self, verifier):
+        assert verifier.deadlock_free().holds
+
+    def test_two_processes(self):
+        verifier = Verifier(make_fischer(2, 2))
+        assert verifier.check(mutual_exclusion_query(2)).holds
+
+
+class TestBrokenProtocol:
+    def test_mutex_violated(self):
+        verifier = Verifier(make_broken_fischer(2, 2))
+        result = verifier.check(mutual_exclusion_query(2))
+        assert not result.holds
+
+    def test_violation_has_witness(self):
+        verifier = Verifier(make_broken_fischer(2, 2))
+        result = verifier.check(
+            EF(LocationIs("P(1)", "cs") & LocationIs("P(2)", "cs")))
+        assert result.holds
+        assert result.trace is not None
+        assert len(result.trace) >= 4  # both must request, write, enter
+
+
+class TestTimingSensitivity:
+    @pytest.mark.parametrize("k", [1, 2, 5])
+    def test_safe_for_any_k(self, k):
+        """Correctness does not depend on the constant's magnitude,
+        only on write-before-check ordering."""
+        verifier = Verifier(make_fischer(2, k))
+        assert verifier.check(mutual_exclusion_query(2)).holds

@@ -1,0 +1,90 @@
+"""Online timed testing of Python train-gate controllers against the
+Fig. 1(b) specification — the E7 experiment's controller half."""
+
+import pytest
+
+from repro.mbt import OnlineTimedTester, run_timed_suite
+from repro.models.gate_impl import (
+    GateController,
+    LifoGateController,
+    SleepyGateController,
+)
+from repro.models.traingate import gate_io, make_gate_spec
+
+
+def make_tester(n_trains, rng=1):
+    inputs, outputs = gate_io(n_trains)
+    return OnlineTimedTester(make_gate_spec(n_trains), inputs=inputs,
+                             outputs=outputs, rng=rng)
+
+
+class TestCorrectController:
+    def test_passes_many_runs(self):
+        tester = make_tester(2)
+        failures = run_timed_suite(tester, GateController, n_runs=20,
+                                   duration=30, rng=2,
+                                   stimulate_bias=0.7)
+        assert failures == []
+
+    def test_passes_with_three_trains(self):
+        tester = make_tester(3)
+        failures = run_timed_suite(tester, GateController, n_runs=10,
+                                   duration=40, rng=3,
+                                   stimulate_bias=0.7)
+        assert failures == []
+
+
+class TestMutants:
+    def test_sleepy_controller_misses_deadline(self):
+        """Never stopping an approaching train leaves the spec stuck in
+        the committed Stopping location: quiescence is a failure."""
+        tester = make_tester(2)
+        failures = run_timed_suite(tester, SleepyGateController,
+                                   n_runs=15, duration=30, rng=4,
+                                   stimulate_bias=0.7)
+        assert failures
+        assert any("quiet" in f.reason for f in failures)
+
+    def test_lifo_controller_restarts_wrong_train(self):
+        """With three trains a dequeue can leave two queued: restarting
+        the tail instead of the front is observable and caught."""
+        tester = make_tester(3)
+        failures = run_timed_suite(tester, LifoGateController,
+                                   n_runs=25, duration=40, rng=5,
+                                   stimulate_bias=0.7)
+        assert failures
+        assert any("not allowed" in f.reason for f in failures)
+
+    def test_lifo_indistinguishable_with_two_trains(self):
+        """A genuine testing-theory fact: with only two trains the
+        queue never holds two trains after a dequeue, so the LIFO
+        mutant conforms — no false positives."""
+        tester = make_tester(2)
+        failures = run_timed_suite(tester, LifoGateController,
+                                   n_runs=20, duration=30, rng=6,
+                                   stimulate_bias=0.7)
+        assert failures == []
+
+
+class TestAdapterBehaviour:
+    def test_stop_emitted_same_unit(self):
+        gate = GateController()
+        gate.give_input("appr_0")
+        assert gate.advance() == []
+        gate.give_input("appr_1")
+        assert gate.advance() == ["stop_1"]
+
+    def test_go_after_leave(self):
+        gate = GateController()
+        gate.give_input("appr_0")
+        gate.advance()
+        gate.give_input("appr_1")
+        gate.advance()
+        gate.give_input("leave_0")
+        assert gate.advance() == ["go_1"]
+
+    def test_reset(self):
+        gate = GateController()
+        gate.give_input("appr_0")
+        gate.reset()
+        assert gate.queue == [] and gate.advance() == []

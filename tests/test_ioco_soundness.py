@@ -1,0 +1,65 @@
+"""Property-based test of the ioco theory's soundness theorem.
+
+Tretmans: the test-generation algorithm is *sound* — an implementation
+that is ioco-conforming to the specification never fails a generated
+test.  We generate random specification/implementation LTS pairs,
+decide ioco exactly with the product check, and verify that test
+execution verdicts agree (fail observed => non-conforming).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mbt import FAIL, LTS, LTSAdapter, ioco_check, run_test_suite
+
+INPUTS = ["i1", "i2"]
+OUTPUTS = ["o1", "o2"]
+
+
+@st.composite
+def random_iots(draw, name):
+    n_states = draw(st.integers(min_value=1, max_value=4))
+    lts = LTS(name, inputs=INPUTS, outputs=OUTPUTS)
+    for index in range(n_states):
+        lts.add_state(f"s{index}")
+    n_transitions = draw(st.integers(min_value=0, max_value=6))
+    labels = INPUTS + OUTPUTS
+    for _ in range(n_transitions):
+        source = f"s{draw(st.integers(0, n_states - 1))}"
+        target = f"s{draw(st.integers(0, n_states - 1))}"
+        label = draw(st.sampled_from(labels))
+        lts.add_transition(source, label, target)
+    return lts.make_input_enabled()
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_iots("impl"), random_iots("spec"), st.integers(0, 1000))
+def test_soundness(impl, spec, seed):
+    """fail verdict observed on impl => impl is not ioco spec."""
+    adapter = LTSAdapter(impl, rng=seed)
+    verdicts, failures = run_test_suite(spec, adapter, n_tests=8,
+                                        rng=seed + 1, max_depth=6)
+    if failures:
+        assert not ioco_check(impl, spec), (
+            "a generated test failed an ioco-conforming implementation "
+            f"(trace {failures[0]})")
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_iots("impl"), st.integers(0, 1000))
+def test_self_conformance_never_fails(impl, seed):
+    """Every IOTS conforms to itself; its tests must always pass."""
+    assert ioco_check(impl, impl)
+    adapter = LTSAdapter(impl, rng=seed)
+    _verdicts, failures = run_test_suite(impl, adapter, n_tests=6,
+                                         rng=seed + 1, max_depth=6)
+    assert failures == []
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_iots("a"), random_iots("b"))
+def test_ioco_check_is_decisive(a, b):
+    verdict = ioco_check(a, b)
+    assert verdict.conforms in (True, False)
+    if not verdict.conforms:
+        assert verdict.offending_output is not None

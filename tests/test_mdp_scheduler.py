@@ -1,0 +1,109 @@
+"""Tests for scheduler extraction and the induced Markov chain."""
+
+import pytest
+
+from repro.core import AnalysisError
+from repro.mdp import (
+    MDP,
+    expected_total_reward,
+    extract_scheduler,
+    induced_chain,
+    reachability_probability,
+    simulate_chain,
+    validate_scheduler,
+)
+
+
+def choice_mdp():
+    """s0 has a risky action (0.9 goal) and a safe sink action."""
+    m = MDP()
+    s0 = m.add_state()
+    goal = m.add_state(labels=["goal"])
+    sink = m.add_state()
+    m.add_action(s0, [(0.9, goal), (0.1, sink)], label="risky")
+    m.add_action(s0, [(1.0, sink)], label="safe")
+    return m, s0, goal, sink
+
+
+class TestExtraction:
+    def test_max_picks_risky(self):
+        m, s0, goal, sink = choice_mdp()
+        values = reachability_probability(m, {goal}, maximize=True)
+        scheduler = extract_scheduler(m, values, maximize=True)
+        label, _pairs, _r = m.actions_of(s0)[scheduler[s0]]
+        assert label == "risky"
+
+    def test_min_picks_safe(self):
+        m, s0, goal, sink = choice_mdp()
+        values = reachability_probability(m, {goal}, maximize=False)
+        scheduler = extract_scheduler(m, values, maximize=False)
+        label, _pairs, _r = m.actions_of(s0)[scheduler[s0]]
+        assert label == "safe"
+
+    def test_reward_scheduler(self):
+        m = MDP()
+        s0 = m.add_state()
+        goal = m.add_state()
+        m.add_action(s0, [(1.0, goal)], label="dear", reward=10.0)
+        m.add_action(s0, [(1.0, goal)], label="cheap", reward=2.0)
+        values = expected_total_reward(m, {goal}, maximize=False)
+        scheduler = extract_scheduler(m, values, maximize=False,
+                                      use_rewards=True)
+        label, _pairs, _r = m.actions_of(s0)[scheduler[s0]]
+        assert label == "cheap"
+
+
+class TestInducedChain:
+    def test_chain_is_deterministic(self):
+        m, s0, goal, sink = choice_mdp()
+        values = reachability_probability(m, {goal})
+        chain = induced_chain(m, extract_scheduler(m, values))
+        for state in range(chain.num_states):
+            assert len(chain.actions_of(state)) == 1
+
+    def test_chain_preserves_value(self):
+        m, s0, goal, sink = choice_mdp()
+        values = reachability_probability(m, {goal}, maximize=True)
+        chain = induced_chain(m, extract_scheduler(m, values))
+        chain_values = reachability_probability(chain, {goal})
+        assert chain_values[s0] == pytest.approx(values[s0])
+
+    def test_labels_carried_over(self):
+        m, s0, goal, sink = choice_mdp()
+        values = reachability_probability(m, {goal})
+        chain = induced_chain(m, extract_scheduler(m, values))
+        assert chain.states_with("goal") == {goal}
+
+
+class TestSimulation:
+    def test_simulate_reaches_goal(self):
+        m, s0, goal, sink = choice_mdp()
+        values = reachability_probability(m, {goal}, maximize=True)
+        chain = induced_chain(m, extract_scheduler(m, values))
+        reached, _reward, _steps = simulate_chain(chain, {goal}, rng=1)
+        assert reached in (True, False)
+
+    def test_simulate_rejects_mdp(self):
+        m, s0, goal, sink = choice_mdp()
+        m.finalize()
+        with pytest.raises(AnalysisError):
+            simulate_chain(m, {goal}, rng=2)
+
+    def test_validate_scheduler(self):
+        m, s0, goal, sink = choice_mdp()
+        values = reachability_probability(m, {goal}, maximize=True)
+        scheduler = extract_scheduler(m, values, maximize=True)
+        ok, empirical = validate_scheduler(
+            m, scheduler, {goal}, expected_probability=0.9,
+            runs=2000, rng=3)
+        assert ok, f"empirical {empirical} too far from 0.9"
+
+    def test_reward_accumulates(self):
+        m = MDP()
+        s0, s1 = m.add_state(), m.add_state()
+        goal = m.add_state()
+        m.add_action(s0, [(1.0, s1)], reward=2.0)
+        m.add_action(s1, [(1.0, goal)], reward=3.0)
+        chain = induced_chain(m, [0, 0, 0])
+        reached, reward, steps = simulate_chain(chain, {goal}, rng=4)
+        assert reached and reward == 5.0 and steps == 2

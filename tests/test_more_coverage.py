@@ -1,0 +1,175 @@
+"""Second edge-case sweep: stochastic broadcast/blocked outputs,
+D-Finder bounds, modest property variants, ECDAR composition corners,
+and miscellaneous error paths."""
+
+import pytest
+
+from repro.core import ModelError, QueryError
+from repro.modest import Emin, Pmin, Property, Reach, mcpta, mctau, modes
+from repro.smc import StochasticSimulator
+from repro.ta import Automaton, Network, clk
+
+
+class TestStochasticSync:
+    def test_broadcast_wakes_all_receivers(self):
+        tx = Automaton("T", clocks=[])
+        tx.add_location("a", rate=5.0)
+        tx.add_location("b")
+        tx.add_edge("a", "b", sync=("beat", "!"))
+        net = Network()
+        net.add_channel("beat", broadcast=True)
+        net.add_process("T", tx)
+        for name in ("R1", "R2"):
+            rx = Automaton(name, clocks=[])
+            rx.add_location("w")
+            rx.add_location("h")
+            rx.add_edge("w", "h", sync=("beat", "?"))
+            net.add_process(name, rx)
+        sim = StochasticSimulator(net.freeze(), rng=1)
+        _delay, _desc, state = sim.step(sim.initial())
+        assert sim.network.location_vector_names(state.locs) == (
+            "b", "h", "h")
+
+    def test_blocked_binary_output_is_noop(self):
+        """An output with no ready receiver cannot happen: the step
+        advances time but changes nothing."""
+        tx = Automaton("T", clocks=[])
+        tx.add_location("a", rate=5.0)
+        tx.add_location("b")
+        tx.add_edge("a", "b", sync=("msg", "!"))
+        lonely = Automaton("L", clocks=[])
+        lonely.add_location("x")  # never receives
+        net = Network()
+        net.add_channel("msg")
+        net.add_process("T", tx)
+        net.add_process("L", lonely)
+        sim = StochasticSimulator(net.freeze(), rng=2)
+        delay, description, state = sim.step(sim.initial())
+        assert description is None
+        assert sim.network.location_vector_names(state.locs)[0] == "a"
+
+    def test_receiver_clock_window_respected(self):
+        """A receiver whose clock guard has expired does not sync."""
+        tx = Automaton("T", clocks=[])
+        tx.add_location("a", rate=0.01)  # takes its time
+        tx.add_location("b")
+        tx.add_edge("a", "b", sync=("msg", "!"))
+        rx = Automaton("R", clocks=["y"])
+        rx.add_location("w")
+        rx.add_location("h")
+        rx.add_edge("w", "h", guard=[clk("y", "<=", 0)],
+                    sync=("msg", "?"))
+        net = Network()
+        net.add_channel("msg")
+        net.add_process("T", tx)
+        net.add_process("R", rx)
+        sim = StochasticSimulator(net.freeze(), rng=3)
+        # The sender's exponential delay virtually surely exceeds 0.
+        _delay, description, _state = sim.step(sim.initial())
+        assert description is None  # receiver window closed: no-op
+
+
+class TestDFinderBounds:
+    def test_configuration_bound(self):
+        from repro.bip import AtomicComponent, BIPSystem, Connector
+        from repro.bip.dfinder import find_potential_deadlocks
+
+        system = BIPSystem()
+        for k in range(3):
+            c = AtomicComponent(f"C{k}", ports=["p"])
+            for i in range(10):
+                c.add_place(f"s{i}")
+            for i in range(9):
+                c.add_transition("p", f"s{i}", f"s{i + 1}")
+            system.add_component(c)
+            system.add_connector(Connector(f"conn{k}", [(f"C{k}", "p")]))
+        with pytest.raises(MemoryError):
+            find_potential_deadlocks(system, max_configurations=10)
+
+
+class TestModestPropertyVariants:
+    SRC = """
+        bool done = false;
+        process P() {
+          clock x;
+          invariant(x <= 3) when(x >= 1) finish {= done = true =}
+        }
+        P()
+    """
+
+    @staticmethod
+    def _done(names, valuation, clocks):
+        return bool(valuation["done"])
+
+    def test_pmin(self):
+        results = mcpta(self.SRC, [Pmin("p", self._done)])
+        assert results["p"] == pytest.approx(1.0)
+
+    def test_emin(self):
+        results = mcpta(self.SRC, [Emin("t", self._done)])
+        assert results["t"] == pytest.approx(1.0)  # earliest finish
+
+    def test_reach_in_mcpta(self):
+        results = mcpta(self.SRC, [Reach("r", self._done)])
+        assert results["r"] is True
+
+    def test_unknown_property_type_rejected(self):
+        class Weird(Property):
+            pass
+
+        with pytest.raises(QueryError):
+            mcpta(self.SRC, [Weird("w", self._done)])
+        with pytest.raises(QueryError):
+            mctau(self.SRC, [Weird("w", self._done)])
+
+    def test_modes_min_delay_policy(self):
+        results = modes(self.SRC, [Emin("t", self._done)], runs=50,
+                        rng=5, policy="min-delay")
+        assert results["t"].mean == pytest.approx(1.0)
+
+    def test_load_rejects_junk(self):
+        with pytest.raises(QueryError):
+            mcpta(42, [])
+
+
+class TestECDARCorners:
+    def test_compose_keeps_unmatched_inputs(self):
+        from repro.ecdar import compose
+
+        left = Automaton("L", clocks=[])
+        left.add_location("s")
+        left.add_edge("s", "s", label="shared")
+        right = Automaton("R", clocks=[])
+        right.add_location("s")
+        right.add_edge("s", "s", label="shared")
+        right.add_edge("s", "s", label="extra_in")
+        _network, inputs, outputs = compose(
+            left, ([], ["shared"]),
+            right, (["shared", "extra_in"], []))
+        assert inputs == ["extra_in"]
+        assert outputs == ["shared"]
+
+    def test_consistency_of_pure_sink(self):
+        from repro.ecdar import check_consistency
+
+        spec = Automaton("S", clocks=[])
+        spec.add_location("s")  # no invariant: time diverges happily
+        assert check_consistency(spec, [], ["out"])
+
+
+class TestMdpBoundedOnDigital:
+    def test_bounded_steps_on_pta(self):
+        from repro.mdp import bounded_reachability
+        from repro.pta import PTA, PTANetwork, build_digital_mdp
+
+        a = PTA("A", clocks=["x"])
+        a.add_location("s", invariant=[clk("x", "<=", 1)])
+        a.add_location("t")
+        a.add_edge("s", "t", guard=[clk("x", ">=", 1)])
+        net = PTANetwork()
+        net.add_process("A", a)
+        digital = build_digital_mdp(net)
+        target = digital.location_states("A", "t")
+        # Needs two MDP steps: tick then the edge.
+        assert bounded_reachability(digital.mdp, target, 1)[0] == 0.0
+        assert bounded_reachability(digital.mdp, target, 2)[0] == 1.0

@@ -1,0 +1,95 @@
+"""Tests for partial-order confluence checking (scheduler-free modes)."""
+
+import pytest
+
+from repro.core import AnalysisError, Assignment, Declarations, Var
+from repro.pta import (
+    DigitalSimulator,
+    PTANetwork,
+    check_confluent,
+    independent,
+)
+from repro.ta import Automaton, discrete_transitions
+from repro.ta.network import Network
+
+
+def two_counters(shared=False, opaque=False):
+    """Two looping processes; independent unless they share a variable
+    or use opaque (callable) updates."""
+    decls = Declarations()
+    decls.declare_int("a", 0)
+    decls.declare_int("b", 0)
+    network = PTANetwork()
+    network.declarations = decls
+    for name, var in (("P", "a"), ("Q", "a" if shared else "b")):
+        automaton = Automaton(name, clocks=[])
+        automaton.add_location("s")
+        if opaque:
+            update = [lambda env, v=var: env.__setitem__(
+                v, env[v] + 1)]
+        else:
+            update = [Assignment(var, Var(var) + 1)]
+        automaton.add_edge("s", "s", update=update, label=f"inc_{name}")
+        network.add_process(name, automaton)
+    return network.freeze()
+
+
+def enabled(network):
+    return discrete_transitions(
+        network, network.initial_locations(),
+        network.initial_valuation())
+
+
+class TestIndependence:
+    def test_disjoint_processes_and_data(self):
+        t1, t2 = enabled(two_counters(shared=False))
+        assert independent(t1, t2)
+
+    def test_shared_variable_dependent(self):
+        t1, t2 = enabled(two_counters(shared=True))
+        assert not independent(t1, t2)
+
+    def test_opaque_updates_conservative(self):
+        t1, t2 = enabled(two_counters(shared=False, opaque=True))
+        assert not independent(t1, t2)
+
+    def test_same_process_dependent(self):
+        decls = Declarations()
+        decls.declare_int("a", 0)
+        network = Network()
+        network.declarations = decls
+        automaton = Automaton("P", clocks=[])
+        automaton.add_location("s")
+        automaton.add_location("t")
+        automaton.add_edge("s", "t", update=[Assignment("a", 1)])
+        automaton.add_edge("s", "s")
+        network.add_process("P", automaton)
+        network.freeze()
+        t1, t2 = enabled(network)
+        assert not independent(t1, t2)
+
+    def test_check_confluent_raises_on_conflict(self):
+        transitions = enabled(two_counters(shared=True))
+        with pytest.raises(AnalysisError):
+            check_confluent(transitions)
+
+    def test_check_confluent_passes_independent(self):
+        assert check_confluent(enabled(two_counters(shared=False)))
+
+
+class TestPorPolicy:
+    def test_confluent_model_simulates(self):
+        simulator = DigitalSimulator(two_counters(shared=False),
+                                     policy="por", rng=1)
+        run = simulator.run(
+            stop=lambda names, v, c: v["a"] >= 3 and v["b"] >= 3,
+            max_steps=500)
+        # Both counters advanced (order did not matter).
+        assert run.final_state.valuation["a"] >= 3
+        assert run.final_state.valuation["b"] >= 3
+
+    def test_conflicting_model_aborts(self):
+        simulator = DigitalSimulator(two_counters(shared=True),
+                                     policy="por", rng=2)
+        with pytest.raises(AnalysisError):
+            simulator.run(max_steps=50)

@@ -1,0 +1,99 @@
+"""Tests for the UPPAAL-style textual query language.
+
+Includes the paper's Section II-a queries written verbatim(ish) and
+checked against the train-gate model.
+"""
+
+import pytest
+
+from repro.core import QueryError
+from repro.mc import (
+    AF,
+    AG,
+    EF,
+    EG,
+    LeadsTo,
+    Verifier,
+    parse_query,
+)
+from repro.models.traingate import make_traingate
+
+
+class TestParsing:
+    def test_quantified_query_shape(self):
+        q = parse_query("A[] forall (i : 0..2) Train(i).Safe")
+        assert isinstance(q, AG)
+
+    def test_path_operators(self):
+        assert isinstance(parse_query("E<> P.loc"), EF)
+        assert isinstance(parse_query("A<> P.loc"), AF)
+        assert isinstance(parse_query("E[] P.loc"), EG)
+        assert isinstance(parse_query("A[] P.loc"), AG)
+
+    def test_leadsto(self):
+        q = parse_query("Train(0).Appr --> Train(0).Cross")
+        assert isinstance(q, LeadsTo)
+
+    def test_deadlock(self):
+        q = parse_query("A[] not deadlock")
+        assert isinstance(q, AG)
+
+    def test_variable_comparison(self):
+        q = parse_query("E<> len > 1")
+        assert isinstance(q, EF)
+
+    def test_errors(self):
+        with pytest.raises(QueryError):
+            parse_query("P.loc")  # no path operator
+        with pytest.raises(QueryError):
+            parse_query("A[] P.loc extra")
+        with pytest.raises(QueryError):
+            parse_query("A[] @@@")
+        with pytest.raises(QueryError):
+            parse_query("A[] forall (i : a..b) P.loc")
+
+    def test_parentheses_and_not(self):
+        q = parse_query("E<> !(Gate.Free || Gate.Occ)")
+        assert isinstance(q, EF)
+
+
+class TestAgainstTrainGate:
+    """The exact property texts of Section II-a."""
+
+    @pytest.fixture(scope="class")
+    def verifier(self):
+        return Verifier(make_traingate(2))
+
+    def test_safety_verbatim(self, verifier):
+        result = verifier.check(
+            "A[] forall (i : 0..1) forall (j : 0..1) "
+            "Train(i).Cross && Train(j).Cross imply i == j")
+        assert result.holds
+
+    def test_liveness_verbatim(self, verifier):
+        for i in range(2):
+            result = verifier.check(
+                f"Train({i}).Appr --> Train({i}).Cross")
+            assert result.holds
+
+    def test_deadlock_verbatim(self, verifier):
+        assert verifier.check("A[] not deadlock").holds
+
+    def test_reachability_with_data(self, verifier):
+        assert verifier.check("E<> len == 2").holds
+        assert not verifier.check("E<> len == 3").holds
+
+    def test_exists_quantifier(self, verifier):
+        assert verifier.check(
+            "E<> exists (i : 0..1) Train(i).Cross").holds
+
+    def test_negative_safety(self, verifier):
+        """A deliberately false property is refuted."""
+        assert not verifier.check(
+            "A[] forall (i : 0..1) Train(i).Safe").holds
+
+    def test_imply_precedence(self, verifier):
+        # 'imply' binds loosest: (a && b) imply c.
+        result = verifier.check(
+            "A[] Train(0).Cross && Train(1).Cross imply len == 99")
+        assert result.holds  # antecedent unsatisfiable

@@ -1,0 +1,159 @@
+"""Unit tests for timed-automata syntax and network construction."""
+
+import pytest
+
+from repro.core import ModelError
+from repro.ta import Automaton, ClockAtom, Network, clk
+from repro.dbm import le, lt
+
+
+class TestClockAtom:
+    def test_bad_operator(self):
+        with pytest.raises(ModelError):
+            ClockAtom("x", "<>", 3)
+
+    def test_encoded_upper(self):
+        atom = clk("x", "<=", 7)
+        [(i, j, b)] = list(atom.encoded_constraints({"x": 1}.__getitem__))
+        assert (i, j, b) == (1, 0, le(7))
+
+    def test_encoded_strict_upper(self):
+        atom = clk("x", "<", 7)
+        [(i, j, b)] = list(atom.encoded_constraints({"x": 1}.__getitem__))
+        assert b == lt(7)
+
+    def test_encoded_lower(self):
+        atom = clk("x", ">=", 3)
+        [(i, j, b)] = list(atom.encoded_constraints({"x": 2}.__getitem__))
+        assert (i, j, b) == (0, 2, le(-3))
+
+    def test_encoded_equality_gives_two(self):
+        atom = clk("x", "==", 4)
+        got = list(atom.encoded_constraints({"x": 1}.__getitem__))
+        assert len(got) == 2
+
+    def test_encoded_diagonal(self):
+        atom = clk("x", "<=", 2, other="y")
+        index = {"x": 1, "y": 2}.__getitem__
+        [(i, j, b)] = list(atom.encoded_constraints(index))
+        assert (i, j, b) == (1, 2, le(2))
+
+    def test_holds_concrete(self):
+        assert clk("x", "<=", 5).holds(5)
+        assert not clk("x", "<", 5).holds(5)
+        assert clk("x", ">=", 5).holds(5)
+        assert clk("x", ">", 5).holds(6)
+        assert clk("x", "==", 5).holds(5)
+
+    def test_is_upper_bound(self):
+        assert clk("x", "<=", 5).is_upper_bound()
+        assert clk("x", "==", 5).is_upper_bound()
+        assert not clk("x", ">=", 5).is_upper_bound()
+
+
+class TestAutomaton:
+    def test_duplicate_location(self):
+        a = Automaton("A")
+        a.add_location("s")
+        with pytest.raises(ModelError):
+            a.add_location("s")
+
+    def test_edge_unknown_location(self):
+        a = Automaton("A")
+        a.add_location("s")
+        with pytest.raises(ModelError):
+            a.add_edge("s", "nowhere")
+
+    def test_edge_unknown_clock_reset(self):
+        a = Automaton("A", clocks=["x"])
+        a.add_location("s")
+        with pytest.raises(ModelError):
+            a.add_edge("s", "s", resets=[("y", 0)])
+
+    def test_validate_unknown_clock_in_guard(self):
+        a = Automaton("A", clocks=["x"])
+        a.add_location("s")
+        a.add_edge("s", "s", guard=[clk("z", "<=", 1)])
+        with pytest.raises(ModelError):
+            a.validate()
+
+    def test_committed_and_urgent_conflict(self):
+        a = Automaton("A")
+        with pytest.raises(ModelError):
+            a.add_location("s", committed=True, urgent=True)
+
+    def test_first_location_is_initial(self):
+        a = Automaton("A")
+        a.add_location("first")
+        a.add_location("second")
+        assert a.initial_location == "first"
+
+    def test_bad_sync_direction(self):
+        a = Automaton("A")
+        a.add_location("s")
+        with pytest.raises(ModelError):
+            a.add_edge("s", "s", sync=("c", "x"))
+
+
+class TestNetwork:
+    def _simple(self):
+        a = Automaton("A", clocks=["x"])
+        a.add_location("s0", invariant=[clk("x", "<=", 5)])
+        a.add_location("s1")
+        a.add_edge("s0", "s1", guard=[clk("x", ">=", 2)], resets=[("x", 0)])
+        return a
+
+    def test_clock_renaming(self):
+        net = Network()
+        net.add_process("P", self._simple())
+        net.add_process("Q", self._simple())
+        assert net.clock_names == ("P.x", "Q.x")
+        assert net.dbm_size == 3
+        assert net.process_by_name("P").resolve_clock("x") == 1
+        assert net.process_by_name("Q").resolve_clock("x") == 2
+
+    def test_duplicate_process(self):
+        net = Network()
+        net.add_process("P", self._simple())
+        with pytest.raises(ModelError):
+            net.add_process("P", self._simple())
+
+    def test_unknown_channel_detected_on_freeze(self):
+        a = Automaton("A")
+        a.add_location("s")
+        a.add_edge("s", "s", sync=("ghost", "!"))
+        net = Network()
+        net.add_process("P", a)
+        with pytest.raises(ModelError):
+            net.freeze()
+
+    def test_duplicate_channel(self):
+        net = Network()
+        net.add_channel("c")
+        with pytest.raises(ModelError):
+            net.add_channel("c")
+
+    def test_frozen_rejects_additions(self):
+        net = Network()
+        net.add_process("P", self._simple())
+        net.freeze()
+        with pytest.raises(ModelError):
+            net.add_channel("c")
+        with pytest.raises(ModelError):
+            net.add_process("Q", self._simple())
+
+    def test_max_constants(self):
+        net = Network()
+        net.add_process("P", self._simple())
+        assert net.max_constants() == [0, 5]
+        assert net.max_constants({1: 100}) == [0, 100]
+
+    def test_unknown_process(self):
+        net = Network()
+        with pytest.raises(ModelError):
+            net.process_by_name("nope")
+
+    def test_location_vector_names(self):
+        net = Network()
+        net.add_process("P", self._simple())
+        assert net.location_vector_names((1,)) == ("s1",)

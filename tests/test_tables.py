@@ -1,0 +1,59 @@
+"""Tests for the result-table formatter used by the bench harness."""
+
+import pytest
+
+from repro.core import ResultTable, format_number
+
+
+class TestFormatNumber:
+    def test_none_is_na(self):
+        assert format_number(None) == "n/a"
+
+    def test_booleans(self):
+        assert format_number(True) == "true"
+        assert format_number(False) == "false"
+
+    def test_integers(self):
+        assert format_number(42) == "42"
+
+    def test_strings_pass_through(self):
+        assert format_number("[0, 1]") == "[0, 1]"
+
+    def test_zero(self):
+        assert format_number(0.0) == "0"
+
+    def test_scientific_for_small(self):
+        assert "e-04" in format_number(4.233e-4)
+
+    def test_plain_for_medium(self):
+        assert format_number(33.473) == "33.47"
+
+
+class TestResultTable:
+    def test_render_alignment(self):
+        table = ResultTable("a", "bbbb")
+        table.add_row(1, 2)
+        table.add_row(100, 20000)
+        lines = table.render().splitlines()
+        assert len({len(line) for line in lines}) == 1  # aligned
+
+    def test_title(self):
+        table = ResultTable("x", title="My Table")
+        table.add_row(1)
+        assert table.render().startswith("My Table")
+
+    def test_cell_count_checked(self):
+        table = ResultTable("a", "b")
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_values_formatted(self):
+        table = ResultTable("p")
+        table.add_row(4.233e-4)
+        assert "4.233e-04" in table.render()
+
+    def test_print_smoke(self, capsys):
+        table = ResultTable("a")
+        table.add_row(True)
+        table.print()
+        assert "true" in capsys.readouterr().out

@@ -1,0 +1,109 @@
+"""Tests for time-optimal strategy synthesis."""
+
+import math
+
+import pytest
+
+from repro.models.traingame import crossing_predicate, make_traingame
+from repro.ta import Automaton, DiscreteSemantics, Network, clk
+from repro.tiga import (
+    GameGraph,
+    execute,
+    optimal_time_from_initial,
+    solve_time_optimal,
+)
+
+
+def single_game(automaton):
+    net = Network()
+    net.add_process("P", automaton)
+    return net
+
+
+class TestSimpleOptimal:
+    def test_pure_wait(self):
+        """Goal enabled at x >= 3; optimal time is exactly 3."""
+        a = Automaton("A", clocks=["x"])
+        a.add_location("s", invariant=[clk("x", "<=", 5)])
+        a.add_location("goal")
+        a.add_edge("s", "goal", guard=[clk("x", ">=", 3)],
+                   controllable=True)
+        graph = GameGraph(single_game(a))
+        value, _strategy = optimal_time_from_initial(
+            graph, lambda n, v, c: n[0] == "goal")
+        assert value == 3.0
+
+    def test_choice_of_paths(self):
+        """Fast direct edge (after 2) vs detour (after 1 + after 4):
+        optimal picks the direct 2."""
+        a = Automaton("A", clocks=["x"])
+        a.add_location("s", invariant=[clk("x", "<=", 10)])
+        a.add_location("mid", invariant=[clk("x", "<=", 10)])
+        a.add_location("goal")
+        a.add_edge("s", "goal", guard=[clk("x", ">=", 2)],
+                   controllable=True)
+        a.add_edge("s", "mid", guard=[clk("x", ">=", 1)],
+                   resets=[("x", 0)], controllable=True)
+        a.add_edge("mid", "goal", guard=[clk("x", ">=", 4)],
+                   controllable=True)
+        graph = GameGraph(single_game(a))
+        value, _strategy = optimal_time_from_initial(
+            graph, lambda n, v, c: n[0] == "goal")
+        assert value == 2.0
+
+    def test_adversary_worsens_time(self):
+        """The environment can divert to a slow lane: worst case counts
+        the slow lane."""
+        a = Automaton("A", clocks=["x"])
+        a.add_location("s", invariant=[clk("x", "<=", 1)])
+        a.add_location("slow", invariant=[clk("x", "<=", 9)])
+        a.add_location("goal")
+        a.add_edge("s", "goal", guard=[clk("x", ">=", 1)],
+                   controllable=True)
+        a.add_edge("s", "slow", resets=[("x", 0)], controllable=False)
+        a.add_edge("slow", "goal", guard=[clk("x", ">=", 9)],
+                   controllable=True)
+        graph = GameGraph(single_game(a))
+        value, _strategy = optimal_time_from_initial(
+            graph, lambda n, v, c: n[0] == "goal")
+        # Diverted at x=0..1 then 9 more in the slow lane.
+        assert value == pytest.approx(10.0)
+
+    def test_unwinnable_is_infinite(self):
+        a = Automaton("A", clocks=[])
+        a.add_location("s")
+        a.add_location("goal")
+        a.add_edge("s", "goal", controllable=False)  # env may refuse
+        graph = GameGraph(single_game(a))
+        value, _strategy = optimal_time_from_initial(
+            graph, lambda n, v, c: n[0] == "goal")
+        assert math.isinf(value)
+
+
+class TestTrainGameOptimal:
+    def test_optimal_crossing_time(self):
+        """From 'train 0 approaching', the invariant forces crossing by
+        20; any controller interference (stop/go) only delays it."""
+        net = make_traingame(2)
+        semantics = DiscreteSemantics(net)
+        appr = next(
+            succ for transition, succ in
+            semantics.action_successors(semantics.initial())
+            if transition.channel == "appr_0")
+        graph = GameGraph(net, initial_state=appr)
+        value, strategy = optimal_time_from_initial(
+            graph, crossing_predicate(0))
+        assert value == 20.0
+        # The strategy also wins plays.
+        goal = graph.satisfying(crossing_predicate(0))
+        result = execute(strategy, rng=1, max_steps=500)
+        assert result.reached_goal
+
+    def test_values_monotone_under_goal_growth(self):
+        net = make_traingame(2)
+        graph = GameGraph(net)
+        small_goal = graph.satisfying(crossing_predicate(0))
+        big_goal = small_goal | graph.satisfying(crossing_predicate(1))
+        v_small, _ = solve_time_optimal(graph, small_goal)
+        v_big, _ = solve_time_optimal(graph, big_goal)
+        assert all(b <= s + 1e-9 for s, b in zip(v_small, v_big))

@@ -1,0 +1,66 @@
+"""Tests for the TRON-style timed online tester (rtioco)."""
+
+import pytest
+
+from repro.core import ModelError
+from repro.mbt import OnlineTimedTester, run_timed_suite
+from repro.models.busspec import (
+    CoffeeMachine,
+    EagerCoffeeMachine,
+    SlowCoffeeMachine,
+    make_coffee_spec,
+)
+
+
+@pytest.fixture()
+def tester():
+    return OnlineTimedTester(make_coffee_spec(), inputs=["coin"],
+                             outputs=["coffee"], rng=1)
+
+
+class TestOnlineTimedTester:
+    def test_label_partition_enforced(self):
+        with pytest.raises(ModelError):
+            OnlineTimedTester(make_coffee_spec(), inputs=["coin"],
+                              outputs=["coin"])
+
+    def test_correct_machine_passes(self, tester):
+        for brew_time in (2, 3, 4):
+            result = tester.run(CoffeeMachine(brew_time), duration=40)
+            assert result.passed, result
+
+    def test_slow_machine_fails_on_deadline(self, tester):
+        failures = run_timed_suite(
+            tester, SlowCoffeeMachine, n_runs=10, duration=40, rng=2)
+        assert failures
+        assert any("quiet past a deadline" in f.reason for f in failures)
+
+    def test_eager_machine_fails_too_early(self, tester):
+        failures = run_timed_suite(
+            tester, EagerCoffeeMachine, n_runs=10, duration=40, rng=3)
+        assert failures
+        assert any("not allowed" in f.reason for f in failures)
+
+    def test_unknown_output_fails(self, tester):
+        class TeaMachine(CoffeeMachine):
+            def advance(self):
+                outs = super().advance()
+                return ["tea" if o == "coffee" else o for o in outs]
+
+        result = None
+        for seed in range(10):
+            tester.rng = type(tester.rng)(seed)
+            result = tester.run(TeaMachine(), duration=30)
+            if not result.passed:
+                break
+        assert result is not None and not result.passed
+
+    def test_trace_records_events(self, tester):
+        result = tester.run(CoffeeMachine(), duration=30)
+        kinds = {kind for _t, kind, _lbl in result.trace}
+        assert "in" in kinds and "out" in kinds
+
+    def test_correct_machine_suite_has_no_failures(self, tester):
+        failures = run_timed_suite(
+            tester, CoffeeMachine, n_runs=15, duration=30, rng=4)
+        assert failures == []

@@ -1,0 +1,73 @@
+"""Tests for the WCET case study (CORA application, Section II)."""
+
+import pytest
+
+from repro.core import AnalysisError
+from repro.cora import (
+    PricedTA,
+    max_cost_reachability,
+    min_cost_reachability,
+)
+from repro.models.wcet import (
+    at_done,
+    expected_bcet,
+    expected_wcet,
+    make_wcet_model,
+)
+from repro.ta import Automaton, Network
+
+
+@pytest.mark.parametrize("iterations", [1, 2, 3])
+def test_wcet_matches_closed_form(iterations):
+    priced = make_wcet_model(iterations)
+    result = max_cost_reachability(priced, at_done)
+    assert result.cost == expected_wcet(iterations)
+
+
+@pytest.mark.parametrize("iterations", [1, 2, 3])
+def test_bcet_matches_closed_form(iterations):
+    priced = make_wcet_model(iterations)
+    result = min_cost_reachability(priced, at_done)
+    assert result.cost == expected_bcet(iterations)
+
+
+def test_wcet_exceeds_bcet():
+    priced = make_wcet_model(3)
+    wcet = max_cost_reachability(priced, at_done).cost
+    bcet = min_cost_reachability(priced, at_done).cost
+    assert wcet > bcet
+
+
+def test_wcet_trace_is_returned():
+    priced = make_wcet_model(1)
+    result = max_cost_reachability(priced, at_done)
+    assert result.trace is not None
+    assert len(result.trace) > 0
+
+
+def test_unbounded_loop_detected():
+    """A zero-guard self-loop makes the maximum unbounded."""
+    automaton = Automaton("A", clocks=["x"])
+    automaton.add_location("spin")
+    automaton.add_location("goal")
+    automaton.add_edge("spin", "spin", resets=[("x", 0)])
+    automaton.add_edge("spin", "goal")
+    network = Network()
+    network.add_process("P", automaton)
+    priced = PricedTA(network)
+    priced.set_rate("P", "spin", 1)
+    with pytest.raises(AnalysisError):
+        max_cost_reachability(
+            priced, lambda names, v, c: names[0] == "goal")
+
+
+def test_unreachable_goal_max():
+    automaton = Automaton("A", clocks=[])
+    automaton.add_location("s")
+    automaton.add_location("island")
+    network = Network()
+    network.add_process("P", automaton)
+    priced = PricedTA(network)
+    result = max_cost_reachability(
+        priced, lambda names, v, c: names[0] == "island")
+    assert result.cost is None
