@@ -1,0 +1,144 @@
+"""Parallel SMC throughput: speedup vs. worker count.
+
+SMC settles properties "with a desired level of confidence based on
+random simulation runs" (paper, Section II) and its throughput is
+bounded only by independent-run generation, so it should scale with
+workers.  This benchmark measures exactly that on the paper's two
+simulation workloads:
+
+* the train-gate ``Pr[<=100](<> Train(0).Cross)`` estimation behind
+  Fig. 4 (UPPAAL-SMC stochastic race semantics), and
+* the BRP ``modes`` column of Table I (discrete-event simulation of the
+  MODEST model).
+
+Because every run draws its seed from the master source's spawn
+stream, the parallel estimates are asserted bit-identical to the
+serial ones — the speedup is free of statistical caveats.
+
+Run counts scale down for smoke testing via ``REPRO_PAR_RUNS``.
+
+Standalone use (CI uploads the JSON as a build artifact)::
+
+    python benchmarks/bench_parallel_smc.py --quick --json out.json
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.core import ResultTable
+from repro.models import brp_modest as bm
+from repro.models.traingate import cross_predicate, make_traingate
+from repro.modest.toolset import Pmax, modes
+from repro.runtime import ParallelExecutor, SerialExecutor, Spec
+from repro.smc import probability_estimate
+
+RUNS = int(os.environ.get("REPRO_PAR_RUNS", "200"))
+TRAINGATE = Spec(make_traingate, 6)
+CROSS0 = Spec(cross_predicate, 0)
+BRP_SOURCE = bm.brp_modest_source(16, 2, 1)
+
+
+def traingate_estimate(executor, runs=RUNS):
+    return probability_estimate(TRAINGATE, CROSS0, horizon=100, runs=runs,
+                                rng=42, executor=executor)
+
+
+def brp_modes_estimate(executor, runs=RUNS):
+    results = modes(BRP_SOURCE, [Pmax("P1", bm.not_success)], runs=runs,
+                    rng=42, max_time=200, executor=executor)
+    return results["P1"]
+
+
+WORKLOADS = {
+    "traingate-smc": traingate_estimate,
+    "brp-modes": brp_modes_estimate,
+}
+
+
+@pytest.mark.benchmark(group="parallel-smc")
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+@pytest.mark.parametrize("workers", [0, 2, 4])
+def test_parallel_smc_scaling(benchmark, workload, workers):
+    """Wall time per executor; 0 workers = SerialExecutor baseline.
+
+    Identity of the estimates across executors is asserted, so this
+    doubles as an end-to-end determinism check on real workloads.
+    """
+    run = WORKLOADS[workload]
+    reference = run(SerialExecutor())
+    if workers == 0:
+        estimate = benchmark.pedantic(run, args=(SerialExecutor(),),
+                                      rounds=1, iterations=1)
+    else:
+        with ParallelExecutor(workers=workers) as executor:
+            run(executor, runs=4)  # warm the pool and per-worker caches
+            estimate = benchmark.pedantic(run, args=(executor,),
+                                          rounds=1, iterations=1)
+    assert (estimate.successes, estimate.runs) == \
+        (reference.successes, reference.runs)
+
+
+def measure(run, workers_list, runs):
+    """Wall-clock one serial and several parallel executions; returns
+    rows of ``(workers, seconds, speedup)`` with workers=0 = serial.
+    The serial baseline is always measured, so 0 in ``workers_list``
+    is ignored rather than passed to :class:`ParallelExecutor`."""
+    start = time.perf_counter()
+    reference = run(SerialExecutor(), runs=runs)
+    serial_time = time.perf_counter() - start
+    rows = [{"workers": 0, "seconds": serial_time, "speedup": 1.0}]
+    for workers in workers_list:
+        if workers == 0:
+            continue
+        with ParallelExecutor(workers=workers) as executor:
+            run(executor, runs=4)  # warm the pool and per-worker caches
+            start = time.perf_counter()
+            estimate = run(executor, runs=runs)
+            elapsed = time.perf_counter() - start
+        if (estimate.successes, estimate.runs) != (reference.successes,
+                                                   reference.runs):
+            raise AssertionError(
+                f"parallel estimate diverged at {workers} workers")
+        rows.append({"workers": workers, "seconds": elapsed,
+                     "speedup": serial_time / elapsed})
+    return rows
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small run budget (CI smoke)")
+    parser.add_argument("--runs", type=int, default=None,
+                        help="simulation runs per measurement")
+    parser.add_argument("--workers", type=int, nargs="+",
+                        default=[2, 4], help="worker counts to measure")
+    parser.add_argument("--json", dest="json_path", default=None,
+                        help="write results as JSON to this path")
+    args = parser.parse_args(argv)
+    runs = args.runs or (200 if args.quick else 2000)
+
+    report = {"runs": runs, "cpus": os.cpu_count(), "workloads": {}}
+    for name, run in sorted(WORKLOADS.items()):
+        rows = measure(run, args.workers, runs)
+        report["workloads"][name] = rows
+        table = ResultTable("workers", "seconds", "speedup",
+                            title=f"{name} ({runs} runs)")
+        for row in rows:
+            label = row["workers"] or "serial"
+            table.add_row(label, round(row["seconds"], 3),
+                          round(row["speedup"], 2))
+        table.print()
+
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"wrote {args.json_path}")
+
+
+if __name__ == "__main__":
+    main()

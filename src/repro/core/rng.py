@@ -3,6 +3,16 @@
 A thin wrapper over :mod:`random.Random` so every simulation entry point
 takes either a seed or a ready-made source, making all experiments in the
 benchmark harness reproducible.
+
+Child streams for parallel experiment arms come from :meth:`RandomSource.spawn`:
+the parent draws a fresh 64-bit seed for the child and records the child's
+*spawn key* — the chain of spawn indices from the root source — so
+experiment logs can identify exactly which arm of which master seed
+produced a value even though the parent's ``seed`` attribute no longer
+describes its advanced internal state.  Spawning is deterministic: the
+k-th child of a source seeded with ``s`` is the same in every process,
+which is what the parallel runtime (:mod:`repro.runtime`) relies on to
+make worker count and batch size irrelevant to the results.
 """
 
 from __future__ import annotations
@@ -13,9 +23,11 @@ import random
 class RandomSource:
     """Seedable RNG with the few primitives the engines need."""
 
-    def __init__(self, seed=None):
+    def __init__(self, seed=None, spawn_key=()):
         self._random = random.Random(seed)
         self.seed = seed
+        self.spawn_key = tuple(spawn_key)
+        self._spawn_count = 0
 
     def random(self):
         return self._random.random()
@@ -37,10 +49,22 @@ class RandomSource:
         self._random.shuffle(sequence)
 
     def spawn(self):
-        """An independent child source (for parallel experiment arms)."""
-        return RandomSource(self._random.getrandbits(64))
+        """An independent child source (for parallel experiment arms).
+
+        The child's seed is drawn from this stream, and its
+        ``spawn_key`` extends this source's key with the child's index,
+        so successive spawns are deterministic given the master seed and
+        each child is identifiable in logs and reprs.
+        """
+        child = RandomSource(self._random.getrandbits(64),
+                             spawn_key=self.spawn_key + (self._spawn_count,))
+        self._spawn_count += 1
+        return child
 
     def __repr__(self):
+        if self.spawn_key:
+            return (f"RandomSource(seed={self.seed!r}, "
+                    f"spawn_key={self.spawn_key!r})")
         return f"RandomSource(seed={self.seed!r})"
 
 

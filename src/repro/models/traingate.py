@@ -140,6 +140,20 @@ def train_process_names(n_trains):
     return [f"Train({t})" for t in range(n_trains)]
 
 
+def cross_predicate(train):
+    """State predicate: is train ``train`` in its ``Cross`` location?
+
+    Module-level factory so SMC queries over the train gate can cross
+    process boundaries as ``Spec(cross_predicate, i)`` (see
+    :mod:`repro.runtime`) — the closure itself is built inside each
+    worker.
+    """
+    def predicate(names, _valuation, _clocks):
+        return names[train] == "Cross"
+
+    return predicate
+
+
 def make_gate_spec(n_trains=2):
     """The controller alone, as a *testing specification* for the
     TRON-style online tester (Section V / E7): edges carry labels

@@ -181,8 +181,66 @@ def to_uppaal_xml(model, queries=()):
                           queries=queries)
 
 
+_LOAD_CACHE = {}
+
+
+def load_cached(model):
+    """Like :func:`load`, memoised per process for hashable model forms
+    (MODEST source text, :class:`~repro.runtime.Spec` references) —
+    workers parse/flatten a model once, not once per batch."""
+    from ..runtime.spec import build_cached
+
+    try:
+        return _LOAD_CACHE[model]
+    except TypeError:
+        return load(build_cached(model))
+    except KeyError:
+        network = load(build_cached(model))
+        _LOAD_CACHE[model] = network
+        return network
+
+
+def _watch_hits(properties, hit_time):
+    def watch(elapsed, names, valuation, clocks):
+        for p in properties:
+            if hit_time[p.name] is None and p.predicate(
+                    names, valuation, clocks):
+                hit_time[p.name] = elapsed
+
+    def stopper(names, valuation, clocks):
+        # Stop early once every watched predicate is settled.
+        return all(t is not None for t in hit_time.values())
+
+    return watch, stopper
+
+
+def modes_batch(model, properties, policy, max_time, seeds):
+    """One batch of seeded modes runs; the worker entry point.
+
+    Returns, per seed in order, a ``{property_name: first-hit-time or
+    None}`` dict.  ``model`` must be hashable-picklable (MODEST source
+    text or a :class:`~repro.runtime.Spec`) and property predicates
+    module-level callables or specs.
+    """
+    from ..core.rng import RandomSource
+    from ..smc.stochastic import resolve_predicate
+
+    network = load_cached(model)
+    resolved = [type(p)(p.name, resolve_predicate(p.predicate))
+                for p in properties]
+    out = []
+    for seed in seeds:
+        simulator = DigitalSimulator(network, policy=policy,
+                                     rng=RandomSource(seed))
+        hit_time = {p.name: None for p in resolved}
+        watch, stopper = _watch_hits(resolved, hit_time)
+        simulator.run(stop=stopper, observer=watch, max_time=max_time)
+        out.append(hit_time)
+    return out
+
+
 def modes(model, properties, runs=10000, rng=None, policy="max-delay",
-          max_time=None, confidence=0.95):
+          max_time=None, confidence=0.95, executor=None, batch_size=None):
     """Statistical estimation by discrete-event simulation.
 
     For probability properties returns a
@@ -191,36 +249,39 @@ def modes(model, properties, runs=10000, rng=None, policy="max-delay",
     simulator's scheduler ``policy`` — the results are estimates for
     *that scheduler*, the standard caveat of simulating nondeterministic
     models (paper, Section III-A).
+
+    With an ``executor`` (see :mod:`repro.runtime`) the ``runs`` budget
+    fans out to worker processes in batches with per-run seeds spawned
+    from ``rng``; ``model`` must then be MODEST source text or a
+    :class:`~repro.runtime.Spec` (both picklable), and property
+    predicates module-level functions or specs.  Estimates are
+    bit-identical for any worker count and batch size.
     """
-    network = load(model)
-    simulator = DigitalSimulator(network, policy=policy, rng=rng)
     reach_props = [p for p in properties
                    if isinstance(p, (Reach, Pmax, Pmin))]
     time_props = [p for p in properties if isinstance(p, (Emax, Emin))]
     observed = {p.name: 0 for p in reach_props}
     durations = {p.name: [] for p in time_props}
 
-    for _ in range(runs):
-        hit_time = {p.name: None for p in properties}
+    if executor is None:
+        network = load_cached(model)
+        simulator = DigitalSimulator(network, policy=policy, rng=rng)
+        for _ in range(runs):
+            hit_time = {p.name: None for p in properties}
+            watch, stopper = _watch_hits(properties, hit_time)
+            simulator.run(stop=stopper, observer=watch, max_time=max_time)
+            _tally(reach_props, time_props, hit_time, observed, durations)
+    else:
+        from ..runtime import batched, seed_stream
 
-        def watch(elapsed, names, valuation, clocks):
-            for p in properties:
-                if hit_time[p.name] is None and p.predicate(
-                        names, valuation, clocks):
-                    hit_time[p.name] = elapsed
-
-        def stopper(names, valuation, clocks):
-            # Stop early once every watched predicate is settled.
-            return all(t is not None for t in hit_time.values())
-
-        simulator.run(stop=stopper, observer=watch, max_time=max_time)
-        for p in reach_props:
-            if hit_time[p.name] is not None:
-                observed[p.name] += 1
-        for p in time_props:
-            durations[p.name].append(
-                hit_time[p.name] if hit_time[p.name] is not None
-                else math.inf)
+        seeds = seed_stream(rng, runs)
+        size = batch_size or executor.batch_size_for(runs)
+        tasks = [(model, properties, policy, max_time, chunk)
+                 for chunk in batched(seeds, size)]
+        for batch in executor.map(modes_batch, tasks):
+            for hit_time in batch:
+                _tally(reach_props, time_props, hit_time, observed,
+                       durations)
 
     results = {}
     for p in reach_props:
@@ -231,3 +292,13 @@ def modes(model, properties, runs=10000, rng=None, policy="max-delay",
         results[p.name] = MeanEstimate(samples, confidence) if samples \
             else None
     return results
+
+
+def _tally(reach_props, time_props, hit_time, observed, durations):
+    for p in reach_props:
+        if hit_time[p.name] is not None:
+            observed[p.name] += 1
+    for p in time_props:
+        durations[p.name].append(
+            hit_time[p.name] if hit_time[p.name] is not None
+            else math.inf)

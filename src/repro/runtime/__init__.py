@@ -1,0 +1,17 @@
+"""Parallel simulation runtime: executors, seed streams, model specs.
+
+The execution layer behind the statistical engines (:mod:`repro.smc`,
+``modes`` in :mod:`repro.modest.toolset`): batched runs with
+deterministic per-run seed streams, fanned out serially or across a
+process pool with bit-identical results either way.
+"""
+
+from .executor import Executor, ParallelExecutor, SerialExecutor
+from .seeds import batched, run_batch, sample_batch, seed_stream, spawn_seeds
+from .spec import Spec, build_cached
+
+__all__ = [
+    "Executor", "ParallelExecutor", "SerialExecutor",
+    "batched", "run_batch", "sample_batch", "seed_stream", "spawn_seeds",
+    "Spec", "build_cached",
+]

@@ -1,0 +1,148 @@
+"""Pluggable execution layer for batched simulation runs.
+
+SMC throughput is bounded only by independent-run generation (the
+UPPAAL-SMC and modes papers both stress this), so the statistical
+engines fan batches of runs out through an *executor*:
+
+* :class:`SerialExecutor` — runs batches inline, in order.  The default
+  everywhere; zero overhead, no pickling requirements.
+* :class:`ParallelExecutor` — a :class:`concurrent.futures.ProcessPoolExecutor`
+  behind the same interface.  Batch functions and their arguments must
+  be picklable (module-level functions, :class:`~repro.runtime.Spec`
+  model references).
+
+Both yield results **in task order**, and all randomness comes from the
+per-run seeds inside the tasks, so the executor choice can never change
+an estimate: any ``(seed, n_runs)`` pair gives bit-identical results
+for any worker count and batch size.
+
+:meth:`Executor.imap` is lazy with a bounded in-flight window, which is
+what the sequential tests (SPRT) use for chunked early stopping: the
+coordinator stops pulling tasks — and the window stops being refilled —
+as soon as the decision boundary is crossed.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import deque
+
+from ..core.errors import AnalysisError
+
+
+class Executor:
+    """Interface: ordered (optionally lazy) map over picklable tasks."""
+
+    #: Degree of parallelism; used to pick default batch sizes.
+    workers = 1
+
+    def map(self, fn, tasks):
+        """Run ``fn(*task)`` for every task; results in task order."""
+        return list(self.imap(fn, tasks))
+
+    def imap(self, fn, tasks):
+        """Lazy :meth:`map`: a generator yielding results in task order.
+        Closing the generator stops further task consumption."""
+        raise NotImplementedError
+
+    def batch_size_for(self, runs):
+        """A batch size giving each worker a few batches (load balance)
+        without drowning in per-task overhead."""
+        waves = 4 * self.workers
+        return max(1, -(-runs // waves))
+
+    def close(self):
+        """Release any pooled resources (idempotent)."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+
+class SerialExecutor(Executor):
+    """In-process execution — the degenerate, dependency-free executor.
+
+    Exists so callers can write one aggregation loop: serial and
+    parallel runs share the seed-stream protocol and therefore agree
+    bit for bit.
+    """
+
+    workers = 1
+
+    def imap(self, fn, tasks):
+        for task in tasks:
+            yield fn(*task)
+
+    def __repr__(self):
+        return "SerialExecutor()"
+
+
+class ParallelExecutor(Executor):
+    """Process-pool execution of simulation batches.
+
+    ``workers`` defaults to the machine's CPU count.  The pool is
+    created lazily on first use and reused across calls (worker
+    processes keep their per-process model caches warm), so hold one
+    executor for a whole experiment and :meth:`close` it at the end —
+    or use it as a context manager.
+
+    ``inflight`` bounds how many batches are queued ahead of the
+    consumer in :meth:`imap` (default ``2 * workers``): enough to keep
+    every worker busy, small enough that early stopping does not waste
+    a long tail of speculative runs.
+    """
+
+    def __init__(self, workers=None, inflight=None, mp_context=None):
+        self.workers = (os.cpu_count() or 1) if workers is None else workers
+        if self.workers < 1:
+            raise AnalysisError(f"need at least one worker, "
+                                f"got {self.workers}")
+        self.inflight = inflight or 2 * self.workers
+        self._mp_context = mp_context
+        self._pool = None
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            import concurrent.futures
+            import multiprocessing
+
+            context = self._mp_context
+            if isinstance(context, str):
+                context = multiprocessing.get_context(context)
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=context)
+        return self._pool
+
+    def imap(self, fn, tasks):
+        pool = self._ensure_pool()
+        tasks = iter(tasks)
+        pending = deque()
+
+        def submit_next():
+            for task in tasks:
+                pending.append(pool.submit(fn, *task))
+                return True
+            return False
+
+        try:
+            for _ in range(self.inflight):
+                if not submit_next():
+                    break
+            while pending:
+                result = pending.popleft().result()
+                submit_next()
+                yield result
+        finally:
+            for future in pending:
+                future.cancel()
+
+    def close(self):
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def __repr__(self):
+        return f"ParallelExecutor(workers={self.workers})"

@@ -1,0 +1,53 @@
+"""Deterministic seed streams and batched run helpers.
+
+The contract that makes parallel SMC reproducible: a master
+:class:`~repro.core.rng.RandomSource` deterministically yields one child
+seed *per run* (via :meth:`~repro.core.rng.RandomSource.spawn`), runs
+are numbered by their position in that stream, and batching merely
+partitions the stream.  Estimates aggregated in run order are therefore
+bit-identical for any worker count and any batch size — and identical
+to the serial engines that already draw ``rng.spawn()`` per run.
+"""
+
+from __future__ import annotations
+
+from ..core.rng import RandomSource, ensure_rng
+
+
+def seed_stream(rng_or_seed, n):
+    """The first ``n`` per-run seeds spawned from a master source.
+
+    Equals ``[rng.spawn().seed for _ in range(n)]`` — i.e. exactly the
+    seeds the serial engines hand to successive runs.
+    """
+    rng = ensure_rng(rng_or_seed)
+    return [rng.spawn().seed for _ in range(n)]
+
+
+def spawn_seeds(master_seed, n):
+    """Module-level (hence picklable) variant of :func:`seed_stream`
+    starting from a fresh source — used to check, cross-process, that
+    the same master seed yields the same spawned streams everywhere."""
+    return seed_stream(RandomSource(master_seed), n)
+
+
+def batched(sequence, size):
+    """Split ``sequence`` into consecutive lists of at most ``size``."""
+    if size <= 0:
+        raise ValueError(f"batch size must be positive, got {size}")
+    return [list(sequence[i:i + size])
+            for i in range(0, len(sequence), size)]
+
+
+def run_batch(run_once, seeds):
+    """Evaluate ``run_once(RandomSource(seed))`` as a Bernoulli outcome
+    for each seed.  Module-level so executors can ship it to workers;
+    ``run_once`` itself must be picklable (a module-level function or a
+    :func:`functools.partial` over one)."""
+    return [bool(run_once(RandomSource(seed))) for seed in seeds]
+
+
+def sample_batch(run_once, seeds):
+    """Like :func:`run_batch` but keeps the raw per-run values (for
+    mean/quantile estimation)."""
+    return [run_once(RandomSource(seed)) for seed in seeds]

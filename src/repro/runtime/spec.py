@@ -1,0 +1,100 @@
+"""Picklable references to module-level factories.
+
+Worker processes cannot receive the frozen networks directly: UPPAAL-style
+models carry Python callables (the C-like guard/update code of Fig. 1c)
+that do not pickle.  A :class:`Spec` instead names a module-level factory
+plus its arguments; each worker imports the factory and rebuilds the
+object locally, caching it per process so a batch of simulation runs
+pays the model-construction cost once.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+from ..core.errors import AnalysisError
+
+
+class Spec:
+    """A picklable, hashable ``(factory, args, kwargs)`` reference.
+
+    ``target`` is either a module-level callable or a string
+    ``"package.module:qualname"``.  :meth:`build` imports the module and
+    calls the factory; :func:`build_cached` memoises the result per
+    process.
+
+    >>> from repro.models.traingate import make_traingate
+    >>> Spec(make_traingate, 3)
+    Spec(repro.models.traingate:make_traingate, 3)
+    """
+
+    __slots__ = ("module", "qualname", "args", "kwargs")
+
+    def __init__(self, target, *args, **kwargs):
+        if isinstance(target, str):
+            module, _, qualname = target.partition(":")
+            if not module or not qualname:
+                raise AnalysisError(
+                    f"spec string must look like 'pkg.mod:name', "
+                    f"got {target!r}")
+        else:
+            module = getattr(target, "__module__", None)
+            qualname = getattr(target, "__qualname__", None)
+            if module is None or qualname is None:
+                raise AnalysisError(f"cannot reference {target!r} by name")
+            if "<locals>" in qualname:
+                raise AnalysisError(
+                    f"{qualname} is not module-level; workers cannot "
+                    f"import it — move it to module scope")
+        self.module = module
+        self.qualname = qualname
+        self.args = tuple(args)
+        # Stored sorted so equal specs hash equally.
+        self.kwargs = tuple(sorted(kwargs.items()))
+
+    def resolve(self):
+        """Import and return the referenced factory (without calling it)."""
+        obj = importlib.import_module(self.module)
+        for part in self.qualname.split("."):
+            obj = getattr(obj, part)
+        return obj
+
+    def build(self):
+        """Import the factory and call it with the recorded arguments."""
+        return self.resolve()(*self.args, **dict(self.kwargs))
+
+    def _key(self):
+        return (self.module, self.qualname, self.args, self.kwargs)
+
+    def __eq__(self, other):
+        return isinstance(other, Spec) and self._key() == other._key()
+
+    def __hash__(self):
+        return hash(self._key())
+
+    def __repr__(self):
+        parts = [f"{self.module}:{self.qualname}"]
+        parts.extend(repr(a) for a in self.args)
+        parts.extend(f"{k}={v!r}" for k, v in self.kwargs)
+        return f"Spec({', '.join(parts)})"
+
+
+_BUILD_CACHE = {}
+
+
+def build_cached(obj):
+    """Resolve ``obj`` if it is a :class:`Spec` (memoised per process);
+    return anything else unchanged.
+
+    Every entry point of the execution layer funnels model and property
+    arguments through here, so callers may pass either live objects
+    (serial use) or specs (required to cross a process boundary).
+    """
+    if not isinstance(obj, Spec):
+        return obj
+    try:
+        return _BUILD_CACHE[obj]
+    except KeyError:
+        built = obj.build()
+        _BUILD_CACHE[obj] = built
+        return built

@@ -1,6 +1,12 @@
 """Statistical model checking (UPPAAL-SMC)."""
 
-from .stochastic import ConcreteState, StochasticSimulator
+from .stochastic import (
+    ConcreteState,
+    StochasticSimulator,
+    network_simulator,
+    simulate_batch,
+    simulate_once,
+)
 from .estimate import (
     MeanEstimate,
     ProbabilityEstimate,
@@ -19,6 +25,7 @@ from .rare import SplittingResult, fixed_effort_splitting
 
 __all__ = [
     "ConcreteState", "StochasticSimulator",
+    "network_simulator", "simulate_batch", "simulate_once",
     "MeanEstimate", "ProbabilityEstimate", "chernoff_runs",
     "estimate_mean", "estimate_probability",
     "SPRTResult", "sprt",

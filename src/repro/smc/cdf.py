@@ -50,15 +50,61 @@ class FirstPassageRecorder:
         return all(not math.isinf(t) for t in self.times.values())
 
 
+def first_passage_batch(simulator_factory, predicates, horizon, seeds):
+    """First-passage times for one batch of seeded runs.
+
+    Module-level (hence picklable) worker entry point: returns one
+    ``{key: time}`` dict per seed, in seed order.  Predicate values may
+    be :class:`~repro.runtime.Spec` references, resolved here.
+    """
+    from .stochastic import resolve_predicate
+    from ..core.rng import RandomSource
+
+    resolved = {key: resolve_predicate(p) for key, p in predicates.items()}
+    out = []
+    for seed in seeds:
+        simulator = simulator_factory(RandomSource(seed))
+        recorder = FirstPassageRecorder(resolved)
+        simulator.run(
+            horizon, observer=recorder,
+            stop=lambda t, n, v, c: recorder.all_seen())
+        out.append(dict(recorder.times))
+    return out
+
+
 def first_passage_cdfs(simulator_factory, predicates, horizon, runs, grid,
-                       rng=None):
+                       rng=None, executor=None, batch_size=None):
     """Estimate, for each predicate, the CDF of its first-passage time.
 
     ``simulator_factory(rng)`` builds a fresh simulator exposing
     ``run(max_time, observer=..., stop=...)`` (the SMC and digital
     simulators both do).  Returns ``{key: [probabilities over grid]}``.
+
+    With an ``executor`` (see :mod:`repro.runtime`), batches of seeded
+    runs are fanned out to workers; the factory must then be picklable
+    — e.g. ``functools.partial(repro.smc.stochastic.network_simulator,
+    Spec(make_traingate, 3))``.  Runs draw one spawned child source
+    each either way, so serial and parallel samples are identical.
     """
     rng = ensure_rng(rng)
+    if executor is not None:
+        from ..runtime import batched, seed_stream
+
+        seeds = seed_stream(rng, runs)
+        size = batch_size or executor.batch_size_for(runs)
+        samples = {key: [] for key in predicates}
+        for batch in executor.map(
+                first_passage_batch,
+                [(simulator_factory, predicates, horizon, chunk)
+                 for chunk in batched(seeds, size)]):
+            for times in batch:
+                for key, value in times.items():
+                    samples[key].append(value)
+        return {key: empirical_cdf(vals, grid)
+                for key, vals in samples.items()}
+    from .stochastic import resolve_predicate
+
+    predicates = {key: resolve_predicate(p) for key, p in predicates.items()}
     samples = {key: [] for key in predicates}
     for _ in range(runs):
         simulator = simulator_factory(rng.spawn())

@@ -105,14 +105,49 @@ def chernoff_runs(epsilon, delta):
     return math.ceil(math.log(2.0 / delta) / (2.0 * epsilon * epsilon))
 
 
-def estimate_probability(run_once, runs, rng=None, confidence=0.95):
-    """Estimate P(run_once(rng) is truthy) from ``runs`` samples."""
-    rng = ensure_rng(rng)
-    successes = sum(1 for _ in range(runs) if run_once(rng))
+def estimate_probability(run_once, runs, rng=None, confidence=0.95,
+                         executor=None, batch_size=None):
+    """Estimate P(run_once(rng) is truthy) from ``runs`` samples.
+
+    With an ``executor`` (see :mod:`repro.runtime`) the budget is split
+    into batches of per-run seeds spawned from ``rng`` and fanned out;
+    ``run_once`` must then be picklable (a module-level function, or a
+    :func:`functools.partial` over one).  Results are bit-identical for
+    any executor, worker count, and batch size.
+    """
+    if executor is None:
+        rng = ensure_rng(rng)
+        successes = sum(1 for _ in range(runs) if run_once(rng))
+        return ProbabilityEstimate(successes, runs, confidence)
+    from ..runtime import batched, run_batch, seed_stream
+
+    seeds = seed_stream(rng, runs)
+    size = batch_size or executor.batch_size_for(runs)
+    successes = 0
+    for outcomes in executor.map(
+            run_batch, [(run_once, chunk) for chunk in batched(seeds, size)]):
+        successes += sum(outcomes)
     return ProbabilityEstimate(successes, runs, confidence)
 
 
-def estimate_mean(run_once, runs, rng=None, confidence=0.95):
-    """Estimate E[run_once(rng)] from ``runs`` samples."""
-    rng = ensure_rng(rng)
-    return MeanEstimate([run_once(rng) for _ in range(runs)], confidence)
+def estimate_mean(run_once, runs, rng=None, confidence=0.95,
+                  executor=None, batch_size=None):
+    """Estimate E[run_once(rng)] from ``runs`` samples.
+
+    Executor semantics as in :func:`estimate_probability`; samples are
+    concatenated in run order, so the estimate (and its interval) does
+    not depend on the batching.
+    """
+    if executor is None:
+        rng = ensure_rng(rng)
+        return MeanEstimate([run_once(rng) for _ in range(runs)], confidence)
+    from ..runtime import batched, sample_batch, seed_stream
+
+    seeds = seed_stream(rng, runs)
+    size = batch_size or executor.batch_size_for(runs)
+    samples = []
+    for values in executor.map(
+            sample_batch,
+            [(run_once, chunk) for chunk in batched(seeds, size)]):
+        samples.extend(values)
+    return MeanEstimate(samples, confidence)

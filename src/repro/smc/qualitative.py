@@ -6,14 +6,31 @@ level of confidence based on random simulation runs" (paper, Section
 II).  This module wires the stochastic simulator to Wald's SPRT so a
 single call answers a probability-threshold query over a TA network,
 and to fixed-budget estimation for the quantitative variant.
+
+Every entry point takes an optional ``executor`` (see
+:mod:`repro.runtime`) that fans the independent runs out over worker
+processes.  Because networks carry unpicklable guard/update callables,
+parallel callers pass :class:`~repro.runtime.Spec` references to
+module-level model and predicate factories instead of live objects;
+workers rebuild them once per process.  Per-run seeds come from the
+master ``rng``'s spawn stream, so results are bit-identical for any
+worker count and batch size.
 """
 
 from __future__ import annotations
 
+import functools
+import math
+
 from ..core.rng import ensure_rng
 from .estimate import estimate_probability
 from .sprt import sprt
-from .stochastic import StochasticSimulator
+from .stochastic import (
+    StochasticSimulator,
+    resolve_model,
+    resolve_predicate,
+    simulate_once,
+)
 
 
 def _make_run_once(network, predicate, horizon, default_rate=1.0):
@@ -33,41 +50,91 @@ def _make_run_once(network, predicate, horizon, default_rate=1.0):
     return run_once
 
 
+def _spec_run_once(network, predicate, horizon, default_rate):
+    """A picklable run closure: a partial over the module-level
+    :func:`~repro.smc.stochastic.simulate_once`."""
+    return functools.partial(simulate_once, network, predicate, horizon,
+                             default_rate=default_rate)
+
+
 def probability_at_least(network, predicate, theta, horizon,
                          indifference=0.01, alpha=0.05, beta=0.05,
-                         rng=None, default_rate=1.0, max_runs=1000000):
+                         rng=None, default_rate=1.0, max_runs=1000000,
+                         executor=None, batch_size=None):
     """Test ``Pr[<= horizon](<> predicate) >= theta`` sequentially.
 
     ``predicate`` takes ``(location_names, valuation, clocks)``.
     Returns an :class:`~repro.smc.SPRTResult`; truthiness is the
     verdict.  Error probabilities are bounded by ``alpha``/``beta``
-    outside the indifference region.
+    outside the indifference region.  With an ``executor``, runs are
+    dispatched in chunks and dispatch stops once the SPRT boundary is
+    crossed; ``network``/``predicate`` may be specs.
     """
     rng = ensure_rng(rng)
-    run_once = _make_run_once(network, predicate, horizon, default_rate)
+    if executor is None:
+        run_once = _make_run_once(resolve_model(network),
+                                  resolve_predicate(predicate),
+                                  horizon, default_rate)
+    else:
+        run_once = _spec_run_once(network, predicate, horizon, default_rate)
     return sprt(run_once, theta, indifference=indifference, alpha=alpha,
-                beta=beta, rng=rng, max_runs=max_runs)
+                beta=beta, rng=rng, max_runs=max_runs, executor=executor,
+                batch_size=batch_size)
 
 
 def probability_estimate(network, predicate, horizon, runs=738,
-                         confidence=0.95, rng=None, default_rate=1.0):
+                         confidence=0.95, rng=None, default_rate=1.0,
+                         executor=None, batch_size=None):
     """Quantitative variant: ``Pr[<= horizon](<> predicate)`` with a
     Clopper–Pearson interval (default budget = the Chernoff count for
     eps = delta = 0.05)."""
     rng = ensure_rng(rng)
-    run_once = _make_run_once(network, predicate, horizon, default_rate)
+    if executor is None:
+        run_once = _make_run_once(resolve_model(network),
+                                  resolve_predicate(predicate),
+                                  horizon, default_rate)
+    else:
+        run_once = _spec_run_once(network, predicate, horizon, default_rate)
     return estimate_probability(run_once, runs=runs, rng=rng,
-                                confidence=confidence)
+                                confidence=confidence, executor=executor,
+                                batch_size=batch_size)
+
+
+def observe_extremum(model, observe, horizon, mode, rng=None,
+                     default_rate=1.0):
+    """One run's max/min/final observation (``nan`` when nothing was
+    observed).  Module-level and spec-friendly, hence picklable."""
+    predicate = resolve_predicate(observe)
+    simulator = StochasticSimulator(resolve_model(model),
+                                    rng=ensure_rng(rng),
+                                    default_rate=default_rate)
+    seen = []
+
+    def observer(t, names, valuation, clocks):
+        seen.append(float(predicate(names, valuation, clocks)))
+
+    simulator.run(max_time=horizon, observer=observer)
+    if not seen:
+        return math.nan
+    if mode == "max":
+        return max(seen)
+    if mode == "min":
+        return min(seen)
+    return seen[-1]
 
 
 def expected_value(network, observe, horizon, runs=500, mode="max",
-                   confidence=0.95, rng=None, default_rate=1.0):
+                   confidence=0.95, rng=None, default_rate=1.0,
+                   executor=None, batch_size=None):
     """Estimate UPPAAL-SMC's ``E[<= horizon](max|min|final: expr)``.
 
     ``observe(names, valuation, clocks) -> number`` is evaluated at
     every visited state; per run the maximum (``mode="max"``), minimum
     (``"min"``) or last (``"final"``) observation is kept, and a
-    :class:`~repro.smc.MeanEstimate` over the runs is returned.
+    :class:`~repro.smc.MeanEstimate` over the runs is returned.  Runs
+    already use one spawned child source each, so the serial path and
+    any executor see identical per-run seeds — and return identical
+    samples.
     """
     from ..core.errors import AnalysisError
     from .estimate import MeanEstimate
@@ -75,22 +142,27 @@ def expected_value(network, observe, horizon, runs=500, mode="max",
     if mode not in ("max", "min", "final"):
         raise AnalysisError(f"unknown mode {mode!r}")
     rng = ensure_rng(rng)
+    if executor is not None:
+        from ..runtime import batched, sample_batch, seed_stream
+
+        run_once = functools.partial(observe_extremum, network, observe,
+                                     horizon, mode,
+                                     default_rate=default_rate)
+        seeds = seed_stream(rng, runs)
+        size = batch_size or executor.batch_size_for(runs)
+        samples = []
+        for values in executor.map(
+                sample_batch,
+                [(run_once, chunk) for chunk in batched(seeds, size)]):
+            samples.extend(v for v in values if not math.isnan(v))
+        return MeanEstimate(samples, confidence)
+
+    model = resolve_model(network)
+    predicate = resolve_predicate(observe)
     samples = []
     for _ in range(runs):
-        simulator = StochasticSimulator(network, rng=rng.spawn(),
-                                        default_rate=default_rate)
-        seen = []
-
-        def observer(t, names, valuation, clocks):
-            seen.append(float(observe(names, valuation, clocks)))
-
-        simulator.run(max_time=horizon, observer=observer)
-        if not seen:
-            continue
-        if mode == "max":
-            samples.append(max(seen))
-        elif mode == "min":
-            samples.append(min(seen))
-        else:
-            samples.append(seen[-1])
+        value = observe_extremum(model, predicate, horizon, mode,
+                                 rng=rng.spawn(), default_rate=default_rate)
+        if not math.isnan(value):
+            samples.append(value)
     return MeanEstimate(samples, confidence)

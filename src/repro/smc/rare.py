@@ -45,21 +45,56 @@ class SplittingResult:
                 f"{self.total_runs} runs)")
 
 
+def splitting_batch(model, level_of, starts, seeds, target_level,
+                    policy, max_steps):
+    """One batch of splitting runs: from each start state, with its own
+    seeded source, climb towards ``target_level``.
+
+    Module-level (hence picklable) worker entry point; returns the
+    entry state reached, or ``None``, per run in order.  ``model`` and
+    ``level_of`` may be :class:`~repro.runtime.Spec` references.
+    """
+    from ..core.rng import RandomSource
+    from .stochastic import resolve_model, resolve_predicate
+
+    network = resolve_model(model)
+    level_fn = resolve_predicate(level_of)
+    out = []
+    for start, seed in zip(starts, seeds):
+        simulator = DigitalSimulator(network, policy=policy,
+                                     rng=RandomSource(seed))
+        out.append(_run_until_level(simulator, network, start, level_fn,
+                                    target_level, max_steps))
+    return out
+
+
 def fixed_effort_splitting(network, level_of, max_level,
                            runs_per_stage=400, rng=None,
-                           policy="max-delay", max_steps=100000):
+                           policy="max-delay", max_steps=100000,
+                           executor=None, batch_size=None):
     """Estimate ``P(eventually level_of(state) >= max_level)``.
 
     ``level_of(names, valuation, clocks) -> int`` is the importance
     function; level 0 must hold initially.  Returns a
     :class:`SplittingResult` whose ``probability`` is the product of
     the per-stage conditional estimates (0.0 if any stage dies out).
+
+    With an ``executor`` (see :mod:`repro.runtime`) each stage's runs
+    fan out to workers: the coordinator pre-draws every run's start
+    state and seed from the master ``rng``, so the estimate is
+    bit-identical for any worker count and batch size.  ``network`` and
+    ``level_of`` may then be specs (required across processes — the
+    digital states themselves pickle fine).
     """
+    from .stochastic import resolve_model, resolve_predicate
+
     rng = ensure_rng(rng)
-    simulator = DigitalSimulator(network, policy=policy, rng=rng)
+    model = resolve_model(network)
+    level_fn = resolve_predicate(level_of)
+    simulator = DigitalSimulator(model, policy=policy, rng=rng)
     initial = simulator.initial()
-    names0 = network.location_vector_names(initial.locs)
-    if level_of(names0, initial.valuation, initial.clocks) != 0:
+    names0 = model.location_vector_names(initial.locs)
+    if level_fn(names0, initial.valuation, initial.clocks) != 0:
         raise AnalysisError("the initial state must be at level 0")
 
     entry_states = [initial]
@@ -68,15 +103,32 @@ def fixed_effort_splitting(network, level_of, max_level,
     for level in range(max_level):
         next_entries = []
         hits = 0
-        for _ in range(runs_per_stage):
-            total_runs += 1
-            start = entry_states[rng.randint(0, len(entry_states) - 1)]
-            reached = _run_until_level(
-                simulator, network, start, level_of, level + 1,
-                max_steps)
-            if reached is not None:
-                hits += 1
-                next_entries.append(reached)
+        if executor is None:
+            for _ in range(runs_per_stage):
+                total_runs += 1
+                start = entry_states[rng.randint(0, len(entry_states) - 1)]
+                reached = _run_until_level(
+                    simulator, model, start, level_fn, level + 1,
+                    max_steps)
+                if reached is not None:
+                    hits += 1
+                    next_entries.append(reached)
+        else:
+            from ..runtime import batched, seed_stream
+
+            starts = [entry_states[rng.randint(0, len(entry_states) - 1)]
+                      for _ in range(runs_per_stage)]
+            seeds = seed_stream(rng, runs_per_stage)
+            size = batch_size or executor.batch_size_for(runs_per_stage)
+            tasks = [(network, level_of, s, z, level + 1, policy, max_steps)
+                     for s, z in zip(batched(starts, size),
+                                     batched(seeds, size))]
+            for reached_batch in executor.map(splitting_batch, tasks):
+                for reached in reached_batch:
+                    total_runs += 1
+                    if reached is not None:
+                        hits += 1
+                        next_entries.append(reached)
         stage_probabilities.append(hits / runs_per_stage)
         if hits == 0:
             return SplittingResult(0.0, stage_probabilities, total_runs)

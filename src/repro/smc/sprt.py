@@ -35,12 +35,21 @@ class SPRTResult:
 
 
 def sprt(run_once, theta, indifference=0.01, alpha=0.05, beta=0.05,
-         rng=None, max_runs=1000000):
+         rng=None, max_runs=1000000, executor=None, batch_size=None):
     """Sequentially test H1: p >= theta + delta vs H0: p <= theta - delta.
 
     ``alpha`` bounds the probability of accepting H1 when H0 holds,
     ``beta`` the converse.  Returns an :class:`SPRTResult` whose
     ``accept`` is True when H1 (probability at least theta) is accepted.
+
+    With an ``executor`` (see :mod:`repro.runtime`) runs are dispatched
+    in chunks of per-run seeds spawned from ``rng``; workers return
+    per-run outcome tallies, and the coordinator walks them in run
+    order, stopping dispatch as soon as the Wald boundary is crossed.
+    The verdict, run count, and success count are bit-identical to the
+    serial seeded walk for any worker count and chunk size (a few
+    in-flight chunks may be discarded unread on early stop).
+    ``run_once`` must then be picklable.
     """
     p0 = theta - indifference
     p1 = theta + indifference
@@ -54,14 +63,49 @@ def sprt(run_once, theta, indifference=0.01, alpha=0.05, beta=0.05,
     inc_success = math.log(p1 / p0)
     inc_failure = math.log((1 - p1) / (1 - p0))
     successes = 0
-    for run in range(1, max_runs + 1):
-        if run_once(rng):
-            successes += 1
-            llr += inc_success
-        else:
-            llr += inc_failure
-        if llr >= log_a:
-            return SPRTResult(True, run, successes, theta, indifference)
-        if llr <= log_b:
-            return SPRTResult(False, run, successes, theta, indifference)
+
+    if executor is None:
+        for run in range(1, max_runs + 1):
+            if run_once(rng):
+                successes += 1
+                llr += inc_success
+            else:
+                llr += inc_failure
+            if llr >= log_a:
+                return SPRTResult(True, run, successes, theta, indifference)
+            if llr <= log_b:
+                return SPRTResult(False, run, successes, theta,
+                                  indifference)
+        raise AnalysisError(f"SPRT undecided after {max_runs} runs")
+
+    from ..runtime import run_batch
+
+    chunk = batch_size or 32
+
+    def tasks():
+        dispatched = 0
+        while dispatched < max_runs:
+            size = min(chunk, max_runs - dispatched)
+            yield (run_once, [rng.spawn().seed for _ in range(size)])
+            dispatched += size
+
+    run = 0
+    results = executor.imap(run_batch, tasks())
+    try:
+        for outcomes in results:
+            for outcome in outcomes:
+                run += 1
+                if outcome:
+                    successes += 1
+                    llr += inc_success
+                else:
+                    llr += inc_failure
+                if llr >= log_a:
+                    return SPRTResult(True, run, successes, theta,
+                                      indifference)
+                if llr <= log_b:
+                    return SPRTResult(False, run, successes, theta,
+                                      indifference)
+    finally:
+        results.close()
     raise AnalysisError(f"SPRT undecided after {max_runs} runs")

@@ -21,7 +21,7 @@ from __future__ import annotations
 import math
 
 from ..core.errors import AnalysisError, ModelError
-from ..core.rng import ensure_rng
+from ..core.rng import RandomSource, ensure_rng
 
 INFINITY = math.inf
 
@@ -235,3 +235,61 @@ class StochasticSimulator:
             delay, _description, state = move
             elapsed += delay
         raise AnalysisError(f"run exceeded {max_steps} steps")
+
+
+# -- module-level run entry points (picklable, for the parallel runtime) ------
+
+def resolve_model(model):
+    """A frozen network from either a live network or a
+    :class:`~repro.runtime.Spec` naming a model factory (resolved and
+    cached per process — workers rebuild the model once, not per batch)."""
+    from ..runtime.spec import build_cached
+
+    return build_cached(model)
+
+
+def resolve_predicate(prop):
+    """A state predicate from either a callable or a
+    :class:`~repro.runtime.Spec` naming a predicate factory."""
+    from ..runtime.spec import build_cached
+
+    return build_cached(prop)
+
+
+def network_simulator(model, rng=None, default_rate=1.0):
+    """Build a :class:`StochasticSimulator` for a model or model spec.
+
+    Module-level so ``functools.partial(network_simulator, spec)`` is a
+    picklable simulator factory for :func:`repro.smc.first_passage_cdfs`.
+    """
+    return StochasticSimulator(resolve_model(model), rng=rng,
+                               default_rate=default_rate)
+
+
+def simulate_once(model, prop, horizon, rng=None, default_rate=1.0):
+    """One time-bounded reachability run: did ``prop`` hold within
+    ``horizon``?  ``model`` and ``prop`` may be live objects or specs."""
+    predicate = resolve_predicate(prop)
+    simulator = network_simulator(model, rng=ensure_rng(rng),
+                                  default_rate=default_rate)
+    hit = []
+
+    def observer(t, names, valuation, clocks):
+        if not hit and predicate(names, valuation, clocks):
+            hit.append(t)
+
+    simulator.run(max_time=horizon, observer=observer,
+                  stop=lambda t, n, v, c: bool(hit))
+    return bool(hit)
+
+
+def simulate_batch(model_spec, seeds, prop, horizon, default_rate=1.0):
+    """Run one simulation per seed; the batch entry point workers execute.
+
+    Returns the list of per-run Bernoulli outcomes in seed order, so the
+    coordinator can aggregate (or walk an SPRT boundary) independently
+    of how runs were partitioned into batches.
+    """
+    return [simulate_once(model_spec, prop, horizon, RandomSource(seed),
+                          default_rate)
+            for seed in seeds]

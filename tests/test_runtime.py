@@ -1,0 +1,307 @@
+"""Tests for the parallel simulation runtime (:mod:`repro.runtime`).
+
+The load-bearing property: for any SMC entry point, a ``(seed, n_runs)``
+pair yields bit-identical results for :class:`SerialExecutor` and
+:class:`ParallelExecutor` with any worker count and batch size, because
+all randomness flows through the master source's deterministic spawn
+stream and results are aggregated in run order.
+"""
+
+import functools
+
+import pytest
+
+from repro.core import AnalysisError, RandomSource
+from repro.models import brp_modest as bm
+from repro.models.traingate import cross_predicate, make_traingate
+from repro.modest.toolset import Emax, Pmax, modes
+from repro.runtime import (
+    ParallelExecutor,
+    SerialExecutor,
+    Spec,
+    batched,
+    run_batch,
+    seed_stream,
+    spawn_seeds,
+)
+from repro.smc import (
+    estimate_mean,
+    estimate_probability,
+    expected_value,
+    first_passage_cdfs,
+    probability_at_least,
+    probability_estimate,
+    simulate_batch,
+)
+from repro.smc.stochastic import network_simulator
+
+TRAINGATE = Spec(make_traingate, 3)
+CROSS0 = Spec(cross_predicate, 0)
+
+
+@pytest.fixture(scope="module")
+def pool2():
+    with ParallelExecutor(workers=2) as executor:
+        yield executor
+
+
+@pytest.fixture(scope="module")
+def pool4():
+    with ParallelExecutor(workers=4) as executor:
+        yield executor
+
+
+# Module-level run closures (picklable) for the generic estimators.
+
+def biased_coin(rng):
+    return rng.random() < 0.25
+
+
+def uniform_sample(rng):
+    return rng.uniform(0.0, 10.0)
+
+
+class TestSpec:
+    def test_build_and_cache(self):
+        spec = Spec(make_traingate, 2)
+        network = spec.build()
+        assert network.location_vector_names(
+            network.initial_locations())[0] == "Safe"
+        from repro.runtime import build_cached
+        assert build_cached(spec) is build_cached(spec)
+
+    def test_string_target(self):
+        spec = Spec("repro.models.traingate:make_traingate", 2)
+        assert spec == Spec(make_traingate, 2)
+        assert hash(spec) == hash(Spec(make_traingate, 2))
+
+    def test_rejects_locals(self):
+        def local_factory():
+            return None
+
+        with pytest.raises(AnalysisError):
+            Spec(local_factory)
+
+    def test_rejects_malformed_string(self):
+        with pytest.raises(AnalysisError):
+            Spec("no_colon_here")
+
+    def test_repr_names_target(self):
+        assert "make_traingate" in repr(Spec(make_traingate, 3))
+
+
+class TestSeedStreams:
+    def test_spawn_records_key(self):
+        parent = RandomSource(99)
+        children = [parent.spawn() for _ in range(3)]
+        assert [c.spawn_key for c in children] == [(0,), (1,), (2,)]
+        grandchild = children[1].spawn()
+        assert grandchild.spawn_key == (1, 0)
+        assert "spawn_key=(1, 0)" in repr(grandchild)
+
+    def test_seed_stream_matches_spawn(self):
+        parent = RandomSource(123)
+        assert seed_stream(123, 4) == [parent.spawn().seed
+                                       for _ in range(4)]
+        assert spawn_seeds(123, 4) == seed_stream(123, 4)
+
+    def test_same_master_seed_same_stream(self):
+        assert spawn_seeds(7, 10) == spawn_seeds(7, 10)
+        assert spawn_seeds(7, 10) != spawn_seeds(8, 10)
+
+    def test_cross_process_determinism(self, pool2):
+        """The regression the spawn-key fix guards: a worker process
+        spawning from the same master seed sees the same child seeds."""
+        remote, = pool2.map(spawn_seeds, [(123, 6)])
+        assert remote == spawn_seeds(123, 6)
+
+    def test_batched(self):
+        assert batched(list(range(5)), 2) == [[0, 1], [2, 3], [4]]
+        assert batched([], 3) == []
+        with pytest.raises(ValueError):
+            batched([1], 0)
+
+
+class TestExecutors:
+    def test_serial_map_order(self):
+        ex = SerialExecutor()
+        assert ex.map(run_batch, [(biased_coin, [1, 2]),
+                                  (biased_coin, [3])]) == [
+            run_batch(biased_coin, [1, 2]), run_batch(biased_coin, [3])]
+
+    def test_parallel_map_order(self, pool4):
+        tasks = [(biased_coin, chunk)
+                 for chunk in batched(seed_stream(5, 40), 10)]
+        assert pool4.map(run_batch, tasks) == \
+            SerialExecutor().map(run_batch, tasks)
+
+    def test_imap_is_lazy(self):
+        consumed = []
+
+        def tasks():
+            for i in range(100):
+                consumed.append(i)
+                yield (biased_coin, [i])
+
+        ex = SerialExecutor()
+        results = ex.imap(run_batch, tasks())
+        next(results)
+        next(results)
+        results.close()
+        assert len(consumed) == 2
+
+    def test_parallel_imap_early_stop(self, pool2):
+        """Closing the generator stops task consumption (the SPRT
+        early-stopping mechanism); only the in-flight window runs."""
+        drawn = []
+
+        def tasks():
+            for i in range(10000):
+                drawn.append(i)
+                yield (biased_coin, [i])
+
+        results = pool2.imap(run_batch, tasks())
+        next(results)
+        results.close()
+        assert len(drawn) <= 2 * pool2.inflight
+
+    def test_batch_size_for(self):
+        assert SerialExecutor().batch_size_for(100) == 25
+        assert ParallelExecutor(workers=4).batch_size_for(100) == 7
+        assert SerialExecutor().batch_size_for(1) == 1
+
+    def test_workers_validation(self):
+        with pytest.raises(AnalysisError):
+            ParallelExecutor(workers=0)
+
+
+class TestGenericEstimators:
+    def test_estimate_probability_equivalence(self, pool2, pool4):
+        kwargs = dict(runs=300, rng=13)
+        serial = estimate_probability(biased_coin, executor=SerialExecutor(),
+                                      **kwargs)
+        for pool in (pool2, pool4):
+            par = estimate_probability(biased_coin, executor=pool, **kwargs)
+            assert (par.successes, par.runs, par.low, par.high) == \
+                (serial.successes, serial.runs, serial.low, serial.high)
+        assert serial.low < 0.25 < serial.high
+
+    def test_batch_size_invariance(self, pool2):
+        reference = estimate_probability(biased_coin, runs=100, rng=1,
+                                         executor=SerialExecutor())
+        for size in (1, 7, 100):
+            again = estimate_probability(biased_coin, runs=100, rng=1,
+                                         executor=pool2, batch_size=size)
+            assert again.successes == reference.successes
+
+    def test_estimate_mean_equivalence(self, pool2):
+        serial = estimate_mean(uniform_sample, runs=200, rng=2,
+                               executor=SerialExecutor())
+        par = estimate_mean(uniform_sample, runs=200, rng=2, executor=pool2)
+        assert par.samples == serial.samples
+
+
+class TestTraingateEquivalence:
+    """The acceptance-criterion tests: identical ProbabilityEstimate and
+    SPRT verdicts for serial and 2/4-worker parallel execution on the
+    train-gate model."""
+
+    def test_probability_estimate(self, pool2, pool4):
+        kwargs = dict(horizon=100, runs=60, rng=42)
+        serial = probability_estimate(TRAINGATE, CROSS0,
+                                      executor=SerialExecutor(), **kwargs)
+        for pool in (pool2, pool4):
+            par = probability_estimate(TRAINGATE, CROSS0, executor=pool,
+                                       **kwargs)
+            assert (par.successes, par.runs, par.low, par.high) == \
+                (serial.successes, serial.runs, serial.low, serial.high)
+
+    def test_sprt_verdict(self, pool2, pool4):
+        kwargs = dict(theta=0.5, horizon=100, indifference=0.1, rng=7)
+        serial = probability_at_least(TRAINGATE, CROSS0,
+                                      executor=SerialExecutor(), **kwargs)
+        for pool in (pool2, pool4):
+            par = probability_at_least(TRAINGATE, CROSS0, executor=pool,
+                                       **kwargs)
+            assert (par.accept, par.runs, par.successes) == \
+                (serial.accept, serial.runs, serial.successes)
+        assert serial.accept  # trains do cross within 100 t.u.
+
+    def test_sprt_chunk_invariance(self, pool2):
+        serial = probability_at_least(TRAINGATE, CROSS0, theta=0.5,
+                                      horizon=100, indifference=0.1, rng=7,
+                                      executor=SerialExecutor())
+        for size in (1, 5, 64):
+            again = probability_at_least(TRAINGATE, CROSS0, theta=0.5,
+                                         horizon=100, indifference=0.1,
+                                         rng=7, executor=pool2,
+                                         batch_size=size)
+            assert (again.accept, again.runs) == (serial.accept,
+                                                  serial.runs)
+
+    def test_expected_value_matches_default_serial(self, pool2):
+        """The default (no-executor) path already spawns one child
+        source per run, so executor runs see identical seeds."""
+        default = expected_value(make_traingate(3), cross_predicate(0),
+                                 horizon=50, runs=40, rng=4)
+        serial = expected_value(TRAINGATE, CROSS0, horizon=50, runs=40,
+                                rng=4, executor=SerialExecutor())
+        par = expected_value(TRAINGATE, CROSS0, horizon=50, runs=40,
+                             rng=4, executor=pool2)
+        assert default.samples == serial.samples == par.samples
+
+    def test_first_passage_cdfs_equivalence(self, pool2):
+        factory = functools.partial(network_simulator, TRAINGATE)
+        predicates = {i: Spec(cross_predicate, i) for i in range(3)}
+        grid = [20, 50, 90]
+        kwargs = dict(horizon=100, runs=40, grid=grid, rng=3)
+        default = first_passage_cdfs(factory, predicates, **kwargs)
+        serial = first_passage_cdfs(factory, predicates,
+                                    executor=SerialExecutor(), **kwargs)
+        par = first_passage_cdfs(factory, predicates, executor=pool2,
+                                 **kwargs)
+        assert default == serial == par
+
+    def test_simulate_batch_entry_point(self):
+        """The module-level batch closure the workers execute."""
+        seeds = seed_stream(42, 5)
+        outcomes = simulate_batch(TRAINGATE, seeds, CROSS0, horizon=100)
+        assert outcomes == [
+            simulate_batch(TRAINGATE, [s], CROSS0, horizon=100)[0]
+            for s in seeds]
+        assert all(isinstance(o, bool) for o in outcomes)
+
+
+class TestModesEquivalence:
+    def test_modes_parallel_matches_serial(self, pool2):
+        source = bm.brp_modest_source(2, 1, 1)
+        props = [Pmax("P1", bm.not_success), Emax("E", bm.reported)]
+        serial = modes(source, props, runs=60, rng=6,
+                       executor=SerialExecutor())
+        par = modes(source, props, runs=60, rng=6, executor=pool2)
+        assert (serial["P1"].successes, serial["P1"].runs) == \
+            (par["P1"].successes, par["P1"].runs)
+        assert serial["E"].samples == par["E"].samples
+        assert 3.0 < serial["E"].mean < 6.0
+
+
+class TestSplittingEquivalence:
+    def test_splitting_parallel_matches_serial(self, pool2):
+        from repro.models import brp
+        from repro.smc import fixed_effort_splitting
+
+        model = Spec(brp.make_brp, 8, 1, 1)
+        serial = fixed_effort_splitting(
+            model, retransmission_level, max_level=1, runs_per_stage=60,
+            rng=11, executor=SerialExecutor())
+        par = fixed_effort_splitting(
+            model, retransmission_level, max_level=1, runs_per_stage=60,
+            rng=11, executor=pool2)
+        assert serial.probability == par.probability
+        assert serial.stage_probabilities == par.stage_probabilities
+        assert serial.total_runs == par.total_runs
+
+
+def retransmission_level(_names, valuation, _clocks):
+    """BRP importance function: the retransmission counter."""
+    return min(valuation.get("rc", 0), 1)
