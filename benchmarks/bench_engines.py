@@ -6,6 +6,12 @@ DESIGN.md:
 * value iteration vs. interval iteration on the BRP MDP;
 * SMC sample budget vs. confidence-interval width;
 * BIP priority filtering on/off.
+
+Standalone use runs one representative workload per engine under the
+observability layer and writes a ``repro.obs``-schema report (the CI
+engine-metrics artifact)::
+
+    python benchmarks/bench_engines.py --quick --json out.json
 """
 
 import pytest
@@ -116,3 +122,59 @@ def test_bip_priority_ablation(benchmark, with_priorities):
     blocked = benchmark.pedantic(run, rounds=1, iterations=1)
     if not with_priorities:
         assert blocked == 0
+
+
+def main(argv=None):
+    """Standalone mode: one observed representative workload per engine,
+    reported as tables and (optionally) a schema-versioned JSON file."""
+    import argparse
+
+    from repro.models.traingate import cross_predicate
+    from repro.obs.metrics import Collector, collecting
+    from repro.obs.report import Report
+    from repro.obs.trace import Tracer, span, tracing
+    from repro.smc import probability_estimate
+
+    parser = argparse.ArgumentParser(
+        description="engine workloads under the observability layer")
+    parser.add_argument("--quick", action="store_true",
+                        help="small budgets (CI smoke)")
+    parser.add_argument("--json", dest="json_path", default=None,
+                        help="write the repro.obs report to this path")
+    args = parser.parse_args(argv)
+    smc_runs = 100 if args.quick else 738
+
+    collector = Collector("bench_engines")
+    tracer = Tracer()
+    with collecting(collector), tracing(tracer):
+        with span("bench.mc"):
+            network = make_traingate(2)
+            verifier = Verifier(network)
+            verifier.check(EF(LocationIs("Train(0)", "Cross")))
+            verifier.deadlock_free()
+        with span("bench.mdp"):
+            digital = build_digital_mdp(brp.make_brp(16, 2, 1))
+            targets = digital.states_where(brp.not_success)
+            float(reachability_probability(digital.mdp, targets,
+                                           maximize=True)[0])
+        with span("bench.smc", runs=smc_runs):
+            probability_estimate(network, cross_predicate(0),
+                                 horizon=100, runs=smc_runs, rng=42)
+        with span("bench.bip"):
+            engine = BIPEngine(make_dala(with_controller=True,
+                                         counter_bound=4), rng=3)
+            engine.run(max_steps=400)
+
+    report = Report(collector, tracer,
+                    meta={"benchmark": "engines",
+                          "quick": bool(args.quick),
+                          "smc_runs": smc_runs})
+    report.print()
+    if args.json_path:
+        report.write(args.json_path)
+        print(f"wrote {args.json_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,9 +20,13 @@ Run counts scale down for smoke testing via ``REPRO_PAR_RUNS``.
 Standalone use (CI uploads the JSON as a build artifact)::
 
     python benchmarks/bench_parallel_smc.py --quick --json out.json
+
+The JSON artifact follows the ``repro.obs`` report schema: timing rows
+live under ``meta.workloads`` and the engine counters gathered during
+the measured runs under ``metrics`` (gate it with
+``python -m repro.obs.report --check``).
 """
 
-import json
 import os
 import time
 
@@ -32,6 +36,8 @@ from repro.core import ResultTable
 from repro.models import brp_modest as bm
 from repro.models.traingate import cross_predicate, make_traingate
 from repro.modest.toolset import Pmax, modes
+from repro.obs.metrics import Collector, collecting
+from repro.obs.report import Report
 from repro.runtime import ParallelExecutor, SerialExecutor, Spec
 from repro.smc import probability_estimate
 
@@ -122,21 +128,26 @@ def main(argv=None):
     args = parser.parse_args(argv)
     runs = args.runs or (200 if args.quick else 2000)
 
-    report = {"runs": runs, "cpus": os.cpu_count(), "workloads": {}}
-    for name, run in sorted(WORKLOADS.items()):
-        rows = measure(run, args.workers, runs)
-        report["workloads"][name] = rows
-        table = ResultTable("workers", "seconds", "speedup",
-                            title=f"{name} ({runs} runs)")
-        for row in rows:
-            label = row["workers"] or "serial"
-            table.add_row(label, round(row["seconds"], 3),
-                          round(row["speedup"], 2))
-        table.print()
+    collector = Collector("bench_parallel_smc")
+    workloads = {}
+    with collecting(collector):
+        for name, run in sorted(WORKLOADS.items()):
+            rows = measure(run, args.workers, runs)
+            workloads[name] = rows
+            table = ResultTable("workers", "seconds", "speedup",
+                                title=f"{name} ({runs} runs)")
+            for row in rows:
+                label = row["workers"] or "serial"
+                table.add_row(label, round(row["seconds"], 3),
+                              round(row["speedup"], 2))
+            table.print()
 
     if args.json_path:
-        with open(args.json_path, "w", encoding="utf-8") as handle:
-            json.dump(report, handle, indent=2)
+        report = Report(collector,
+                        meta={"benchmark": "parallel-smc", "runs": runs,
+                              "cpus": os.cpu_count(),
+                              "workloads": workloads})
+        report.write(args.json_path)
         print(f"wrote {args.json_path}")
 
 

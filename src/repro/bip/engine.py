@@ -12,6 +12,9 @@ from __future__ import annotations
 
 from ..core.errors import AnalysisError, ModelError
 from ..core.rng import ensure_rng
+from ..obs.metrics import active
+from ..obs.progress import heartbeat
+from ..obs.trace import span
 
 
 class EngineTrace:
@@ -79,20 +82,41 @@ class BIPEngine:
         (a predicate over the state) raises :class:`AnalysisError` when
         violated; ``fault_injector(engine, step_index)`` may corrupt the
         state before each cycle (the DALA experiment).
+
+        Each run flushes ``bip.steps`` / ``bip.blocked`` deltas (and a
+        ``bip.deadlocks`` increment when the run ended in deadlock)
+        into the active metrics collector.
         """
-        if observer is not None:
-            observer(self.state)
-        for index in range(max_steps):
-            if fault_injector is not None:
-                fault_injector(self, index)
-            if invariant is not None and not invariant(self.state):
-                raise AnalysisError(
-                    f"invariant violated at step {index}: {self.state!r}")
-            if self.step() is None:
-                return self.trace
+        steps_before = len(self.trace.steps)
+        blocked_before = self.trace.blocked_count
+        was_deadlocked = self.trace.deadlocked
+        try:
             if observer is not None:
                 observer(self.state)
-        return self.trace
+            for index in range(max_steps):
+                if fault_injector is not None:
+                    fault_injector(self, index)
+                if invariant is not None and not invariant(self.state):
+                    raise AnalysisError(
+                        f"invariant violated at step {index}: "
+                        f"{self.state!r}")
+                if index & 255 == 0:
+                    heartbeat("bip.run", index, total=max_steps)
+                if self.step() is None:
+                    return self.trace
+                if observer is not None:
+                    observer(self.state)
+            return self.trace
+        finally:
+            collector = active()
+            if collector is not None:
+                collector.incr("bip.runs")
+                collector.incr("bip.steps",
+                               len(self.trace.steps) - steps_before)
+                collector.incr("bip.blocked",
+                               self.trace.blocked_count - blocked_before)
+                if self.trace.deadlocked and not was_deadlocked:
+                    collector.incr("bip.deadlocks")
 
     def inject_place(self, component_name, place):
         """Fault injection helper: teleport a component to a place."""
@@ -114,24 +138,34 @@ def explore_statespace(system, max_states=100000):
     cannot unblock, only restrict, so this is the optimistic check; with
     priorities applied every deadlock here remains one).
     """
-    initial = system.initial_state()
-    seen = {initial.key(): initial}
-    queue = [initial]
-    deadlocks = []
-    while queue:
-        state = queue.pop()
-        interactions = system.enabled_interactions(
-            state, apply_priorities=False)
-        if not interactions:
-            deadlocks.append(state)
-            continue
-        for interaction in interactions:
-            succ = system.execute(state, interaction)
-            key = succ.key()
-            if key not in seen:
-                seen[key] = succ
-                queue.append(succ)
-                if len(seen) > max_states:
-                    raise MemoryError(
-                        f"state space exceeds {max_states} states")
+    with span("bip.explore") as sp:
+        initial = system.initial_state()
+        seen = {initial.key(): initial}
+        queue = [initial]
+        deadlocks = []
+        while queue:
+            state = queue.pop()
+            interactions = system.enabled_interactions(
+                state, apply_priorities=False)
+            if not interactions:
+                deadlocks.append(state)
+                continue
+            for interaction in interactions:
+                succ = system.execute(state, interaction)
+                key = succ.key()
+                if key not in seen:
+                    seen[key] = succ
+                    queue.append(succ)
+                    if len(seen) & 1023 == 0:
+                        heartbeat("bip.explore", len(seen),
+                                  waiting=len(queue))
+                    if len(seen) > max_states:
+                        raise MemoryError(
+                            f"state space exceeds {max_states} states")
+        sp.set("states", len(seen))
+        sp.set("deadlocks", len(deadlocks))
+    collector = active()
+    if collector is not None:
+        collector.incr("bip.states", len(seen))
+        collector.incr("bip.deadlock_states", len(deadlocks))
     return list(seen.values()), deadlocks

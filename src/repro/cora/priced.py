@@ -18,6 +18,9 @@ from __future__ import annotations
 import heapq
 
 from ..core.errors import ModelError
+from ..obs.metrics import active
+from ..obs.progress import heartbeat
+from ..obs.trace import span
 from ..ta.discrete import DiscreteSemantics
 
 
@@ -89,35 +92,54 @@ def min_cost_reachability(priced, goal, extra_constants=None,
     heap = [(0, counter, initial, ())]
     best = {initial.key(): 0}
     explored = 0
-    while heap:
-        cost, _tie, state, trace = heapq.heappop(heap)
-        key = state.key()
-        if cost > best.get(key, float("inf")):
-            continue
-        explored += 1
-        names = network.location_vector_names(state.locs)
-        if goal(names, state.valuation, state.clocks):
-            return CostResult(cost, state, list(trace), explored)
-        if explored > max_states:
-            raise MemoryError(f"search exceeded {max_states} states")
+    result = None
+    with span("cora.min_cost") as sp:
+        while heap:
+            cost, _tie, state, trace = heapq.heappop(heap)
+            key = state.key()
+            if cost > best.get(key, float("inf")):
+                continue
+            explored += 1
+            if explored & 1023 == 0:
+                heartbeat("cora.min_cost", explored)
+            names = network.location_vector_names(state.locs)
+            if goal(names, state.valuation, state.clocks):
+                result = CostResult(cost, state, list(trace), explored)
+                break
+            if explored > max_states:
+                raise MemoryError(f"search exceeded {max_states} states")
 
-        successors = []
-        ticked = semantics.tick(state)
-        if ticked is not None:
-            successors.append(
-                (cost + priced.delay_rate(state.locs), "tick", ticked))
-        for transition, succ in semantics.action_successors(state):
-            successors.append(
-                (cost + priced.transition_cost(transition), transition,
-                 succ))
-        for new_cost, step, succ in successors:
-            succ_key = succ.key()
-            if new_cost < best.get(succ_key, float("inf")):
-                best[succ_key] = new_cost
-                counter += 1
-                heapq.heappush(
-                    heap, (new_cost, counter, succ, trace + (step,)))
-    return CostResult(None, None, None, explored)
+            successors = []
+            ticked = semantics.tick(state)
+            if ticked is not None:
+                successors.append(
+                    (cost + priced.delay_rate(state.locs), "tick", ticked))
+            for transition, succ in semantics.action_successors(state):
+                successors.append(
+                    (cost + priced.transition_cost(transition), transition,
+                     succ))
+            for new_cost, step, succ in successors:
+                succ_key = succ.key()
+                if new_cost < best.get(succ_key, float("inf")):
+                    best[succ_key] = new_cost
+                    counter += 1
+                    heapq.heappush(
+                        heap, (new_cost, counter, succ, trace + (step,)))
+        if result is None:
+            result = CostResult(None, None, None, explored)
+        sp.set("states_explored", explored)
+        sp.set("cost", result.cost)
+    _record_search("min_cost", result)
+    return result
+
+
+def _record_search(kind, result):
+    collector = active()
+    if collector is not None:
+        collector.incr("cora.searches")
+        collector.incr("cora.states_explored", result.states_explored)
+        collector.incr(f"cora.{kind}."
+                       + ("found" if result else "unreachable"))
 
 
 def max_cost_reachability(priced, goal, extra_constants=None,
@@ -130,6 +152,16 @@ def max_cost_reachability(priced, goal, extra_constants=None,
     maximum infinite, which is reported as an :class:`AnalysisError`
     (WCET models must bound their loops).
     """
+    with span("cora.max_cost") as sp:
+        result = _max_cost_search(priced, goal, extra_constants,
+                                  max_states)
+        sp.set("states_explored", result.states_explored)
+        sp.set("cost", result.cost)
+    _record_search("max_cost", result)
+    return result
+
+
+def _max_cost_search(priced, goal, extra_constants, max_states):
     import sys
 
     from ..core.errors import AnalysisError

@@ -20,7 +20,7 @@ from .queries import (
     exists,
     forall,
 )
-from .diagnostics import format_state, format_trace
+from .diagnostics import format_state, format_trace, trace_stats
 from .parser import parse_query
 from .reachability import PassedList, Reachability, build_graph, explore
 from .deadlock import deadlocked_part, has_deadlock
@@ -30,7 +30,7 @@ __all__ = [
     "AF", "AG", "And", "BoolFormula", "ClockPred", "DataPred", "Deadlock",
     "EF", "EG", "FALSE_FORMULA", "LeadsTo", "LocationIs", "Not", "Or",
     "StateFormula", "TRUE_FORMULA", "exists", "forall",
-    "format_state", "format_trace",
+    "format_state", "format_trace", "trace_stats",
     "parse_query",
     "PassedList", "Reachability", "build_graph", "explore",
     "deadlocked_part", "has_deadlock",

@@ -4,11 +4,19 @@
 this module renders them the way UPPAAL's simulator pane would — one
 step per line with locations, variable changes and the zone's clock
 bounds.
+
+Counting goes through the :mod:`repro.obs` metrics registry
+(:func:`trace_stats`), not ad-hoc locals, and deliberately does **not**
+repeat what ``mc.check`` spans already carry: the span owns the
+per-query verdict and states-explored attributes, the registry owns the
+session totals, and this module only contributes the trace-local step
+counts.
 """
 
 from __future__ import annotations
 
 from ..dbm.bounds import INF
+from ..obs.metrics import active
 
 
 def _clock_bounds(network, zone):
@@ -45,8 +53,27 @@ def format_state(network, state):
     return line
 
 
+def trace_stats(trace):
+    """Counts over a witness trace, recorded through the metrics
+    registry when a collector is active.
+
+    Returns ``{"states": ..., "steps": ...}`` (both 0 for ``None``).
+    The verdict and search-wide state counts are *not* re-derived here:
+    they already live on the ``mc.check`` span and in the ``mc.*``
+    registry totals (see :mod:`repro.obs`).
+    """
+    states = len(trace) if trace is not None else 0
+    steps = max(states - 1, 0)
+    collector = active()
+    if collector is not None:
+        collector.incr("mc.traces_rendered")
+        collector.incr("mc.trace_steps", steps)
+    return {"states": states, "steps": steps}
+
+
 def format_trace(network, trace):
     """A witness trace (from ``VerificationResult.trace``) as text."""
+    trace_stats(trace)
     if trace is None:
         return "(no trace)"
     lines = []

@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 from ..core.errors import QueryError
+from ..obs.metrics import incr
+from ..obs.trace import span
 from ..ta.zonegraph import ZoneGraph
 from . import liveness
 from .deadlock import has_deadlock
@@ -50,12 +52,25 @@ class Verifier:
         """Check one path query and return a :class:`VerificationResult`.
 
         Accepts a query object or an UPPAAL-style query string
-        (see :mod:`repro.mc.parser`).
+        (see :mod:`repro.mc.parser`).  With observability on (see
+        :mod:`repro.obs`) each check opens a ``mc.check`` span carrying
+        the verdict and per-query state count, and bumps the
+        ``mc.queries`` verdict counters.
         """
         if isinstance(query, str):
             from .parser import parse_query
 
             query = parse_query(query)
+        with span("mc.check", query=type(query).__name__) as sp:
+            result = self._dispatch(query)
+            sp.set("holds", result.holds)
+            sp.set("states_explored", result.states_explored)
+        incr("mc.queries")
+        incr("mc.queries.satisfied" if result.holds
+             else "mc.queries.unsatisfied")
+        return result
+
+    def _dispatch(self, query):
         if isinstance(query, EF):
             return self._check_ef(query)
         if isinstance(query, AG):

@@ -4,9 +4,20 @@ The passed/waiting-list algorithm of UPPAAL: a new symbolic state is
 discarded when an already-passed state with the same discrete part has a
 zone that includes it; conversely, passed states included in the new one
 are evicted.
+
+Both entry points are instrumented through :mod:`repro.obs`: with a
+collector installed they flush states-explored / passed-list / zone
+counters at the end of the search, emit a ``mc.explore`` span, and send
+periodic :func:`~repro.obs.progress.heartbeat` events.  All counting in
+the search loop itself is plain-int arithmetic, so the overhead with
+observability off is nil.
 """
 
 from __future__ import annotations
+
+from ..obs.metrics import active
+from ..obs.progress import heartbeat
+from ..obs.trace import span
 
 
 class Reachability:
@@ -31,12 +42,20 @@ class Reachability:
 
 
 class PassedList:
-    """Zones passed so far, indexed by discrete configuration."""
+    """Zones passed so far, indexed by discrete configuration.
+
+    ``subsumed`` counts candidate states discarded because an existing
+    zone included them (the passed-list hits of UPPAAL's statistics);
+    ``evicted`` counts stored zones dropped because a new state included
+    them.
+    """
 
     def __init__(self, use_inclusion=True):
         self.use_inclusion = use_inclusion
         self._zones = {}
         self.size = 0
+        self.subsumed = 0
+        self.evicted = 0
 
     def add_if_new(self, state):
         """True when the state is not subsumed (and is now recorded)."""
@@ -45,9 +64,11 @@ class PassedList:
         if self.use_inclusion:
             for zone in bucket:
                 if zone.includes(state.zone):
+                    self.subsumed += 1
                     return False
             kept = [z for z in bucket if not state.zone.includes(z)]
             self.size -= len(bucket) - len(kept)
+            self.evicted += len(bucket) - len(kept)
             kept.append(state.zone)
             self._zones[key] = kept
             self.size += 1
@@ -55,10 +76,28 @@ class PassedList:
         zone_key = state.zone.key()
         for zone in bucket:
             if zone.key() == zone_key:
+                self.subsumed += 1
                 return False
         bucket.append(state.zone)
         self.size += 1
         return True
+
+
+def _record_search(collector, result, passed, graph, zones_before):
+    """Flush one search's counters into the active collector."""
+    collector.incr("mc.searches")
+    collector.incr("mc.states_explored", result.states_explored)
+    collector.incr("mc.states_stored", result.states_stored)
+    collector.incr("mc.passed_subsumed", passed.subsumed)
+    collector.incr("mc.passed_evicted", passed.evicted)
+    stats = getattr(graph, "stats", None)
+    if stats is not None and zones_before is not None:
+        zones, constraints, empty = (
+            after - before
+            for after, before in zip(stats.snapshot(), zones_before))
+        collector.incr("mc.zones_created", zones)
+        collector.incr("mc.dbm_constraints", constraints)
+        collector.incr("mc.zones_pruned_empty", empty)
 
 
 def explore(graph, goal=None, on_state=None, use_inclusion=True,
@@ -70,26 +109,42 @@ def explore(graph, goal=None, on_state=None, use_inclusion=True,
     ``trace`` is the list of (transition, state) steps from the initial
     state to the witness (transition ``None`` for the initial state).
     """
-    initial = graph.initial()
-    passed = PassedList(use_inclusion)
-    passed.add_if_new(initial)
-    # Each waiting entry carries its predecessor chain for the trace.
-    waiting = [(initial, ((None, initial),))]
-    explored = 0
-    while waiting:
-        state, chain = waiting.pop(0)
-        explored += 1
-        if on_state is not None:
-            on_state(state)
-        if goal is not None and goal(state):
-            return Reachability(True, state, list(chain), explored,
-                                passed.size)
-        if max_states is not None and explored >= max_states:
-            break
-        for transition, succ in graph.successors(state):
-            if passed.add_if_new(succ):
-                waiting.append((succ, chain + ((transition, succ),)))
-    return Reachability(False, None, None, explored, passed.size)
+    collector = active()
+    stats = getattr(graph, "stats", None)
+    zones_before = stats.snapshot() if stats is not None else None
+    with span("mc.explore") as sp:
+        initial = graph.initial()
+        passed = PassedList(use_inclusion)
+        passed.add_if_new(initial)
+        # Each waiting entry carries its predecessor chain for the trace.
+        waiting = [(initial, ((None, initial),))]
+        explored = 0
+        result = None
+        while waiting:
+            state, chain = waiting.pop(0)
+            explored += 1
+            if explored & 1023 == 0:
+                heartbeat("mc.explore", explored,
+                          waiting=len(waiting), stored=passed.size)
+            if on_state is not None:
+                on_state(state)
+            if goal is not None and goal(state):
+                result = Reachability(True, state, list(chain), explored,
+                                      passed.size)
+                break
+            if max_states is not None and explored >= max_states:
+                break
+            for transition, succ in graph.successors(state):
+                if passed.add_if_new(succ):
+                    waiting.append((succ, chain + ((transition, succ),)))
+        if result is None:
+            result = Reachability(False, None, None, explored, passed.size)
+        sp.set("found", result.found)
+        sp.set("states_explored", explored)
+        sp.set("states_stored", passed.size)
+    if collector is not None:
+        _record_search(collector, result, passed, graph, zones_before)
+    return result
 
 
 def build_graph(graph, max_states=200000):
@@ -100,29 +155,37 @@ def build_graph(graph, max_states=200000):
     initial_index)`` where ``nodes`` is a list of symbolic states and
     ``edges[i]`` the list of ``(transition, j)`` successors.
     """
-    initial = graph.initial()
-    index_of = {initial.key(): 0}
-    nodes = [initial]
-    edges = []
-    waiting = [0]
-    while waiting:
-        i = waiting.pop()
-        while len(edges) <= i:
-            edges.append(None)
-        succs = []
-        for transition, succ in graph.successors(nodes[i]):
-            key = succ.key()
-            j = index_of.get(key)
-            if j is None:
-                j = len(nodes)
-                index_of[key] = j
-                nodes.append(succ)
-                waiting.append(j)
-                if len(nodes) > max_states:
-                    raise MemoryError(
-                        f"symbolic graph exceeds {max_states} states")
-            succs.append((transition, j))
-        edges[i] = succs
-    while len(edges) < len(nodes):
-        edges.append([])
+    with span("mc.build_graph") as sp:
+        initial = graph.initial()
+        index_of = {initial.key(): 0}
+        nodes = [initial]
+        edges = []
+        waiting = [0]
+        while waiting:
+            i = waiting.pop()
+            while len(edges) <= i:
+                edges.append(None)
+            succs = []
+            for transition, succ in graph.successors(nodes[i]):
+                key = succ.key()
+                j = index_of.get(key)
+                if j is None:
+                    j = len(nodes)
+                    index_of[key] = j
+                    nodes.append(succ)
+                    waiting.append(j)
+                    if len(nodes) & 1023 == 0:
+                        heartbeat("mc.build_graph", len(nodes),
+                                  waiting=len(waiting))
+                    if len(nodes) > max_states:
+                        raise MemoryError(
+                            f"symbolic graph exceeds {max_states} states")
+                succs.append((transition, j))
+            edges[i] = succs
+        while len(edges) < len(nodes):
+            edges.append([])
+        sp.set("graph_states", len(nodes))
+    collector = active()
+    if collector is not None:
+        collector.incr("mc.graph_states", len(nodes))
     return nodes, edges, 0

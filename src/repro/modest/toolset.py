@@ -28,6 +28,9 @@ from ..mdp.analysis import (
     expected_total_reward,
     reachability_probability,
 )
+from ..obs.metrics import incr, set_gauge
+from ..obs.progress import heartbeat
+from ..obs.trace import span
 from ..pta.digital import build_digital_mdp
 from ..pta.overapprox import overapproximate_network
 from ..pta.pta import PTANetwork
@@ -108,24 +111,28 @@ def mctau(model, properties, max_states=200000):
     booleans/0 and quantitative properties yield :class:`Interval` or
     ``None`` (n/a for expectations, as in Table I).
     """
-    network = load(model)
-    ta = overapproximate_network(network)
-    verifier = Verifier(ta, max_states=max_states)
-    results = {}
-    for prop in properties:
-        predicate = _lift_predicate(ta, prop.predicate)
-        if isinstance(prop, Reach):
-            reachable = verifier.check(EF(predicate)).holds
-            results[prop.name] = reachable
-        elif isinstance(prop, (Pmax, Pmin)):
-            reachable = verifier.check(EF(predicate)).holds
-            # Unreachable even with nondeterministic losses: exactly 0.
-            results[prop.name] = 0.0 if not reachable else Interval(0, 1)
-        elif isinstance(prop, (Emax, Emin)):
-            results[prop.name] = None  # n/a
-        else:
-            raise QueryError(f"unsupported property {prop!r}")
-    return results
+    with span("modest.mctau", properties=len(properties)):
+        network = load(model)
+        ta = overapproximate_network(network)
+        verifier = Verifier(ta, max_states=max_states)
+        results = {}
+        for prop in properties:
+            incr("modest.mctau.properties")
+            predicate = _lift_predicate(ta, prop.predicate)
+            if isinstance(prop, Reach):
+                reachable = verifier.check(EF(predicate)).holds
+                results[prop.name] = reachable
+            elif isinstance(prop, (Pmax, Pmin)):
+                reachable = verifier.check(EF(predicate)).holds
+                # Unreachable even with nondeterministic losses:
+                # exactly 0.
+                results[prop.name] = 0.0 if not reachable \
+                    else Interval(0, 1)
+            elif isinstance(prop, (Emax, Emin)):
+                results[prop.name] = None  # n/a
+            else:
+                raise QueryError(f"unsupported property {prop!r}")
+        return results
 
 
 def _lift_predicate(network, predicate):
@@ -141,25 +148,30 @@ def _lift_predicate(network, predicate):
 
 def mcpta(model, properties, extra_constants=None):
     """Exact probabilistic model checking via digital clocks + MDP."""
-    network = load(model)
-    digital = build_digital_mdp(network, extra_constants=extra_constants)
-    results = {}
-    for prop in properties:
-        targets = digital.states_where(prop.predicate)
-        if isinstance(prop, Reach):
-            results[prop.name] = bool(targets) and _reachable(
-                digital.mdp, targets)
-        elif isinstance(prop, (Pmax, Pmin)):
-            values = reachability_probability(
-                digital.mdp, targets, maximize=isinstance(prop, Pmax))
-            results[prop.name] = float(values[0])
-        elif isinstance(prop, (Emax, Emin)):
-            values = expected_total_reward(
-                digital.mdp, targets, maximize=isinstance(prop, Emax))
-            results[prop.name] = float(values[0])
-        else:
-            raise QueryError(f"unsupported property {prop!r}")
-    return results
+    with span("modest.mcpta", properties=len(properties)) as sp:
+        network = load(model)
+        digital = build_digital_mdp(network,
+                                    extra_constants=extra_constants)
+        sp.set("mdp_states", digital.mdp.num_states)
+        set_gauge("modest.mcpta.states", digital.mdp.num_states)
+        results = {}
+        for prop in properties:
+            incr("modest.mcpta.properties")
+            targets = digital.states_where(prop.predicate)
+            if isinstance(prop, Reach):
+                results[prop.name] = bool(targets) and _reachable(
+                    digital.mdp, targets)
+            elif isinstance(prop, (Pmax, Pmin)):
+                values = reachability_probability(
+                    digital.mdp, targets, maximize=isinstance(prop, Pmax))
+                results[prop.name] = float(values[0])
+            elif isinstance(prop, (Emax, Emin)):
+                values = expected_total_reward(
+                    digital.mdp, targets, maximize=isinstance(prop, Emax))
+                results[prop.name] = float(values[0])
+            else:
+                raise QueryError(f"unsupported property {prop!r}")
+        return results
 
 
 def _reachable(mdp, targets):
@@ -263,25 +275,35 @@ def modes(model, properties, runs=10000, rng=None, policy="max-delay",
     observed = {p.name: 0 for p in reach_props}
     durations = {p.name: [] for p in time_props}
 
-    if executor is None:
-        network = load_cached(model)
-        simulator = DigitalSimulator(network, policy=policy, rng=rng)
-        for _ in range(runs):
-            hit_time = {p.name: None for p in properties}
-            watch, stopper = _watch_hits(properties, hit_time)
-            simulator.run(stop=stopper, observer=watch, max_time=max_time)
-            _tally(reach_props, time_props, hit_time, observed, durations)
-    else:
-        from ..runtime import batched, seed_stream
-
-        seeds = seed_stream(rng, runs)
-        size = batch_size or executor.batch_size_for(runs)
-        tasks = [(model, properties, policy, max_time, chunk)
-                 for chunk in batched(seeds, size)]
-        for batch in executor.map(modes_batch, tasks):
-            for hit_time in batch:
+    with span("modest.modes", runs=runs, policy=policy):
+        incr("modest.modes.runs", runs)
+        incr("modest.modes.properties", len(properties))
+        if executor is None:
+            network = load_cached(model)
+            simulator = DigitalSimulator(network, policy=policy, rng=rng)
+            for index in range(runs):
+                hit_time = {p.name: None for p in properties}
+                watch, stopper = _watch_hits(properties, hit_time)
+                simulator.run(stop=stopper, observer=watch,
+                              max_time=max_time)
+                if (index + 1) & 63 == 0:
+                    heartbeat("modest.modes", index + 1, total=runs)
                 _tally(reach_props, time_props, hit_time, observed,
                        durations)
+        else:
+            from ..runtime import batched, seed_stream
+
+            seeds = seed_stream(rng, runs)
+            size = batch_size or executor.batch_size_for(runs)
+            tasks = [(model, properties, policy, max_time, chunk)
+                     for chunk in batched(seeds, size)]
+            done = 0
+            for batch in executor.map(modes_batch, tasks):
+                done += len(batch)
+                heartbeat("modest.modes", done, total=runs)
+                for hit_time in batch:
+                    _tally(reach_props, time_props, hit_time, observed,
+                           durations)
 
     results = {}
     for p in reach_props:

@@ -1,0 +1,40 @@
+"""Unified observability: metrics, tracing, progress, reports.
+
+One layer across every analysis engine (``mc``, ``smc``, ``pta``,
+``bip``, ``tiga``, ``cora``, ``modest``, ``runtime``):
+
+* :mod:`repro.obs.metrics` — counters / gauges / histograms / timers in
+  a context-installed :class:`Collector`;
+* :mod:`repro.obs.trace` — hierarchical spans, exportable as JSON and
+  Chrome trace-event format;
+* :mod:`repro.obs.progress` — opt-in heartbeats (runs completed, states
+  explored, ETA) for long analyses;
+* :mod:`repro.obs.report` — summary tables plus the schema-versioned
+  JSON CI artifact (imported on demand: it pulls engine modules for its
+  demo session).
+
+Everything is **off by default** and costs one context-variable lookup
+per engine-boundary event when off; see ``docs/OBSERVABILITY.md``.
+"""
+
+from .metrics import (
+    Collector,
+    Counter,
+    Gauge,
+    Histogram,
+    active,
+    collecting,
+    incr,
+    observe,
+    set_gauge,
+    timed,
+)
+from .progress import ProgressEvent, heartbeat, progress
+from .trace import NULL_SPAN, Span, Tracer, active_tracer, span, tracing
+
+__all__ = [
+    "Collector", "Counter", "Gauge", "Histogram",
+    "active", "collecting", "incr", "observe", "set_gauge", "timed",
+    "ProgressEvent", "heartbeat", "progress",
+    "NULL_SPAN", "Span", "Tracer", "active_tracer", "span", "tracing",
+]

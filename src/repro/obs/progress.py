@@ -1,0 +1,94 @@
+"""Opt-in progress heartbeats for long-running analyses.
+
+Zone-graph explorations and SMC campaigns can run for minutes; with a
+progress scope installed, the engines emit periodic heartbeats — runs
+completed, states explored, estimated time to completion — without any
+cost when nobody is listening:
+
+    def show(event):
+        print(f"{event.kind}: {event.done}/{event.total} "
+              f"({event.rate:.0f}/s, eta {event.eta:.0f}s)")
+
+    with progress(show, min_interval=1.0):
+        probability_estimate(network, predicate, horizon=100, runs=10**6)
+
+Engines call :func:`heartbeat` at coarse checkpoints (every N states or
+once per batch); the scope rate-limits delivery to ``min_interval``
+seconds so callbacks stay cheap even when checkpoints are frequent.
+Without a scope, :func:`heartbeat` is a single context-variable lookup.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import time
+from contextlib import contextmanager
+
+
+class ProgressEvent:
+    """One heartbeat: how far along, how fast, how much longer."""
+
+    __slots__ = ("kind", "done", "total", "elapsed", "rate", "eta", "info")
+
+    def __init__(self, kind, done, total, elapsed, info):
+        self.kind = kind
+        self.done = done
+        self.total = total            # None when open-ended (SPRT, BFS)
+        self.elapsed = elapsed
+        self.rate = done / elapsed if elapsed > 0 else 0.0
+        if total is not None and self.rate > 0:
+            self.eta = max(total - done, 0) / self.rate
+        else:
+            self.eta = None
+        self.info = info
+
+    def __repr__(self):
+        total = f"/{self.total}" if self.total is not None else ""
+        eta = f", eta {self.eta:.1f}s" if self.eta is not None else ""
+        return (f"ProgressEvent({self.kind}: {self.done}{total}, "
+                f"{self.rate:.1f}/s{eta})")
+
+
+class _Sink:
+    __slots__ = ("callback", "min_interval", "started", "last_emit")
+
+    def __init__(self, callback, min_interval):
+        self.callback = callback
+        self.min_interval = min_interval
+        self.started = time.perf_counter()
+        self.last_emit = -float("inf")
+
+
+_ACTIVE = contextvars.ContextVar("repro_obs_progress", default=None)
+
+
+@contextmanager
+def progress(callback, min_interval=0.5):
+    """Install ``callback(event)`` as the progress sink for the ``with``
+    body; heartbeats closer together than ``min_interval`` seconds are
+    dropped (except forced ones)."""
+    sink = _Sink(callback, min_interval)
+    token = _ACTIVE.set(sink)
+    try:
+        yield sink
+    finally:
+        _ACTIVE.reset(token)
+
+
+def heartbeat(kind, done, total=None, force=False, **info):
+    """Report progress of ``kind`` (e.g. ``"smc.estimate"``).
+
+    Returns the delivered :class:`ProgressEvent`, or ``None`` when no
+    sink is installed or the heartbeat was rate-limited away.  ``force``
+    bypasses rate limiting (use for final / terminal heartbeats).
+    """
+    sink = _ACTIVE.get()
+    if sink is None:
+        return None
+    now = time.perf_counter()
+    if not force and now - sink.last_emit < sink.min_interval:
+        return None
+    sink.last_emit = now
+    event = ProgressEvent(kind, done, total, now - sink.started, info)
+    sink.callback(event)
+    return event

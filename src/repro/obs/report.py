@@ -1,0 +1,188 @@
+"""Observability reports: summary tables and a stable JSON schema.
+
+A :class:`Report` bundles a metrics collector (and optionally a tracer)
+into two views:
+
+* human-readable :class:`~repro.core.ResultTable` summaries, grouped by
+  engine namespace (``mc``, ``smc``, ``pta``, ``runtime``, ...);
+* a schema-versioned JSON document for CI artifacts — consumers check
+  the top-level ``"schema"`` key (:data:`SCHEMA_VERSION`) before
+  reading anything else, and CI fails artifacts that lack it (see
+  :func:`validate` and the ``--check`` CLI mode).
+
+Run as a module for a self-contained demo session (the acceptance
+scenario: a train-gate model-checking + SMC session)::
+
+    PYTHONPATH=src python -m repro.obs.report --json obs_report.json
+
+or to gate CI artifacts::
+
+    PYTHONPATH=src python -m repro.obs.report --check report1.json ...
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from ..core.tables import ResultTable
+from .metrics import Collector, collecting
+from .trace import span, tracing
+
+#: Bump the suffix on breaking changes to the JSON layout.
+SCHEMA_VERSION = "repro.obs/1"
+
+
+class Report:
+    """Metrics (+ optional trace) packaged for humans and for CI."""
+
+    def __init__(self, collector=None, tracer=None, meta=None):
+        self.collector = collector if collector is not None else Collector()
+        self.tracer = tracer
+        self.meta = dict(meta) if meta else {}
+
+    # -- JSON ------------------------------------------------------------------
+
+    def to_dict(self):
+        data = {
+            "schema": SCHEMA_VERSION,
+            "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "meta": dict(self.meta),
+            "metrics": self.collector.snapshot(),
+        }
+        if self.tracer is not None:
+            data["trace"] = self.tracer.to_dict()
+            data["chrome_trace"] = self.tracer.to_chrome_trace()
+        return data
+
+    def write(self, path):
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, default=repr)
+        return path
+
+    # -- tables ----------------------------------------------------------------
+
+    def tables(self):
+        """One counters/gauges table per engine namespace, plus one
+        table of histogram summaries."""
+        snap = self.collector.snapshot()
+        groups = {}
+        for name, value in sorted(snap["counters"].items()):
+            groups.setdefault(name.split(".", 1)[0], []).append(
+                (name, value))
+        for name, value in sorted(snap["gauges"].items()):
+            groups.setdefault(name.split(".", 1)[0], []).append(
+                (name, value))
+        out = []
+        for group in sorted(groups):
+            table = ResultTable("metric", "value",
+                                title=f"[{group}] metrics")
+            for name, value in groups[group]:
+                table.add_row(name, value)
+            out.append(table)
+        histograms = snap["histograms"]
+        if histograms:
+            table = ResultTable("histogram", "count", "mean", "min", "max",
+                                title="timing / size distributions")
+            for name in sorted(histograms):
+                h = histograms[name]
+                mean = h["total"] / h["count"] if h["count"] else 0.0
+                table.add_row(name, h["count"], round(mean, 6),
+                              h["min"], h["max"])
+            out.append(table)
+        return out
+
+    def print(self):
+        for table in self.tables():
+            table.print()
+
+    def __repr__(self):
+        return f"Report({self.collector!r})"
+
+
+def validate(data):
+    """Raise :class:`ValueError` unless ``data`` is a report dict with
+    the current schema version; returns ``data`` for chaining."""
+    if not isinstance(data, dict):
+        raise ValueError(f"not a report object: {type(data).__name__}")
+    schema = data.get("schema")
+    if schema is None:
+        raise ValueError("report is missing the 'schema' version key")
+    if schema != SCHEMA_VERSION:
+        raise ValueError(f"unsupported report schema {schema!r} "
+                         f"(expected {SCHEMA_VERSION!r})")
+    if "metrics" not in data:
+        raise ValueError("report has no 'metrics' section")
+    return data
+
+
+def check_files(paths):
+    """Validate report files; returns the number of invalid ones and
+    prints a verdict per file (the CI schema gate)."""
+    failures = 0
+    for path in paths:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                validate(json.load(handle))
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"FAIL {path}: {exc}")
+            failures += 1
+        else:
+            print(f"ok   {path}")
+    return failures
+
+
+# -- the demo session -------------------------------------------------------------
+
+def demo_session(trains=3, runs=200, seed=42):
+    """The acceptance scenario: one observed train-gate MC + SMC session.
+
+    Checks ``E<> Train(0).Cross`` and deadlock freedom on the paper's
+    Fig. 1 train gate, then estimates ``Pr[<=100](<> Train(0).Cross)``,
+    all under one collector and tracer.  Returns the :class:`Report`.
+    """
+    from ..mc import EF, LocationIs, Verifier
+    from ..models.traingate import cross_predicate, make_traingate
+    from ..smc import probability_estimate
+
+    network = make_traingate(trains)
+    with collecting() as collector, tracing() as tracer:
+        with span("session.mc", model=f"traingate-{trains}"):
+            verifier = Verifier(network)
+            verifier.check(EF(LocationIs("Train(0)", "Cross")))
+            verifier.deadlock_free()
+        with span("session.smc", runs=runs):
+            probability_estimate(network, cross_predicate(0), horizon=100,
+                                 runs=runs, rng=seed)
+    return Report(collector, tracer,
+                  meta={"session": "train-gate MC + SMC demo",
+                        "trains": trains, "runs": runs, "seed": seed})
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="observability demo session / report schema gate")
+    parser.add_argument("--check", nargs="+", metavar="FILE", default=None,
+                        help="validate report JSON files and exit")
+    parser.add_argument("--json", dest="json_path",
+                        default="obs_report.json",
+                        help="where the demo session report is written")
+    parser.add_argument("--trains", type=int, default=3)
+    parser.add_argument("--runs", type=int, default=200)
+    args = parser.parse_args(argv)
+
+    if args.check is not None:
+        return 1 if check_files(args.check) else 0
+
+    report = demo_session(trains=args.trains, runs=args.runs)
+    report.print()
+    report.write(args.json_path)
+    print(f"\nwrote {args.json_path} (schema {SCHEMA_VERSION})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

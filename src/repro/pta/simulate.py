@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from ..core.errors import AnalysisError, ModelError
 from ..core.rng import ensure_rng
+from ..obs.metrics import active
 from ..ta.transitions import (
     delay_forbidden,
     discrete_transitions,
@@ -141,24 +142,36 @@ class DigitalSimulator:
         ``observer`` additionally receives the elapsed time up front:
         ``observer(elapsed, names, valuation, clocks)``.  ``start``
         overrides the initial state (used by rare-event splitting).
+
+        Each completed run flushes ``pta.sim.runs`` / ``.steps`` /
+        ``.time`` into the active metrics collector (one no-op lookup
+        per run when observability is off).
         """
         state = self.initial() if start is None else start
         elapsed = 0
+        steps = 0
         trace = [] if record_trace else None
-        for steps in range(max_steps):
-            names = self.network.location_vector_names(state.locs)
-            if observer is not None:
-                observer(elapsed, names, state.valuation, state.clocks)
-            if stop is not None and stop(names, state.valuation,
-                                         state.clocks):
-                return SimulationRun(state, elapsed, steps, trace)
-            if max_time is not None and elapsed >= max_time:
-                return SimulationRun(state, elapsed, steps, trace)
-            move = self.step(state)
-            if move is None:
-                return SimulationRun(state, elapsed, steps, trace)
-            kind, state, dt = move
-            elapsed += dt
-            if record_trace:
-                trace.append((kind, elapsed))
-        raise AnalysisError(f"run exceeded {max_steps} steps")
+        try:
+            for steps in range(max_steps):
+                names = self.network.location_vector_names(state.locs)
+                if observer is not None:
+                    observer(elapsed, names, state.valuation, state.clocks)
+                if stop is not None and stop(names, state.valuation,
+                                             state.clocks):
+                    return SimulationRun(state, elapsed, steps, trace)
+                if max_time is not None and elapsed >= max_time:
+                    return SimulationRun(state, elapsed, steps, trace)
+                move = self.step(state)
+                if move is None:
+                    return SimulationRun(state, elapsed, steps, trace)
+                kind, state, dt = move
+                elapsed += dt
+                if record_trace:
+                    trace.append((kind, elapsed))
+            raise AnalysisError(f"run exceeded {max_steps} steps")
+        finally:
+            collector = active()
+            if collector is not None:
+                collector.incr("pta.sim.runs")
+                collector.incr("pta.sim.steps", steps)
+                collector.incr("pta.sim.time", elapsed)

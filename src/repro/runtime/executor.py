@@ -20,14 +20,53 @@ for any worker count and batch size.
 what the sequential tests (SPRT) use for chunked early stopping: the
 coordinator stops pulling tasks — and the window stops being refilled —
 as soon as the decision boundary is crossed.
+
+Observability (:mod:`repro.obs`): when a metrics collector is active in
+the coordinator, both executors record per-task wall times and counts
+under ``runtime.*``, and :class:`ParallelExecutor` additionally runs
+every task under a fresh worker-side collector whose snapshot rides
+back with the result and is merged into the coordinator's collector
+**in task order**.  Engine metrics recorded inside tasks (simulation
+runs, steps, ...) therefore reach the parent identically for serial and
+parallel execution — fixed-budget workloads report bit-identical
+logical totals for any worker count.  (Sequential tests that stop early
+are the one caveat: a parallel run may execute — and account — a few
+speculative runs past the stopping point inside already-dispatched
+chunks.)
 """
 
 from __future__ import annotations
 
 import os
+import time
 from collections import deque
 
 from ..core.errors import AnalysisError
+from ..obs.metrics import active
+
+
+class _CollectedTask:
+    """Worker-side wrapper shipping metrics home with the result.
+
+    Runs the task under a fresh collector and returns ``(result,
+    metrics snapshot, worker pid, seconds)``; picklable as long as the
+    wrapped function is.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn):
+        self.fn = fn
+
+    def __call__(self, *args):
+        from ..obs.metrics import Collector, collecting
+
+        collector = Collector("worker")
+        start = time.perf_counter()
+        with collecting(collector):
+            result = self.fn(*args)
+        return (result, collector.snapshot(), os.getpid(),
+                time.perf_counter() - start)
 
 
 class Executor:
@@ -73,8 +112,19 @@ class SerialExecutor(Executor):
     workers = 1
 
     def imap(self, fn, tasks):
+        collector = active()
+        if collector is None:
+            for task in tasks:
+                yield fn(*task)
+            return
+        collector.set_gauge("runtime.workers", self.workers)
         for task in tasks:
-            yield fn(*task)
+            start = time.perf_counter()
+            result = fn(*task)
+            collector.incr("runtime.tasks")
+            collector.observe("runtime.task_seconds",
+                              time.perf_counter() - start)
+            yield result
 
     def __repr__(self):
         return "SerialExecutor()"
@@ -117,6 +167,11 @@ class ParallelExecutor(Executor):
         return self._pool
 
     def imap(self, fn, tasks):
+        collector = active()
+        if collector is not None:
+            fn = _CollectedTask(fn)
+            worker_ids = {}
+            collector.set_gauge("runtime.workers", self.workers)
         pool = self._ensure_pool()
         tasks = iter(tasks)
         pending = deque()
@@ -127,6 +182,18 @@ class ParallelExecutor(Executor):
                 return True
             return False
 
+        def absorb(outcome):
+            # Merge the worker's collector snapshot in task order, so
+            # logical totals match the serial aggregation exactly.
+            result, snapshot, pid, seconds = outcome
+            collector.merge(snapshot)
+            index = worker_ids.setdefault(pid, len(worker_ids))
+            collector.incr("runtime.tasks")
+            collector.incr(f"runtime.worker.{index}.tasks")
+            collector.observe("runtime.task_seconds", seconds)
+            collector.set_gauge("runtime.workers_seen", len(worker_ids))
+            return result
+
         try:
             for _ in range(self.inflight):
                 if not submit_next():
@@ -134,6 +201,8 @@ class ParallelExecutor(Executor):
             while pending:
                 result = pending.popleft().result()
                 submit_next()
+                if collector is not None:
+                    result = absorb(result)
                 yield result
         finally:
             for future in pending:

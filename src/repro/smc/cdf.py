@@ -11,6 +11,9 @@ import math
 
 from ..core.errors import AnalysisError
 from ..core.rng import ensure_rng
+from ..obs.metrics import incr
+from ..obs.progress import heartbeat
+from ..obs.trace import span
 
 
 def empirical_cdf(samples, grid):
@@ -87,31 +90,40 @@ def first_passage_cdfs(simulator_factory, predicates, horizon, runs, grid,
     each either way, so serial and parallel samples are identical.
     """
     rng = ensure_rng(rng)
-    if executor is not None:
-        from ..runtime import batched, seed_stream
+    with span("smc.first_passage_cdfs", runs=runs):
+        incr("smc.cdf.runs", runs)
+        if executor is not None:
+            from ..runtime import batched, seed_stream
 
-        seeds = seed_stream(rng, runs)
-        size = batch_size or executor.batch_size_for(runs)
+            seeds = seed_stream(rng, runs)
+            size = batch_size or executor.batch_size_for(runs)
+            samples = {key: [] for key in predicates}
+            done = 0
+            for batch in executor.map(
+                    first_passage_batch,
+                    [(simulator_factory, predicates, horizon, chunk)
+                     for chunk in batched(seeds, size)]):
+                done += len(batch)
+                heartbeat("smc.cdf", done, total=runs)
+                for times in batch:
+                    for key, value in times.items():
+                        samples[key].append(value)
+            return {key: empirical_cdf(vals, grid)
+                    for key, vals in samples.items()}
+        from .stochastic import resolve_predicate
+
+        predicates = {key: resolve_predicate(p)
+                      for key, p in predicates.items()}
         samples = {key: [] for key in predicates}
-        for batch in executor.map(
-                first_passage_batch,
-                [(simulator_factory, predicates, horizon, chunk)
-                 for chunk in batched(seeds, size)]):
-            for times in batch:
-                for key, value in times.items():
-                    samples[key].append(value)
+        for index in range(runs):
+            simulator = simulator_factory(rng.spawn())
+            recorder = FirstPassageRecorder(predicates)
+            simulator.run(
+                horizon, observer=recorder,
+                stop=lambda t, n, v, c: recorder.all_seen())
+            if (index + 1) & 63 == 0:
+                heartbeat("smc.cdf", index + 1, total=runs)
+            for key, value in recorder.times.items():
+                samples[key].append(value)
         return {key: empirical_cdf(vals, grid)
                 for key, vals in samples.items()}
-    from .stochastic import resolve_predicate
-
-    predicates = {key: resolve_predicate(p) for key, p in predicates.items()}
-    samples = {key: [] for key in predicates}
-    for _ in range(runs):
-        simulator = simulator_factory(rng.spawn())
-        recorder = FirstPassageRecorder(predicates)
-        simulator.run(
-            horizon, observer=recorder,
-            stop=lambda t, n, v, c: recorder.all_seen())
-        for key, value in recorder.times.items():
-            samples[key].append(value)
-    return {key: empirical_cdf(vals, grid) for key, vals in samples.items()}

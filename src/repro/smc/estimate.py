@@ -16,6 +16,9 @@ from scipy import stats
 
 from ..core.errors import AnalysisError
 from ..core.rng import ensure_rng
+from ..obs.metrics import incr
+from ..obs.progress import heartbeat
+from ..obs.trace import span
 
 
 class ProbabilityEstimate:
@@ -115,18 +118,33 @@ def estimate_probability(run_once, runs, rng=None, confidence=0.95,
     :func:`functools.partial` over one).  Results are bit-identical for
     any executor, worker count, and batch size.
     """
-    if executor is None:
-        rng = ensure_rng(rng)
-        successes = sum(1 for _ in range(runs) if run_once(rng))
-        return ProbabilityEstimate(successes, runs, confidence)
-    from ..runtime import batched, run_batch, seed_stream
+    with span("smc.estimate_probability", runs=runs) as sp:
+        if executor is None:
+            rng = ensure_rng(rng)
+            successes = 0
+            for index in range(runs):
+                if run_once(rng):
+                    successes += 1
+                if (index + 1) & 63 == 0:
+                    heartbeat("smc.estimate", index + 1, total=runs,
+                              successes=successes)
+        else:
+            from ..runtime import batched, run_batch, seed_stream
 
-    seeds = seed_stream(rng, runs)
-    size = batch_size or executor.batch_size_for(runs)
-    successes = 0
-    for outcomes in executor.map(
-            run_batch, [(run_once, chunk) for chunk in batched(seeds, size)]):
-        successes += sum(outcomes)
+            seeds = seed_stream(rng, runs)
+            size = batch_size or executor.batch_size_for(runs)
+            successes = 0
+            done = 0
+            for outcomes in executor.map(
+                    run_batch,
+                    [(run_once, chunk) for chunk in batched(seeds, size)]):
+                successes += sum(outcomes)
+                done += len(outcomes)
+                heartbeat("smc.estimate", done, total=runs,
+                          successes=successes)
+        incr("smc.runs", runs)
+        incr("smc.accepted", successes)
+        sp.set("successes", successes)
     return ProbabilityEstimate(successes, runs, confidence)
 
 
@@ -138,16 +156,24 @@ def estimate_mean(run_once, runs, rng=None, confidence=0.95,
     concatenated in run order, so the estimate (and its interval) does
     not depend on the batching.
     """
-    if executor is None:
-        rng = ensure_rng(rng)
-        return MeanEstimate([run_once(rng) for _ in range(runs)], confidence)
-    from ..runtime import batched, sample_batch, seed_stream
+    with span("smc.estimate_mean", runs=runs):
+        if executor is None:
+            rng = ensure_rng(rng)
+            samples = []
+            for index in range(runs):
+                samples.append(run_once(rng))
+                if (index + 1) & 63 == 0:
+                    heartbeat("smc.estimate_mean", index + 1, total=runs)
+        else:
+            from ..runtime import batched, sample_batch, seed_stream
 
-    seeds = seed_stream(rng, runs)
-    size = batch_size or executor.batch_size_for(runs)
-    samples = []
-    for values in executor.map(
-            sample_batch,
-            [(run_once, chunk) for chunk in batched(seeds, size)]):
-        samples.extend(values)
+            seeds = seed_stream(rng, runs)
+            size = batch_size or executor.batch_size_for(runs)
+            samples = []
+            for values in executor.map(
+                    sample_batch,
+                    [(run_once, chunk) for chunk in batched(seeds, size)]):
+                samples.extend(values)
+                heartbeat("smc.estimate_mean", len(samples), total=runs)
+        incr("smc.runs", runs)
     return MeanEstimate(samples, confidence)

@@ -23,6 +23,9 @@ import functools
 import math
 
 from ..core.rng import ensure_rng
+from ..obs.metrics import incr
+from ..obs.progress import heartbeat
+from ..obs.trace import span
 from .estimate import estimate_probability
 from .sprt import sprt
 from .stochastic import (
@@ -142,27 +145,35 @@ def expected_value(network, observe, horizon, runs=500, mode="max",
     if mode not in ("max", "min", "final"):
         raise AnalysisError(f"unknown mode {mode!r}")
     rng = ensure_rng(rng)
-    if executor is not None:
-        from ..runtime import batched, sample_batch, seed_stream
+    with span("smc.expected_value", runs=runs, mode=mode):
+        incr("smc.runs", runs)
+        if executor is not None:
+            from ..runtime import batched, sample_batch, seed_stream
 
-        run_once = functools.partial(observe_extremum, network, observe,
-                                     horizon, mode,
-                                     default_rate=default_rate)
-        seeds = seed_stream(rng, runs)
-        size = batch_size or executor.batch_size_for(runs)
+            run_once = functools.partial(observe_extremum, network, observe,
+                                         horizon, mode,
+                                         default_rate=default_rate)
+            seeds = seed_stream(rng, runs)
+            size = batch_size or executor.batch_size_for(runs)
+            samples = []
+            done = 0
+            for values in executor.map(
+                    sample_batch,
+                    [(run_once, chunk) for chunk in batched(seeds, size)]):
+                done += len(values)
+                heartbeat("smc.expected_value", done, total=runs)
+                samples.extend(v for v in values if not math.isnan(v))
+            return MeanEstimate(samples, confidence)
+
+        model = resolve_model(network)
+        predicate = resolve_predicate(observe)
         samples = []
-        for values in executor.map(
-                sample_batch,
-                [(run_once, chunk) for chunk in batched(seeds, size)]):
-            samples.extend(v for v in values if not math.isnan(v))
+        for index in range(runs):
+            value = observe_extremum(model, predicate, horizon, mode,
+                                     rng=rng.spawn(),
+                                     default_rate=default_rate)
+            if (index + 1) & 63 == 0:
+                heartbeat("smc.expected_value", index + 1, total=runs)
+            if not math.isnan(value):
+                samples.append(value)
         return MeanEstimate(samples, confidence)
-
-    model = resolve_model(network)
-    predicate = resolve_predicate(observe)
-    samples = []
-    for _ in range(runs):
-        value = observe_extremum(model, predicate, horizon, mode,
-                                 rng=rng.spawn(), default_rate=default_rate)
-        if not math.isnan(value):
-            samples.append(value)
-    return MeanEstimate(samples, confidence)

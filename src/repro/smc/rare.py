@@ -26,6 +26,9 @@ import math
 
 from ..core.errors import AnalysisError
 from ..core.rng import ensure_rng
+from ..obs.metrics import incr
+from ..obs.progress import heartbeat
+from ..obs.trace import span
 from ..pta.simulate import DigitalSimulator
 
 
@@ -103,32 +106,41 @@ def fixed_effort_splitting(network, level_of, max_level,
     for level in range(max_level):
         next_entries = []
         hits = 0
-        if executor is None:
-            for _ in range(runs_per_stage):
-                total_runs += 1
-                start = entry_states[rng.randint(0, len(entry_states) - 1)]
-                reached = _run_until_level(
-                    simulator, model, start, level_fn, level + 1,
-                    max_steps)
-                if reached is not None:
-                    hits += 1
-                    next_entries.append(reached)
-        else:
-            from ..runtime import batched, seed_stream
-
-            starts = [entry_states[rng.randint(0, len(entry_states) - 1)]
-                      for _ in range(runs_per_stage)]
-            seeds = seed_stream(rng, runs_per_stage)
-            size = batch_size or executor.batch_size_for(runs_per_stage)
-            tasks = [(network, level_of, s, z, level + 1, policy, max_steps)
-                     for s, z in zip(batched(starts, size),
-                                     batched(seeds, size))]
-            for reached_batch in executor.map(splitting_batch, tasks):
-                for reached in reached_batch:
+        with span("smc.splitting.stage", level=level + 1) as sp:
+            if executor is None:
+                for _ in range(runs_per_stage):
                     total_runs += 1
+                    start = entry_states[
+                        rng.randint(0, len(entry_states) - 1)]
+                    reached = _run_until_level(
+                        simulator, model, start, level_fn, level + 1,
+                        max_steps)
                     if reached is not None:
                         hits += 1
                         next_entries.append(reached)
+            else:
+                from ..runtime import batched, seed_stream
+
+                starts = [entry_states[rng.randint(0,
+                                                   len(entry_states) - 1)]
+                          for _ in range(runs_per_stage)]
+                seeds = seed_stream(rng, runs_per_stage)
+                size = batch_size or executor.batch_size_for(runs_per_stage)
+                tasks = [(network, level_of, s, z, level + 1, policy,
+                          max_steps)
+                         for s, z in zip(batched(starts, size),
+                                         batched(seeds, size))]
+                for reached_batch in executor.map(splitting_batch, tasks):
+                    for reached in reached_batch:
+                        total_runs += 1
+                        if reached is not None:
+                            hits += 1
+                            next_entries.append(reached)
+            sp.set("hits", hits)
+        incr("smc.splitting.stages")
+        incr("smc.splitting.runs", runs_per_stage)
+        incr("smc.splitting.hits", hits)
+        heartbeat("smc.splitting", level + 1, total=max_level, hits=hits)
         stage_probabilities.append(hits / runs_per_stage)
         if hits == 0:
             return SplittingResult(0.0, stage_probabilities, total_runs)

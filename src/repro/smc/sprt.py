@@ -11,6 +11,9 @@ import math
 
 from ..core.errors import AnalysisError
 from ..core.rng import ensure_rng
+from ..obs.metrics import incr
+from ..obs.progress import heartbeat
+from ..obs.trace import span
 
 
 class SPRTResult:
@@ -32,6 +35,20 @@ class SPRTResult:
         verdict = ">=" if self.accept else "<"
         return (f"SPRTResult(P {verdict} {self.theta} after {self.runs} "
                 f"runs, {self.successes} successes)")
+
+
+def _record_verdict(result):
+    """Flush one sequential test's logical totals into the registry.
+
+    Recorded at the coordinator while walking outcomes in run order, so
+    the counts are identical for serial and parallel execution even
+    when parallel chunks run ahead of the stopping point.
+    """
+    incr("smc.sprt.tests")
+    incr("smc.sprt.runs", result.runs)
+    incr("smc.sprt.successes", result.successes)
+    incr("smc.sprt.accepted" if result.accept else "smc.sprt.rejected")
+    return result
 
 
 def sprt(run_once, theta, indifference=0.01, alpha=0.05, beta=0.05,
@@ -65,17 +82,21 @@ def sprt(run_once, theta, indifference=0.01, alpha=0.05, beta=0.05,
     successes = 0
 
     if executor is None:
-        for run in range(1, max_runs + 1):
-            if run_once(rng):
-                successes += 1
-                llr += inc_success
-            else:
-                llr += inc_failure
-            if llr >= log_a:
-                return SPRTResult(True, run, successes, theta, indifference)
-            if llr <= log_b:
-                return SPRTResult(False, run, successes, theta,
-                                  indifference)
+        with span("smc.sprt", theta=theta):
+            for run in range(1, max_runs + 1):
+                if run_once(rng):
+                    successes += 1
+                    llr += inc_success
+                else:
+                    llr += inc_failure
+                if run & 63 == 0:
+                    heartbeat("smc.sprt", run, successes=successes)
+                if llr >= log_a:
+                    return _record_verdict(SPRTResult(
+                        True, run, successes, theta, indifference))
+                if llr <= log_b:
+                    return _record_verdict(SPRTResult(
+                        False, run, successes, theta, indifference))
         raise AnalysisError(f"SPRT undecided after {max_runs} runs")
 
     from ..runtime import run_batch
@@ -92,20 +113,23 @@ def sprt(run_once, theta, indifference=0.01, alpha=0.05, beta=0.05,
     run = 0
     results = executor.imap(run_batch, tasks())
     try:
-        for outcomes in results:
-            for outcome in outcomes:
-                run += 1
-                if outcome:
-                    successes += 1
-                    llr += inc_success
-                else:
-                    llr += inc_failure
-                if llr >= log_a:
-                    return SPRTResult(True, run, successes, theta,
-                                      indifference)
-                if llr <= log_b:
-                    return SPRTResult(False, run, successes, theta,
-                                      indifference)
+        with span("smc.sprt", theta=theta):
+            for outcomes in results:
+                incr("smc.sprt.chunks")
+                heartbeat("smc.sprt", run, successes=successes)
+                for outcome in outcomes:
+                    run += 1
+                    if outcome:
+                        successes += 1
+                        llr += inc_success
+                    else:
+                        llr += inc_failure
+                    if llr >= log_a:
+                        return _record_verdict(SPRTResult(
+                            True, run, successes, theta, indifference))
+                    if llr <= log_b:
+                        return _record_verdict(SPRTResult(
+                            False, run, successes, theta, indifference))
     finally:
         results.close()
     raise AnalysisError(f"SPRT undecided after {max_runs} runs")

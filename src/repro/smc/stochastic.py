@@ -22,6 +22,7 @@ import math
 
 from ..core.errors import AnalysisError, ModelError
 from ..core.rng import RandomSource, ensure_rng
+from ..obs.metrics import active
 
 INFINITY = math.inf
 
@@ -217,24 +218,35 @@ class StochasticSimulator:
         ``observer(time, names, valuation, clocks)`` is called after the
         initial state and after every step; ``stop`` (same signature,
         returning truth) ends the run early.  Returns the elapsed time.
+
+        Each completed run flushes one ``smc.sim.runs`` increment and
+        its step count into the active metrics collector (a no-op per
+        *run*, not per step, when observability is off).
         """
         state = self.initial()
         elapsed = 0.0
-        for _ in range(max_steps):
-            names = self.network.location_vector_names(state.locs)
-            if observer is not None:
-                observer(elapsed, names, state.valuation, state.clocks)
-            if stop is not None and stop(elapsed, names, state.valuation,
-                                         state.clocks):
-                return elapsed
-            if elapsed >= max_time:
-                return elapsed
-            move = self.step(state)
-            if move is None:
-                return elapsed
-            delay, _description, state = move
-            elapsed += delay
-        raise AnalysisError(f"run exceeded {max_steps} steps")
+        steps = 0
+        try:
+            for steps in range(max_steps):
+                names = self.network.location_vector_names(state.locs)
+                if observer is not None:
+                    observer(elapsed, names, state.valuation, state.clocks)
+                if stop is not None and stop(elapsed, names,
+                                             state.valuation, state.clocks):
+                    return elapsed
+                if elapsed >= max_time:
+                    return elapsed
+                move = self.step(state)
+                if move is None:
+                    return elapsed
+                delay, _description, state = move
+                elapsed += delay
+            raise AnalysisError(f"run exceeded {max_steps} steps")
+        finally:
+            collector = active()
+            if collector is not None:
+                collector.incr("smc.sim.runs")
+                collector.incr("smc.sim.steps", steps)
 
 
 # -- module-level run entry points (picklable, for the parallel runtime) ------

@@ -36,6 +36,32 @@ class SymState:
         return f"SymState(locs={self.locs}, vars={self.valuation.values})"
 
 
+class ZoneGraphStats:
+    """Plain-int operation counters kept on every graph.
+
+    Incrementing a Python int per zone/constraint is negligible next to
+    the O(n^2) DBM work each operation performs, so counting stays on
+    unconditionally; :func:`repro.mc.reachability.explore` flushes the
+    *delta* of a search into the active metrics collector.
+    """
+
+    __slots__ = ("zones_created", "constraints_applied", "empty_zones")
+
+    def __init__(self):
+        self.zones_created = 0
+        self.constraints_applied = 0
+        self.empty_zones = 0
+
+    def snapshot(self):
+        return (self.zones_created, self.constraints_applied,
+                self.empty_zones)
+
+    def __repr__(self):
+        return (f"ZoneGraphStats(zones={self.zones_created}, "
+                f"constraints={self.constraints_applied}, "
+                f"empty={self.empty_zones})")
+
+
 class ZoneGraph:
     """On-the-fly symbolic transition system of a network."""
 
@@ -43,16 +69,19 @@ class ZoneGraph:
         self.network = network.freeze()
         self.extrapolate = extrapolate
         self._max_constants = network.max_constants(extra_constants)
+        self.stats = ZoneGraphStats()
 
     # -- helpers ---------------------------------------------------------------
 
     def _apply_invariants(self, zone, locs):
+        stats = self.stats
         for process, loc_index in zip(self.network.processes, locs):
             location = process.location(loc_index)
             for atom in location.invariant:
                 for i, j, b in atom.encoded_constraints(
                         process.resolve_clock):
                     zone.constrain(i, j, b)
+                    stats.constraints_applied += 1
                     if zone.is_empty():
                         return zone
         return zone
@@ -77,6 +106,7 @@ class ZoneGraph:
         locs = self.network.initial_locations()
         valuation = self.network.initial_valuation()
         zone = DBM.zero(self.network.dbm_size)
+        self.stats.zones_created += 1
         zone = self._apply_invariants(zone, locs)
         zone = self._delay_close(zone, locs, valuation)
         return SymState(locs, valuation, self._finish(zone))
@@ -93,14 +123,19 @@ class ZoneGraph:
         return out
 
     def _fire(self, state, transition):
+        stats = self.stats
         zone = state.zone.copy()
+        stats.zones_created += 1
         # Clock guards.
         for process, atom in transition.clock_guard_atoms():
             for i, j, b in atom.encoded_constraints(process.resolve_clock):
                 zone.constrain(i, j, b)
+                stats.constraints_applied += 1
             if zone.is_empty():
+                stats.empty_zones += 1
                 return None
         if zone.is_empty():
+            stats.empty_zones += 1
             return None
         # Discrete part.
         new_locs = transition.target_locations(state.locs)
@@ -110,9 +145,11 @@ class ZoneGraph:
             zone.reset(clock_index, value)
         zone = self._apply_invariants(zone, new_locs)
         if zone.is_empty():
+            stats.empty_zones += 1
             return None
         zone = self._delay_close(zone, new_locs, new_valuation)
         if zone.is_empty():
+            stats.empty_zones += 1
             return None
         return SymState(new_locs, new_valuation, self._finish(zone))
 
@@ -124,10 +161,12 @@ class ZoneGraph:
             self.network, state.locs, state.valuation)
         for transition in transitions:
             zone = state.zone.copy()
+            self.stats.zones_created += 1
             for process, atom in transition.clock_guard_atoms():
                 for i, j, b in atom.encoded_constraints(
                         process.resolve_clock):
                     zone.constrain(i, j, b)
+                    self.stats.constraints_applied += 1
                 if zone.is_empty():
                     break
             if zone.is_empty():

@@ -14,6 +14,9 @@ in the paper's example (see DESIGN.md).
 from __future__ import annotations
 
 from ..core.errors import AnalysisError
+from ..obs.metrics import active
+from ..obs.progress import heartbeat
+from ..obs.trace import span
 from ..ta.discrete import DiscreteSemantics
 
 
@@ -46,35 +49,46 @@ class GameGraph:
         return idx
 
     def _explore(self, max_states):
-        queue = [0]
-        while queue:
-            i = queue.pop()
-            while len(self.ctrl) <= i:
-                self.ctrl.append(None)
-                self.unc.append(None)
+        with span("tiga.explore") as sp:
+            queue = [0]
+            expanded = 0
+            while queue:
+                i = queue.pop()
+                while len(self.ctrl) <= i:
+                    self.ctrl.append(None)
+                    self.unc.append(None)
+                    self.tick.append(None)
+                state = self.states[i]
+                ctrl_moves, unc_moves = [], []
+                for transition, succ in self.semantics.action_successors(
+                        state):
+                    j = self._intern(succ, queue)
+                    if all(edge.controllable
+                           for _process, edge in transition.participants):
+                        ctrl_moves.append((transition, j))
+                    else:
+                        unc_moves.append((transition, j))
+                self.ctrl[i] = ctrl_moves
+                self.unc[i] = unc_moves
+                ticked = self.semantics.tick(state)
+                self.tick[i] = self._intern(ticked, queue) \
+                    if ticked is not None else None
+                expanded += 1
+                if expanded & 1023 == 0:
+                    heartbeat("tiga.explore", expanded,
+                              waiting=len(queue))
+                if len(self.states) > max_states:
+                    raise AnalysisError(
+                        f"game arena exceeds {max_states} states")
+            # Pad arrays for states discovered last.
+            while len(self.ctrl) < len(self.states):
+                self.ctrl.append([])
+                self.unc.append([])
                 self.tick.append(None)
-            state = self.states[i]
-            ctrl_moves, unc_moves = [], []
-            for transition, succ in self.semantics.action_successors(state):
-                j = self._intern(succ, queue)
-                if all(edge.controllable
-                       for _process, edge in transition.participants):
-                    ctrl_moves.append((transition, j))
-                else:
-                    unc_moves.append((transition, j))
-            self.ctrl[i] = ctrl_moves
-            self.unc[i] = unc_moves
-            ticked = self.semantics.tick(state)
-            self.tick[i] = self._intern(ticked, queue) \
-                if ticked is not None else None
-            if len(self.states) > max_states:
-                raise AnalysisError(
-                    f"game arena exceeds {max_states} states")
-        # Pad arrays for states discovered last.
-        while len(self.ctrl) < len(self.states):
-            self.ctrl.append([])
-            self.unc.append([])
-            self.tick.append(None)
+            sp.set("states", len(self.states))
+        collector = active()
+        if collector is not None:
+            collector.incr("tiga.arena_states", len(self.states))
 
     @property
     def num_states(self):

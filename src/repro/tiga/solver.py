@@ -30,6 +30,8 @@ the run stops there — matching the convention discussed in DESIGN.md.
 
 from __future__ import annotations
 
+from ..obs.metrics import active
+from ..obs.trace import span
 from .strategy import Strategy
 
 
@@ -47,31 +49,45 @@ def solve_reachability(graph, goal):
     winning = set(goal)
     choice = {}
     changed = True
-    while changed:
-        changed = False
-        for i in range(graph.num_states):
-            if i in winning:
-                continue
-            if not _env_closed(graph, i, winning):
-                continue
-            move = None
-            for transition, j in graph.ctrl[i]:
-                if j in winning:
-                    move = (transition, j)
-                    break
-            if move is None and graph.tick[i] is not None \
-                    and graph.tick[i] in winning:
-                move = ("tick", graph.tick[i])
-            if move is None and graph.tick[i] is None and graph.unc[i]:
-                # Time cannot pass and the controller stays put: the
-                # environment must fire one of its edges, all of which
-                # lead into W.
-                move = ("stay", i)
-            if move is not None:
-                winning.add(i)
-                choice[i] = move
-                changed = True
+    iterations = 0
+    with span("tiga.solve_reachability", states=graph.num_states) as sp:
+        while changed:
+            changed = False
+            iterations += 1
+            for i in range(graph.num_states):
+                if i in winning:
+                    continue
+                if not _env_closed(graph, i, winning):
+                    continue
+                move = None
+                for transition, j in graph.ctrl[i]:
+                    if j in winning:
+                        move = (transition, j)
+                        break
+                if move is None and graph.tick[i] is not None \
+                        and graph.tick[i] in winning:
+                    move = ("tick", graph.tick[i])
+                if move is None and graph.tick[i] is None and graph.unc[i]:
+                    # Time cannot pass and the controller stays put: the
+                    # environment must fire one of its edges, all of
+                    # which lead into W.
+                    move = ("stay", i)
+                if move is not None:
+                    winning.add(i)
+                    choice[i] = move
+                    changed = True
+        sp.set("iterations", iterations)
+        sp.set("winning", len(winning))
+    _record_solve("reachability", iterations, winning)
     return winning, Strategy(graph, choice, winning, goal=goal)
+
+
+def _record_solve(kind, iterations, winning):
+    collector = active()
+    if collector is not None:
+        collector.incr("tiga.solves")
+        collector.incr("tiga.fixpoint_iterations", iterations)
+        collector.incr(f"tiga.{kind}.winning_states", len(winning))
 
 
 def solve_safety(graph, safe):
@@ -81,19 +97,26 @@ def solve_safety(graph, safe):
     "stay" when nothing needs doing)."""
     region = set(safe)
     changed = True
-    while changed:
-        changed = False
-        for i in list(region):
-            if not _env_closed(graph, i, region):
-                region.discard(i)
-                changed = True
-                continue
-            if graph.tick[i] is not None and graph.tick[i] not in region:
-                # Time would escape: the controller must preempt with
-                # one of its own edges that stays inside.
-                if not any(j in region for _t, j in graph.ctrl[i]):
+    iterations = 0
+    with span("tiga.solve_safety", states=graph.num_states) as sp:
+        while changed:
+            changed = False
+            iterations += 1
+            for i in list(region):
+                if not _env_closed(graph, i, region):
                     region.discard(i)
                     changed = True
+                    continue
+                if graph.tick[i] is not None \
+                        and graph.tick[i] not in region:
+                    # Time would escape: the controller must preempt
+                    # with one of its own edges that stays inside.
+                    if not any(j in region for _t, j in graph.ctrl[i]):
+                        region.discard(i)
+                        changed = True
+        sp.set("iterations", iterations)
+        sp.set("winning", len(region))
+    _record_solve("safety", iterations, region)
     choice = {}
     for i in region:
         if graph.tick[i] is not None and graph.tick[i] in region:
