@@ -14,14 +14,18 @@ engine-metrics artifact)::
     python benchmarks/bench_engines.py --quick --json out.json
 """
 
+import time
+
 import pytest
 
 from repro.core import ResultTable
 from repro.dbm import DBM, le
 from repro.mc import EF, LocationIs, Verifier, explore
+from repro.mc.reference import reference_explore
 from repro.mdp import reachability_probability
 from repro.models import brp
 from repro.models.dala import make_dala
+from repro.models.fischer import make_fischer
 from repro.models.traingate import make_traingate
 from repro.pta import build_digital_mdp
 from repro.smc import ProbabilityEstimate, chernoff_runs
@@ -68,6 +72,76 @@ def test_exploration_ablation(benchmark, extrapolate, inclusion):
     table.add_row(extrapolate, inclusion, states)
     table.print()
     assert states > 0
+
+
+@pytest.mark.benchmark(group="engines-explore")
+def test_exploration_core_vs_reference(benchmark):
+    """The rewritten exploration core against the preserved seed engine
+    (state counts must agree exactly; see ``--explore`` for the timed
+    comparison on the larger Fischer instance)."""
+    network = make_fischer(4)
+
+    def run():
+        return explore(ZoneGraph(network)).states_stored
+
+    stored = benchmark.pedantic(run, rounds=1, iterations=1)
+    reference = reference_explore(
+        ZoneGraph(network, intern_zones=False, cache_size=0))
+    assert stored == reference.states_stored
+
+
+def exploration_benchmark(n, require_speedup=None):
+    """Timed old-vs-new exploration on Fischer ``n`` under the active
+    collector; asserts bit-identical results and (optionally) a minimum
+    speedup.  Returns the measurement dict (also used by ``--explore``).
+    """
+    from repro.obs.trace import span
+
+    network = make_fischer(n)
+    runs = {}
+    with span("bench.explore", model=f"fischer{n}") as sp:
+        for name, graph, search in (
+                ("reference",
+                 ZoneGraph(network, intern_zones=False, cache_size=0),
+                 reference_explore),
+                ("core-uncached",
+                 ZoneGraph(network, intern_zones=False, cache_size=0),
+                 explore),
+                ("core",
+                 ZoneGraph(network),
+                 explore)):
+            start = time.perf_counter()
+            result = search(graph)
+            seconds = time.perf_counter() - start
+            runs[name] = (result, graph.stats.snapshot(), seconds)
+        reference = runs["reference"]
+        for name in ("core-uncached", "core"):
+            result, stats, _seconds = runs[name]
+            assert (result.found, result.states_explored,
+                    result.states_stored) == \
+                (reference[0].found, reference[0].states_explored,
+                 reference[0].states_stored), name
+            assert stats == reference[1], name
+        speedup = reference[2] / runs["core"][2]
+        sp.set("states", reference[0].states_stored)
+        sp.set("speedup", round(speedup, 2))
+    if require_speedup is not None:
+        assert speedup >= require_speedup, (
+            f"exploration core only {speedup:.2f}x faster than the seed "
+            f"engine on fischer{n} (required {require_speedup}x)")
+
+    table = ResultTable("engine", "seconds", "states",
+                        title=f"Exploration engines, Fischer n={n}")
+    for name in ("reference", "core-uncached", "core"):
+        result, _stats, seconds = runs[name]
+        table.add_row(name, round(seconds, 2), result.states_stored)
+    table.print()
+    print(f"speedup (reference / core): {speedup:.2f}x")
+    return {"model": f"fischer{n}",
+            "states": reference[0].states_stored,
+            "reference_seconds": round(reference[2], 3),
+            "core_seconds": round(runs["core"][2], 3),
+            "speedup": round(speedup, 2)}
 
 
 @pytest.mark.benchmark(group="engines-mdp")
@@ -141,8 +215,33 @@ def main(argv=None):
                         help="small budgets (CI smoke)")
     parser.add_argument("--json", dest="json_path", default=None,
                         help="write the repro.obs report to this path")
+    parser.add_argument("--explore", action="store_true",
+                        help="run the exploration old-vs-new benchmark "
+                             "instead of the per-engine workloads")
+    parser.add_argument("--fischer", type=int, default=None,
+                        help="Fischer instance size for --explore "
+                             "(default 5, or 4 with --quick)")
     args = parser.parse_args(argv)
     smc_runs = 100 if args.quick else 738
+
+    if args.explore:
+        n = args.fischer if args.fischer is not None \
+            else (4 if args.quick else 5)
+        collector = Collector("bench_explore")
+        tracer = Tracer()
+        with collecting(collector), tracing(tracer):
+            # The acceptance bar (>= 2x over the seed engine) is only
+            # meaningful on instances large enough for the quadratic
+            # terms to dominate.
+            measurement = exploration_benchmark(
+                n, require_speedup=2.0 if n >= 5 else None)
+        report = Report(collector, tracer,
+                        meta={"benchmark": "exploration", **measurement})
+        report.print()
+        if args.json_path:
+            report.write(args.json_path)
+            print(f"wrote {args.json_path}")
+        return 0
 
     collector = Collector("bench_engines")
     tracer = Tracer()

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from itertools import product
 
+from ..core.errors import SearchLimitError
+
 
 class DFinderReport:
     """Result of a compositional deadlock analysis."""
@@ -142,7 +144,7 @@ def find_potential_deadlocks(system, max_configurations=2000000):
     for inv in invariants:
         total *= len(inv)
     if total > max_configurations:
-        raise MemoryError(
+        raise SearchLimitError(
             f"{total} control configurations exceed the bound; "
             "reduce the model or raise max_configurations")
 

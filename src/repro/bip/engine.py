@@ -10,7 +10,7 @@ runs.
 
 from __future__ import annotations
 
-from ..core.errors import AnalysisError, ModelError
+from ..core.errors import AnalysisError, ModelError, SearchLimitError
 from ..core.rng import ensure_rng
 from ..obs.metrics import active
 from ..obs.progress import heartbeat
@@ -160,8 +160,9 @@ def explore_statespace(system, max_states=100000):
                         heartbeat("bip.explore", len(seen),
                                   waiting=len(queue))
                     if len(seen) > max_states:
-                        raise MemoryError(
-                            f"state space exceeds {max_states} states")
+                        raise SearchLimitError(
+                            f"state space exceeds {max_states} states",
+                            limit=max_states)
         sp.set("states", len(seen))
         sp.set("deadlocks", len(deadlocks))
     collector = active()

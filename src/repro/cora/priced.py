@@ -17,11 +17,24 @@ from __future__ import annotations
 
 import heapq
 
-from ..core.errors import ModelError
+from ..core.errors import ModelError, SearchLimitError
+from ..mc.explorecore import TraceNode, reconstruct_trace
 from ..obs.metrics import active
 from ..obs.progress import heartbeat
 from ..obs.trace import span
 from ..ta.discrete import DiscreteSemantics
+
+
+def _steps_of(node):
+    """The ``["tick" | transition]`` step list leading to ``node``.
+
+    Uniform-cost search shares trace prefixes through parent-pointer
+    :class:`~repro.mc.explorecore.TraceNode` records (the seed engine
+    copied a ``trace + (step,)`` tuple per pushed state — quadratic
+    memory on long cheapest paths); the step list is materialised only
+    for the single optimal node.
+    """
+    return [step for step, _state in reconstruct_trace(node)[1:]]
 
 
 class PricedTA:
@@ -88,14 +101,15 @@ def min_cost_reachability(priced, goal, extra_constants=None,
     semantics = DiscreteSemantics(network, extra_constants=extra_constants)
     initial = semantics.initial()
 
-    counter = 0  # tie-breaker so heap entries never compare states
-    heap = [(0, counter, initial, ())]
+    counter = 0  # tie-breaker so heap entries never compare nodes
+    heap = [(0, counter, TraceNode(initial))]
     best = {initial.key(): 0}
     explored = 0
     result = None
     with span("cora.min_cost") as sp:
         while heap:
-            cost, _tie, state, trace = heapq.heappop(heap)
+            cost, _tie, node = heapq.heappop(heap)
+            state = node.state
             key = state.key()
             if cost > best.get(key, float("inf")):
                 continue
@@ -104,10 +118,12 @@ def min_cost_reachability(priced, goal, extra_constants=None,
                 heartbeat("cora.min_cost", explored)
             names = network.location_vector_names(state.locs)
             if goal(names, state.valuation, state.clocks):
-                result = CostResult(cost, state, list(trace), explored)
+                result = CostResult(cost, state, _steps_of(node), explored)
                 break
             if explored > max_states:
-                raise MemoryError(f"search exceeded {max_states} states")
+                raise SearchLimitError(
+                    f"search exceeded {max_states} states",
+                    limit=max_states)
 
             successors = []
             ticked = semantics.tick(state)
@@ -124,7 +140,7 @@ def min_cost_reachability(priced, goal, extra_constants=None,
                     best[succ_key] = new_cost
                     counter += 1
                     heapq.heappush(
-                        heap, (new_cost, counter, succ, trace + (step,)))
+                        heap, (new_cost, counter, TraceNode(succ, step, node)))
         if result is None:
             result = CostResult(None, None, None, explored)
         sp.set("states_explored", explored)
@@ -204,8 +220,9 @@ def _max_cost_search(priced, goal, extra_constants, max_states):
                 states[succ.key()] = succ
                 queue.append(succ)
                 if len(states) > max_states:
-                    raise MemoryError(
-                        f"search exceeds {max_states} states")
+                    raise SearchLimitError(
+                        f"search exceeds {max_states} states",
+                        limit=max_states)
 
     if not goal_keys:
         return CostResult(None, None, None, len(states))

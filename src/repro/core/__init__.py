@@ -7,6 +7,7 @@ from .errors import (
     ParseError,
     QueryError,
     ReproError,
+    SearchLimitError,
     TestFailure,
 )
 from .expressions import (
@@ -37,7 +38,7 @@ from .tables import ResultTable, format_number
 
 __all__ = [
     "AnalysisError", "EvaluationError", "ModelError", "ParseError",
-    "QueryError", "ReproError", "TestFailure",
+    "QueryError", "ReproError", "SearchLimitError", "TestFailure",
     "Assignment", "BinOp", "Const", "Expr", "FALSE", "Index", "Ite",
     "TRUE", "UnOp", "Var", "conjoin", "lift",
     "Declarations", "Env", "Valuation",

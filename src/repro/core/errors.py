@@ -35,6 +35,25 @@ class AnalysisError(ReproError):
     """An analysis engine could not complete (divergence, unsupported model)."""
 
 
+class SearchLimitError(ReproError, MemoryError):
+    """A state-space search exceeded its configured ``max_states`` cap.
+
+    Raised by the exploration engines (symbolic graph materialisation,
+    priced searches, refinement products, ...) instead of a bare
+    :class:`MemoryError`, so callers can distinguish "the model is too
+    big for the configured budget" from an actual allocation failure and
+    react (raise the cap, coarsen the model) programmatically.
+
+    :class:`MemoryError` is kept as a base class so pre-existing
+    ``except MemoryError`` handlers continue to work.
+    """
+
+    def __init__(self, message, limit=None):
+        super().__init__(message)
+        #: The configured cap that was exceeded (when known).
+        self.limit = limit
+
+
 class TestFailure(ReproError):
     """An online test run ended with a fail verdict (mbt engines)."""
 

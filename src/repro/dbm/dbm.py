@@ -12,12 +12,13 @@ this module replaces (see DESIGN.md).
 
 from __future__ import annotations
 
+from operator import lt as _bound_lt
+
 from ..core.errors import ModelError
 from .bounds import (
     INF,
     LE_ZERO,
     LT_ZERO,
-    bound_add,
     bound_str,
     le,
     lt,
@@ -83,7 +84,12 @@ class DBM:
     # -- canonical form ----------------------------------------------------
 
     def close(self):
-        """Floyd–Warshall all-pairs tightening; detects emptiness."""
+        """Floyd–Warshall all-pairs tightening; detects emptiness.
+
+        The innermost step inlines :func:`~repro.dbm.bounds.bound_add`
+        (both operands are already known finite) — this triple loop is
+        the single hottest piece of arithmetic in every zone engine.
+        """
         n = self.size
         m = self.m
         for k in range(n):
@@ -97,7 +103,8 @@ class DBM:
                     d_kj = m[row_k + j]
                     if d_kj >= INF:
                         continue
-                    via = bound_add(d_ik, d_kj)
+                    via = (((d_ik >> 1) + (d_kj >> 1)) << 1) \
+                        | (d_ik & d_kj & 1)
                     if via < m[row_i + j]:
                         m[row_i + j] = via
         for i in range(n):
@@ -113,17 +120,19 @@ class DBM:
         d_ab = m[a * n + b]
         if d_ab >= INF:
             return self
+        row_b = b * n
         for i in range(n):
             d_ia = m[i * n + a]
             if d_ia >= INF:
                 continue
-            d_iab = bound_add(d_ia, d_ab)
+            d_iab = (((d_ia >> 1) + (d_ab >> 1)) << 1) | (d_ia & d_ab & 1)
             row_i = i * n
             for j in range(n):
-                d_bj = m[b * n + j]
+                d_bj = m[row_b + j]
                 if d_bj >= INF:
                     continue
-                via = bound_add(d_iab, d_bj)
+                via = (((d_iab >> 1) + (d_bj >> 1)) << 1) \
+                    | (d_iab & d_bj & 1)
                 if via < m[row_i + j]:
                     m[row_i + j] = via
         for i in range(n):
@@ -134,15 +143,25 @@ class DBM:
     # -- zone operations (all in-place, returning self) ---------------------
 
     def constrain(self, i, j, encoded_bound):
-        """Intersect with ``x_i - x_j  (< | <=)  c`` (encoded bound)."""
+        """Intersect with ``x_i - x_j  (< | <=)  c`` (encoded bound).
+
+        ``i`` and ``j`` must be distinct clock indices: a diagonal or
+        out-of-range entry would silently corrupt the canonical form.
+        """
+        n = self.size
+        if i == j or not 0 <= i < n or not 0 <= j < n:
+            raise ModelError(f"bad constraint indices ({i}, {j})")
         if self.is_empty():
             return self
-        n = self.size
         current = self.m[i * n + j]
         if encoded_bound >= current:
             return self  # no information added
-        # Quick emptiness check against the reverse bound.
-        if bound_add(encoded_bound, self.m[j * n + i]) < LE_ZERO:
+        # Quick emptiness check against the reverse bound (inlined
+        # bound_add; the sum only matters when both operands are finite).
+        rev = self.m[j * n + i]
+        if (rev < INF and encoded_bound < INF
+                and ((((encoded_bound >> 1) + (rev >> 1)) << 1)
+                     | (encoded_bound & rev & 1)) < LE_ZERO):
             return self._mark_empty()
         self.m[i * n + j] = encoded_bound
         return self._close_one(i, j)
@@ -184,9 +203,13 @@ class DBM:
             if i == clock:
                 continue
             # x_clock - x_i = value - x_i  <=  value + (0 - x_i)
-            m[clock * n + i] = bound_add(v_le, m[i])
+            b = m[i]
+            m[clock * n + i] = INF if b >= INF else (
+                (((v_le >> 1) + (b >> 1)) << 1) | (v_le & b & 1))
             # x_i - x_clock  <=  x_i - 0 + (-value)
-            m[i * n + clock] = bound_add(m[i * n], v_neg)
+            b = m[i * n]
+            m[i * n + clock] = INF if b >= INF else (
+                (((b >> 1) + (v_neg >> 1)) << 1) | (b & v_neg & 1))
         m[clock * n + clock] = LE_ZERO
         return self
 
@@ -233,18 +256,22 @@ class DBM:
             raise ModelError("need one max constant per clock (incl. ref)")
         m = self.m
         changed = False
+        uppers = [le(c) for c in max_constants]
+        lowers = [lt(-c) for c in max_constants]
         for i in range(n):
+            row_i = i * n
+            upper_i = uppers[i]
             for j in range(n):
                 if i == j:
                     continue
-                b = m[i * n + j]
+                b = m[row_i + j]
                 if b >= INF:
                     continue
-                if b > le(max_constants[i]):
-                    m[i * n + j] = INF
+                if b > upper_i:
+                    m[row_i + j] = INF
                     changed = True
-                elif b < lt(-max_constants[j]):
-                    m[i * n + j] = lt(-max_constants[j])
+                elif b < lowers[j]:
+                    m[row_i + j] = lowers[j]
                     changed = True
         if changed:
             self.close()
@@ -254,12 +281,17 @@ class DBM:
 
     def includes(self, other):
         """True when this zone is a superset of ``other`` (both canonical)."""
-        if other.is_empty():
+        mine = self.m
+        theirs = other.m
+        if theirs[0] < LE_ZERO:   # other empty (inlined is_empty)
             return True
-        if self.is_empty():
+        if mine[0] < LE_ZERO:
             return False
-        return all(mine >= theirs
-                   for mine, theirs in zip(self.m, other.m))
+        if mine == theirs:  # C-level compare; also catches interned aliases
+            return True
+        # Violated iff some entry of ours is tighter; map() keeps the
+        # element-wise comparison in C (this is the passed-list hot loop).
+        return not any(map(_bound_lt, mine, theirs))
 
     def __eq__(self, other):
         if not isinstance(other, DBM):

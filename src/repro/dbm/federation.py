@@ -114,6 +114,12 @@ class Federation:
             return NotImplemented
         return self.includes(other) and other.includes(self)
 
+    # Equality is *semantic* (same set of points, whatever the zone
+    # decomposition), so no consistent hash exists short of a canonical
+    # form.  Unhashable on purpose: putting federations in sets/dict
+    # keys would silently fall back to id()-hashing otherwise.
+    __hash__ = None
+
     def __repr__(self):
         return f"Federation({len(self.zones)} zones, size={self.size})"
 

@@ -18,9 +18,13 @@ product of the two discrete-time state graphs.
 
 from __future__ import annotations
 
-from ..core.errors import ModelError
+from ..core.errors import ModelError, SearchLimitError
+from ..mc.explorecore import Frontier, LRUCache
 from ..ta.discrete import DiscreteSemantics
 from ..ta.network import Network
+
+#: Bound on each side's move cache (see :class:`_Side`).
+MOVE_CACHE_SIZE = 1 << 16
 
 
 class RefinementResult:
@@ -61,7 +65,10 @@ class _Side:
         self.outputs = set(outputs)
         if self.inputs & self.outputs:
             raise ModelError("labels cannot be both input and output")
-        self._cache = {}
+        # Moves are looked up repeatedly (phase-1 exploration, every
+        # fixpoint re-examination); the bounded LRU of the shared
+        # exploration core replaces the seed's unbounded dict.
+        self._cache = LRUCache(MOVE_CACHE_SIZE)
 
     def initial(self):
         return self.semantics.initial()
@@ -85,7 +92,7 @@ class _Side:
         ticked = self.semantics.tick(state)
         if ticked is not None:
             out.append(("tick", None, ticked))
-        self._cache[key] = out
+        self._cache.put(key, out)
         return out
 
 
@@ -101,7 +108,8 @@ def check_refinement(impl, spec, inputs, outputs, max_pairs=200000):
     # Phase 1: explore candidate pairs (closure under matched moves).
     start = (impl_side.initial(), spec_side.initial())
     pairs = {(start[0].key(), start[1].key()): start}
-    queue = [start]
+    queue = Frontier("dfs")
+    queue.push(start)
     while queue:
         i_state, s_state = queue.pop()
         for kind, label, succ_pairs in _matched_moves(
@@ -110,10 +118,11 @@ def check_refinement(impl, spec, inputs, outputs, max_pairs=200000):
                 key = (pair[0].key(), pair[1].key())
                 if key not in pairs:
                     pairs[key] = pair
-                    queue.append(pair)
+                    queue.push(pair)
                     if len(pairs) > max_pairs:
-                        raise MemoryError(
-                            f"refinement product exceeds {max_pairs}")
+                        raise SearchLimitError(
+                            f"refinement product exceeds {max_pairs}",
+                            limit=max_pairs)
 
     # Phase 2: greatest-fixpoint pruning of violating pairs.
     alive = set(pairs)
@@ -206,7 +215,8 @@ def check_consistency(spec, inputs, outputs, max_states=100000):
     side = _Side(spec, inputs, outputs)
     initial = side.initial()
     seen = {initial.key()}
-    queue = [initial]
+    queue = Frontier("dfs")
+    queue.push(initial)
     while queue:
         state = queue.pop()
         moves = side.moves(state)
@@ -220,9 +230,10 @@ def check_consistency(spec, inputs, outputs, max_states=100000):
         for _kind, _label, succ in moves:
             if succ.key() not in seen:
                 seen.add(succ.key())
-                queue.append(succ)
+                queue.push(succ)
                 if len(seen) > max_states:
-                    raise MemoryError("consistency search too large")
+                    raise SearchLimitError(
+                        "consistency search too large", limit=max_states)
     return True
 
 

@@ -13,6 +13,7 @@ observe.
 
 from __future__ import annotations
 
+from ..core.errors import SearchLimitError
 from .lts import DELTA
 
 
@@ -66,8 +67,9 @@ def ioco_check(impl, spec, max_pairs=100000):
             if pair not in seen:
                 seen.add(pair)
                 if len(seen) > max_pairs:
-                    raise MemoryError(
-                        f"ioco product exceeds {max_pairs} state pairs")
+                    raise SearchLimitError(
+                        f"ioco product exceeds {max_pairs} state pairs",
+                        limit=max_pairs)
                 queue.append((pair, trace + (label,)))
     return IocoVerdict(True)
 

@@ -16,7 +16,7 @@ check of the paper.
 
 from __future__ import annotations
 
-from ..core.errors import ModelError, TestFailure
+from ..core.errors import ModelError, SearchLimitError, TestFailure
 from ..core.rng import ensure_rng
 from ..ta.discrete import DiscreteSemantics
 
@@ -84,7 +84,8 @@ class OnlineTimedTester:
                     closure[succ.key()] = succ
                     stack.append(succ)
             if len(closure) > self.max_state_set:
-                raise MemoryError("state-set explosion in tester")
+                raise SearchLimitError("state-set explosion in tester",
+                                       limit=self.max_state_set)
         return list(closure.values())
 
     def _after_label(self, states, label):

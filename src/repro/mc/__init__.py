@@ -21,8 +21,17 @@ from .queries import (
     forall,
 )
 from .diagnostics import format_state, format_trace, trace_stats
+from .explorecore import (
+    Frontier,
+    LRUCache,
+    SearchLimitError,
+    TraceNode,
+    ZoneStore,
+    reconstruct_trace,
+)
 from .parser import parse_query
 from .reachability import PassedList, Reachability, build_graph, explore
+from .liveness import materialise
 from .deadlock import deadlocked_part, has_deadlock
 from .engine import VerificationResult, Verifier
 
@@ -31,8 +40,10 @@ __all__ = [
     "EF", "EG", "FALSE_FORMULA", "LeadsTo", "LocationIs", "Not", "Or",
     "StateFormula", "TRUE_FORMULA", "exists", "forall",
     "format_state", "format_trace", "trace_stats",
+    "Frontier", "LRUCache", "SearchLimitError", "TraceNode", "ZoneStore",
+    "reconstruct_trace",
     "parse_query",
-    "PassedList", "Reachability", "build_graph", "explore",
+    "PassedList", "Reachability", "build_graph", "explore", "materialise",
     "deadlocked_part", "has_deadlock",
     "VerificationResult", "Verifier",
 ]

@@ -9,7 +9,7 @@ from ..ta.zonegraph import ZoneGraph
 from . import liveness
 from .deadlock import has_deadlock
 from .queries import AF, AG, EF, EG, Deadlock, LeadsTo, Not
-from .reachability import build_graph, explore
+from .reachability import explore
 
 
 class VerificationResult:
@@ -161,8 +161,8 @@ class Verifier:
 
     def _materialised(self):
         if self._full_graph is None:
-            self._full_graph = build_graph(self.graph,
-                                           max_states=self.max_states)
+            self._full_graph = liveness.materialise(
+                self.graph, max_states=self.max_states)
         return self._full_graph
 
     def _check_liveness(self, query):

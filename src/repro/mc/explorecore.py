@@ -1,0 +1,224 @@
+"""The shared symbolic-exploration core.
+
+Every zone-based engine of the paper's UPPAAL family — reachability,
+liveness graph materialisation, TIGA fixpoints, CORA cost searches,
+ECDAR refinement — reduces to the same passed/waiting exploration over
+symbolic states.  This module owns the data structures that make that
+hot path linear instead of quadratic:
+
+* :class:`Frontier` — a :class:`collections.deque` waiting list with a
+  pluggable BFS/DFS order.  The seed engine used ``list.pop(0)``, an
+  O(n) shift per dequeue and therefore O(n²) over a search.
+* :class:`TraceNode` — parent-pointer trace records.  The seed engine
+  copied the whole predecessor chain into every enqueued state
+  (O(depth) per state, quadratic memory on deep models like Fischer);
+  a :class:`TraceNode` shares the prefix and the full trace is
+  reconstructed only when a witness is actually found
+  (:func:`reconstruct_trace`).
+* :class:`ZoneStore` — a hash-consing layer interning canonical DBMs by
+  :meth:`~repro.dbm.DBM.key`.  Passed-list buckets, federations and
+  graph nodes then share one object per distinct zone, so equality
+  pre-checks become identity hits and node keys can use ``id(zone)``
+  instead of re-hashing the full matrix.
+* :class:`LRUCache` — the bounded memo behind the successor cache on
+  :meth:`repro.ta.zonegraph.ZoneGraph._fire` (keyed by
+  ``(discrete_key, zone id, transition id)``) and the ECDAR move cache.
+
+Cache invariant (asserted by ``tests/test_explorecore.py`` and the
+``bench_engines.py`` exploration benchmark): results are **bit-identical
+with caching on or off** — same verdicts, witnesses and logical
+counters.  Physical cache effectiveness is reported separately through
+the ``mc.zone_interned`` / ``mc.succ_cache_hits`` observability
+counters; cached successor hits *replay* the zone/constraint counter
+deltas recorded when the entry was computed, so the logical
+``ZoneGraphStats`` totals never depend on cache state.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+
+from ..core.errors import ModelError, SearchLimitError
+
+__all__ = [
+    "Frontier",
+    "LRUCache",
+    "SearchLimitError",
+    "TraceNode",
+    "ZoneStore",
+    "reconstruct_trace",
+]
+
+
+class Frontier:
+    """The waiting list: a deque with O(1) push/pop in either order.
+
+    ``order="bfs"`` pops oldest-first (the default, matching UPPAAL's
+    breadth-first search and the seed engine's ``pop(0)`` order exactly);
+    ``order="dfs"`` pops newest-first.
+    """
+
+    __slots__ = ("order", "_items")
+
+    def __init__(self, order="bfs"):
+        if order not in ("bfs", "dfs"):
+            raise ModelError(f"unknown frontier order {order!r}")
+        self.order = order
+        self._items = deque()
+
+    def push(self, item):
+        self._items.append(item)
+
+    def pop(self):
+        if self.order == "bfs":
+            return self._items.popleft()
+        return self._items.pop()
+
+    def extend(self, items):
+        self._items.extend(items)
+
+    def __len__(self):
+        return len(self._items)
+
+    def __bool__(self):
+        return bool(self._items)
+
+    def __repr__(self):
+        return f"Frontier({self.order}, {len(self._items)} waiting)"
+
+
+class TraceNode:
+    """One step of a search tree: a state plus a pointer to its parent.
+
+    Enqueuing a successor costs O(1) regardless of depth; the
+    (transition, state) step list of the seed engine is rebuilt by
+    :func:`reconstruct_trace` only for the single witness node.
+    """
+
+    __slots__ = ("state", "transition", "parent")
+
+    def __init__(self, state, transition=None, parent=None):
+        self.state = state
+        self.transition = transition
+        self.parent = parent
+
+    def __repr__(self):
+        depth = sum(1 for _ in self.ancestors())
+        return f"TraceNode(depth={depth}, state={self.state!r})"
+
+    def ancestors(self):
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+
+def reconstruct_trace(node):
+    """The ``[(transition, state), ...]`` steps from the root to ``node``.
+
+    The root carries transition ``None``, matching the seed engine's
+    trace format (and :func:`repro.mc.diagnostics.format_trace`).
+    """
+    if node is None:
+        return None
+    steps = []
+    while node is not None:
+        steps.append((node.transition, node.state))
+        node = node.parent
+    steps.reverse()
+    return steps
+
+
+class ZoneStore:
+    """Hash-consing for canonical DBMs.
+
+    :meth:`intern` maps a zone to the single canonical instance stored
+    for its :meth:`~repro.dbm.DBM.key`.  Interned zones are **shared**:
+    callers must copy before mutating (all engines already do — DBM
+    operations mutate fresh copies only).
+
+    ``hits`` counts intern calls resolved to an existing instance (the
+    sharing events flushed as ``mc.zone_interned``); ``distinct`` is the
+    store size.  The store also keeps every interned zone alive, which
+    is what makes ``id(zone)`` a sound cache/graph key for its lifetime.
+    """
+
+    __slots__ = ("_zones", "hits")
+
+    def __init__(self):
+        self._zones = {}
+        self.hits = 0
+
+    def intern(self, zone):
+        key = zone.key()
+        existing = self._zones.get(key)
+        if existing is not None:
+            self.hits += 1
+            return existing
+        self._zones[key] = zone
+        return zone
+
+    @property
+    def distinct(self):
+        return len(self._zones)
+
+    def __len__(self):
+        return len(self._zones)
+
+    def __repr__(self):
+        return f"ZoneStore({len(self._zones)} zones, {self.hits} hits)"
+
+
+class LRUCache:
+    """A bounded least-recently-used memo table.
+
+    Backs the successor cache on :meth:`ZoneGraph._fire
+    <repro.ta.zonegraph.ZoneGraph._fire>` and the ECDAR move cache.
+    ``maxsize=None`` means unbounded; ``maxsize=0`` disables the cache
+    entirely (every lookup misses, nothing is stored) — handy for the
+    cache-on/off equivalence checks.
+    """
+
+    __slots__ = ("maxsize", "hits", "misses", "_data")
+
+    _MISSING = object()
+
+    def __init__(self, maxsize=None):
+        if maxsize is not None and maxsize < 0:
+            raise ModelError(f"bad cache size {maxsize!r}")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._data = OrderedDict()
+
+    def get(self, key, default=None):
+        value = self._data.get(key, self._MISSING)
+        if value is self._MISSING:
+            self.misses += 1
+            return default
+        self.hits += 1
+        self._data.move_to_end(key)
+        return value
+
+    def put(self, key, value):
+        if self.maxsize == 0:
+            return
+        data = self._data
+        if key in data:
+            data.move_to_end(key)
+        data[key] = value
+        if self.maxsize is not None and len(data) > self.maxsize:
+            data.popitem(last=False)
+
+    def __contains__(self, key):
+        return key in self._data
+
+    def __len__(self):
+        return len(self._data)
+
+    def clear(self):
+        self._data.clear()
+
+    def __repr__(self):
+        return (f"LRUCache({len(self._data)}/{self.maxsize}, "
+                f"hits={self.hits}, misses={self.misses})")

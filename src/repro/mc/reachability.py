@@ -5,19 +5,34 @@ discarded when an already-passed state with the same discrete part has a
 zone that includes it; conversely, passed states included in the new one
 are evicted.
 
+The search runs on the shared exploration core
+(:mod:`repro.mc.explorecore`): the waiting list is a
+:class:`~repro.mc.explorecore.Frontier` deque (O(1) per dequeue instead
+of the seed engine's quadratic ``list.pop(0)``), traces are
+parent-pointer :class:`~repro.mc.explorecore.TraceNode` records
+reconstructed only when a witness is found, and zones arrive interned
+from the graph's :class:`~repro.mc.explorecore.ZoneStore`, which turns
+the passed list's inclusion pre-checks into identity hits.  The
+pre-core engine is preserved verbatim in :mod:`repro.mc.reference` for
+differential testing and benchmarking.
+
 Both entry points are instrumented through :mod:`repro.obs`: with a
 collector installed they flush states-explored / passed-list / zone
-counters at the end of the search, emit a ``mc.explore`` span, and send
-periodic :func:`~repro.obs.progress.heartbeat` events.  All counting in
-the search loop itself is plain-int arithmetic, so the overhead with
+counters at the end of the search (plus the physical
+``mc.zone_interned`` / ``mc.succ_cache_hits`` cache deltas), emit a
+``mc.explore`` span, and send periodic
+:func:`~repro.obs.progress.heartbeat` events.  All counting in the
+search loop itself is plain-int arithmetic, so the overhead with
 observability off is nil.
 """
 
 from __future__ import annotations
 
+from ..core.errors import SearchLimitError
 from ..obs.metrics import active
 from ..obs.progress import heartbeat
 from ..obs.trace import span
+from .explorecore import Frontier, TraceNode, reconstruct_trace
 
 
 class Reachability:
@@ -48,11 +63,23 @@ class PassedList:
     zone included them (the passed-list hits of UPPAAL's statistics);
     ``evicted`` counts stored zones dropped because a new state included
     them.
+
+    Zones interned by the graph's :class:`~repro.mc.explorecore.ZoneStore`
+    make both scans cheap: a re-visited zone is the *same object* as the
+    stored one, so the inclusion (or key-equality) check short-circuits
+    on identity before any matrix comparison.
     """
 
     def __init__(self, use_inclusion=True):
         self.use_inclusion = use_inclusion
-        self._zones = {}
+        self._zones = {}     # discrete key -> list of stored zones
+        # discrete key -> {id(zone): zone} of every zone this bucket has
+        # ever subsumed (including its own members).  Subsumption is
+        # monotone — eviction only replaces zones with strict supersets,
+        # so bucket coverage never shrinks — which makes a once-subsumed
+        # zone subsumed forever.  Holding the zone object itself keeps
+        # its id() from being recycled.
+        self._subsumed = {}
         self.size = 0
         self.subsumed = 0
         self.evicted = 0
@@ -60,30 +87,55 @@ class PassedList:
     def add_if_new(self, state):
         """True when the state is not subsumed (and is now recorded)."""
         key = state.discrete_key()
-        bucket = self._zones.setdefault(key, [])
+        bucket = self._zones.get(key)
+        if bucket is None:
+            bucket = self._zones[key] = []
+            self._subsumed[key] = {}
+        seen = self._subsumed[key]
+        new_zone = state.zone
+        # Identity fast path: with interned zones a re-visited zone is
+        # the *same object* as one checked before — O(1) instead of an
+        # inclusion scan, with the identical verdict and counters.
+        if id(new_zone) in seen:
+            self.subsumed += 1
+            return False
         if self.use_inclusion:
             for zone in bucket:
-                if zone.includes(state.zone):
+                if zone.includes(new_zone):
                     self.subsumed += 1
+                    seen[id(new_zone)] = new_zone
                     return False
-            kept = [z for z in bucket if not state.zone.includes(z)]
-            self.size -= len(bucket) - len(kept)
-            self.evicted += len(bucket) - len(kept)
-            kept.append(state.zone)
+            kept = [z for z in bucket if not new_zone.includes(z)]
+            dropped = len(bucket) - len(kept)
+            self.size -= dropped
+            self.evicted += dropped
+            kept.append(new_zone)
             self._zones[key] = kept
+            seen[id(new_zone)] = new_zone
             self.size += 1
             return True
-        zone_key = state.zone.key()
+        zone_key = new_zone.key()
         for zone in bucket:
             if zone.key() == zone_key:
                 self.subsumed += 1
+                seen[id(new_zone)] = new_zone
                 return False
-        bucket.append(state.zone)
+        bucket.append(new_zone)
+        seen[id(new_zone)] = new_zone
         self.size += 1
         return True
 
 
-def _record_search(collector, result, passed, graph, zones_before):
+def _cache_snapshot(graph):
+    """Physical cache counters of a graph (zeros when caching is off)."""
+    store = getattr(graph, "zone_store", None)
+    cache = getattr(graph, "succ_cache", None)
+    return (store.hits if store is not None else 0,
+            cache.hits if cache is not None else 0)
+
+
+def _record_search(collector, result, passed, graph, zones_before,
+                   caches_before=(0, 0)):
     """Flush one search's counters into the active collector."""
     collector.incr("mc.searches")
     collector.incr("mc.states_explored", result.states_explored)
@@ -98,30 +150,41 @@ def _record_search(collector, result, passed, graph, zones_before):
         collector.incr("mc.zones_created", zones)
         collector.incr("mc.dbm_constraints", constraints)
         collector.incr("mc.zones_pruned_empty", empty)
+    interned, cache_hits = (
+        after - before
+        for after, before in zip(_cache_snapshot(graph), caches_before))
+    if interned:
+        collector.incr("mc.zone_interned", interned)
+    if cache_hits:
+        collector.incr("mc.succ_cache_hits", cache_hits)
 
 
 def explore(graph, goal=None, on_state=None, use_inclusion=True,
-            max_states=None):
-    """Breadth-first symbolic exploration.
+            max_states=None, order="bfs"):
+    """Symbolic exploration over the passed/waiting lists.
 
     ``goal(state)`` stops the search with a positive result; ``on_state``
-    is an observer callback.  Returns a :class:`Reachability`, whose
-    ``trace`` is the list of (transition, state) steps from the initial
-    state to the witness (transition ``None`` for the initial state).
+    is an observer callback.  ``order`` selects the frontier discipline:
+    ``"bfs"`` (default, shortest witnesses — the UPPAAL default) or
+    ``"dfs"``.  Returns a :class:`Reachability`, whose ``trace`` is the
+    list of (transition, state) steps from the initial state to the
+    witness (transition ``None`` for the initial state).
     """
     collector = active()
     stats = getattr(graph, "stats", None)
     zones_before = stats.snapshot() if stats is not None else None
+    caches_before = _cache_snapshot(graph)
     with span("mc.explore") as sp:
         initial = graph.initial()
         passed = PassedList(use_inclusion)
         passed.add_if_new(initial)
-        # Each waiting entry carries its predecessor chain for the trace.
-        waiting = [(initial, ((None, initial),))]
+        waiting = Frontier(order)
+        waiting.push(TraceNode(initial))
         explored = 0
         result = None
         while waiting:
-            state, chain = waiting.pop(0)
+            node = waiting.pop()
+            state = node.state
             explored += 1
             if explored & 1023 == 0:
                 heartbeat("mc.explore", explored,
@@ -129,21 +192,22 @@ def explore(graph, goal=None, on_state=None, use_inclusion=True,
             if on_state is not None:
                 on_state(state)
             if goal is not None and goal(state):
-                result = Reachability(True, state, list(chain), explored,
-                                      passed.size)
+                result = Reachability(True, state, reconstruct_trace(node),
+                                      explored, passed.size)
                 break
             if max_states is not None and explored >= max_states:
                 break
             for transition, succ in graph.successors(state):
                 if passed.add_if_new(succ):
-                    waiting.append((succ, chain + ((transition, succ),)))
+                    waiting.push(TraceNode(succ, transition, node))
         if result is None:
             result = Reachability(False, None, None, explored, passed.size)
         sp.set("found", result.found)
         sp.set("states_explored", explored)
         sp.set("states_stored", passed.size)
     if collector is not None:
-        _record_search(collector, result, passed, graph, zones_before)
+        _record_search(collector, result, passed, graph, zones_before,
+                       caches_before)
     return result
 
 
@@ -154,32 +218,46 @@ def build_graph(graph, max_states=200000):
     merge states with different futures.  Returns ``(nodes, edges,
     initial_index)`` where ``nodes`` is a list of symbolic states and
     ``edges[i]`` the list of ``(transition, j)`` successors.
+
+    With an interning graph, node identity is ``(discrete part, zone
+    object)`` — exact zone equality resolved by the store, without
+    re-hashing the DBM per visit.  Exceeding ``max_states`` raises
+    :class:`~repro.core.errors.SearchLimitError`.
     """
+    interned = getattr(graph, "zone_store", None) is not None
+
+    def node_key(state):
+        if interned:
+            return (state.locs, state.valuation.values, id(state.zone))
+        return state.key()
+
     with span("mc.build_graph") as sp:
         initial = graph.initial()
-        index_of = {initial.key(): 0}
+        index_of = {node_key(initial): 0}
         nodes = [initial]
         edges = []
-        waiting = [0]
+        waiting = Frontier("dfs")
+        waiting.push(0)
         while waiting:
             i = waiting.pop()
             while len(edges) <= i:
                 edges.append(None)
             succs = []
             for transition, succ in graph.successors(nodes[i]):
-                key = succ.key()
+                key = node_key(succ)
                 j = index_of.get(key)
                 if j is None:
                     j = len(nodes)
                     index_of[key] = j
                     nodes.append(succ)
-                    waiting.append(j)
+                    waiting.push(j)
                     if len(nodes) & 1023 == 0:
                         heartbeat("mc.build_graph", len(nodes),
                                   waiting=len(waiting))
                     if len(nodes) > max_states:
-                        raise MemoryError(
-                            f"symbolic graph exceeds {max_states} states")
+                        raise SearchLimitError(
+                            f"symbolic graph exceeds {max_states} states",
+                            limit=max_states)
                 succs.append((transition, j))
             edges[i] = succs
         while len(edges) < len(nodes):

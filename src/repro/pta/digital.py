@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from itertools import product
 
-from ..core.errors import ModelError
+from ..core.errors import ModelError, SearchLimitError
 from ..mdp.model import MDP
 from ..ta.transitions import (
     delay_forbidden,
@@ -167,8 +167,9 @@ def build_digital_mdp(network, extra_constants=None, time_reward=True,
             states.append(state)
             queue.append(idx)
             if idx >= max_states:
-                raise MemoryError(
-                    f"digital MDP exceeds {max_states} states")
+                raise SearchLimitError(
+                    f"digital MDP exceeds {max_states} states",
+                    limit=max_states)
         return idx
 
     while queue:

@@ -181,11 +181,15 @@ def delay_forbidden(network, locs):
         for p, li in zip(network.processes, locs))
 
 
-def has_urgent_sync(network, locs, valuation):
+def has_urgent_sync(network, locs, valuation, transitions=None):
     """True when a synchronisation on an urgent channel is enabled
     (data guards only — urgent channel edges must not have clock guards,
-    as in UPPAAL)."""
-    for transition in discrete_transitions(network, locs, valuation):
+    as in UPPAAL).  ``transitions`` may pass a precomputed candidate
+    list (the zone graph's per-configuration cache) to skip the
+    enumeration."""
+    if transitions is None:
+        transitions = discrete_transitions(network, locs, valuation)
+    for transition in transitions:
         if transition.channel is None:
             continue
         if network.channels[transition.channel].urgent:

@@ -4,6 +4,24 @@ States pair a discrete configuration (location vector + variable
 valuation) with a DBM zone closed under delay, the classic UPPAAL
 representation.  Successor zones are extrapolated with per-clock maximal
 constants so exploration terminates.
+
+Zone storage and successor computation go through the shared
+exploration core (:mod:`repro.mc.explorecore`):
+
+* every zone handed out by the graph is **interned** in a
+  :class:`~repro.mc.explorecore.ZoneStore`, so all states, passed-list
+  buckets and graph nodes share one DBM object per distinct zone.
+  Interned zones must be copied before mutation (every operation below
+  already works on fresh copies);
+* :meth:`ZoneGraph._fire` is memoised in an LRU successor cache keyed
+  by ``(discrete_key, zone id, transition id)`` — sound because the
+  interned zone object *is* the identity of its zone, and transition
+  objects are themselves cached per discrete configuration.
+
+Caching is purely physical: a cache hit replays the zone/constraint
+counter deltas recorded when the entry was first computed, so the
+logical :class:`ZoneGraphStats` totals (and everything derived from
+them in :mod:`repro.obs`) are bit-identical with the cache on or off.
 """
 
 from __future__ import annotations
@@ -14,6 +32,31 @@ from .transitions import (
     discrete_transitions,
     has_urgent_sync,
 )
+
+#: Default bound on the successor / transition / deadlock caches.  Each
+#: entry is a handful of machine words; 64k entries comfortably cover
+#: the benchmark models while bounding memory on adversarial ones.
+DEFAULT_CACHE_SIZE = 1 << 16
+
+
+class _Config:
+    """Memoised untimed data of one discrete configuration.
+
+    Everything about a configuration that does not depend on the zone:
+    its candidate transitions, the fully pre-encoded firing data of each
+    (clock-guard constraint triples grouped per atom, resets, target
+    locations and valuation), and whether delay is blocked (committed /
+    urgent locations or an enabled urgent synchronisation).  Computed
+    once per ``(locs, valuation)`` and shared by every zone that reaches
+    the configuration.
+    """
+
+    __slots__ = ("transitions", "fires", "no_delay")
+
+    def __init__(self, transitions, fires, no_delay):
+        self.transitions = transitions
+        self.fires = fires
+        self.no_delay = no_delay
 
 
 class SymState:
@@ -43,6 +86,11 @@ class ZoneGraphStats:
     the O(n^2) DBM work each operation performs, so counting stays on
     unconditionally; :func:`repro.mc.reachability.explore` flushes the
     *delta* of a search into the active metrics collector.
+
+    These are *logical* counters: successor-cache hits replay the
+    deltas of the original computation, so the totals are independent
+    of caching.  Physical cache effectiveness lives on the caches
+    themselves (``graph.succ_cache.hits``, ``graph.zone_store.hits``).
     """
 
     __slots__ = ("zones_created", "constraints_applied", "empty_zones")
@@ -63,34 +111,57 @@ class ZoneGraphStats:
 
 
 class ZoneGraph:
-    """On-the-fly symbolic transition system of a network."""
+    """On-the-fly symbolic transition system of a network.
 
-    def __init__(self, network, extrapolate=True, extra_constants=None):
+    ``cache_size`` bounds the successor cache (``0`` disables caching,
+    ``None`` leaves it unbounded); ``intern_zones=False`` switches the
+    hash-consing layer off (then the successor cache is disabled too,
+    since its keys rely on zone identity).
+    """
+
+    def __init__(self, network, extrapolate=True, extra_constants=None,
+                 intern_zones=True, cache_size=DEFAULT_CACHE_SIZE):
+        # Imported here (not at module top) to avoid the package cycle
+        # repro.ta -> repro.mc -> repro.mc.engine -> repro.ta.zonegraph.
+        from ..mc.explorecore import LRUCache, ZoneStore
+
         self.network = network.freeze()
         self.extrapolate = extrapolate
         self._max_constants = network.max_constants(extra_constants)
         self.stats = ZoneGraphStats()
+        self.zone_store = ZoneStore() if intern_zones else None
+        caching = intern_zones and cache_size != 0
+        self.succ_cache = LRUCache(cache_size) if caching else None
+        #: Memoised ``deadlocked_part`` results (see repro.mc.deadlock).
+        self.deadlock_cache = LRUCache(cache_size) if caching else None
+        self._trans_cache = LRUCache(cache_size)
+        # Invariant atoms encoded once per (process, location): the
+        # (i, j, bound) triples never change, so the per-zone work in
+        # _apply_invariants is just the constrain calls themselves.
+        self._invariants = tuple(
+            tuple(
+                tuple((i, j, b)
+                      for atom in location.invariant
+                      for i, j, b in atom.encoded_constraints(
+                          process.resolve_clock))
+                for location in process.locations)
+            for process in self.network.processes)
 
     # -- helpers ---------------------------------------------------------------
 
     def _apply_invariants(self, zone, locs):
         stats = self.stats
-        for process, loc_index in zip(self.network.processes, locs):
-            location = process.location(loc_index)
-            for atom in location.invariant:
-                for i, j, b in atom.encoded_constraints(
-                        process.resolve_clock):
-                    zone.constrain(i, j, b)
-                    stats.constraints_applied += 1
-                    if zone.is_empty():
-                        return zone
+        for constraints in map(tuple.__getitem__, self._invariants, locs):
+            for i, j, b in constraints:
+                zone.constrain(i, j, b)
+                stats.constraints_applied += 1
+                if zone.is_empty():
+                    return zone
         return zone
 
-    def _delay_close(self, zone, locs, valuation):
+    def _delay_close(self, zone, locs, config):
         """Let time pass (when allowed) and re-apply invariants."""
-        if delay_forbidden(self.network, locs):
-            return zone
-        if has_urgent_sync(self.network, locs, valuation):
+        if config.no_delay:
             return zone
         zone.up()
         return self._apply_invariants(zone, locs)
@@ -100,6 +171,43 @@ class ZoneGraph:
             zone.extrapolate(self._max_constants)
         return zone
 
+    def _intern(self, zone):
+        if self.zone_store is None:
+            return zone
+        return self.zone_store.intern(zone)
+
+    def _config_for(self, locs, valuation):
+        """The memoised :class:`_Config` of a discrete configuration.
+
+        Reusing one record per configuration keeps enumeration and
+        constraint encoding off the hot path *and* gives every
+        transition a stable object identity, which is what the
+        successor-cache key relies on.
+        """
+        key = (locs, valuation.values)
+        config = self._trans_cache.get(key)
+        if config is not None:
+            return config
+        network = self.network
+        transitions = tuple(discrete_transitions(network, locs, valuation))
+        fires = tuple(
+            (transition,
+             tuple(tuple(atom.encoded_constraints(process.resolve_clock))
+                   for process, atom in transition.clock_guard_atoms()),
+             tuple(transition.clock_resets()),
+             transition.target_locations(locs),
+             transition.apply_updates(valuation))
+            for transition in transitions)
+        no_delay = (delay_forbidden(network, locs)
+                    or has_urgent_sync(network, locs, valuation, transitions))
+        config = _Config(transitions, fires, no_delay)
+        self._trans_cache.put(key, config)
+        return config
+
+    def _transitions_for(self, locs, valuation):
+        """Candidate transitions of a discrete configuration, memoised."""
+        return self._config_for(locs, valuation).transitions
+
     # -- transition system ------------------------------------------------------
 
     def initial(self):
@@ -108,27 +216,57 @@ class ZoneGraph:
         zone = DBM.zero(self.network.dbm_size)
         self.stats.zones_created += 1
         zone = self._apply_invariants(zone, locs)
-        zone = self._delay_close(zone, locs, valuation)
-        return SymState(locs, valuation, self._finish(zone))
+        zone = self._delay_close(zone, locs, self._config_for(locs, valuation))
+        return SymState(locs, valuation, self._intern(self._finish(zone)))
 
     def successors(self, state):
         """Yield ``(transition, successor)`` pairs."""
         out = []
-        transitions = discrete_transitions(
-            self.network, state.locs, state.valuation)
-        for transition in transitions:
-            succ = self._fire(state, transition)
+        config = self._config_for(state.locs, state.valuation)
+        for index, entry in enumerate(config.fires):
+            succ = self._fire_cached(state, entry, index)
             if succ is not None:
-                out.append((transition, succ))
+                out.append((entry[0], succ))
         return out
 
-    def _fire(self, state, transition):
+    def _fire_cached(self, state, entry, index):
+        cache = self.succ_cache
+        if cache is None:
+            succ, _deltas = self._fire_counted(state, entry)
+            return succ
+        key = (state.locs, state.valuation.values, id(state.zone), index)
+        hit = cache.get(key)
+        if hit is not None:
+            succ, deltas = hit
+            stats = self.stats
+            stats.zones_created += deltas[0]
+            stats.constraints_applied += deltas[1]
+            stats.empty_zones += deltas[2]
+            return succ
+        succ, deltas = self._fire_counted(state, entry)
+        cache.put(key, (succ, deltas))
+        return succ
+
+    def _fire_counted(self, state, entry):
+        """:meth:`_fire` plus the stat deltas it produced (for replay)."""
+        stats = self.stats
+        before = (stats.zones_created, stats.constraints_applied,
+                  stats.empty_zones)
+        succ = self._fire(state, entry)
+        deltas = (stats.zones_created - before[0],
+                  stats.constraints_applied - before[1],
+                  stats.empty_zones - before[2])
+        return succ, deltas
+
+    def _fire(self, state, entry):
         stats = self.stats
         zone = state.zone.copy()
         stats.zones_created += 1
-        # Clock guards.
-        for process, atom in transition.clock_guard_atoms():
-            for i, j, b in atom.encoded_constraints(process.resolve_clock):
+        _transition, guard_groups, resets, new_locs, new_valuation = entry
+        # Clock guards (emptiness checked per guard atom, as the atoms
+        # were originally applied).
+        for group in guard_groups:
+            for i, j, b in group:
                 zone.constrain(i, j, b)
                 stats.constraints_applied += 1
             if zone.is_empty():
@@ -137,34 +275,31 @@ class ZoneGraph:
         if zone.is_empty():
             stats.empty_zones += 1
             return None
-        # Discrete part.
-        new_locs = transition.target_locations(state.locs)
-        new_valuation = transition.apply_updates(state.valuation)
         # Clock resets, then target invariants, then delay closure.
-        for clock_index, value in transition.clock_resets():
+        for clock_index, value in resets:
             zone.reset(clock_index, value)
         zone = self._apply_invariants(zone, new_locs)
         if zone.is_empty():
             stats.empty_zones += 1
             return None
-        zone = self._delay_close(zone, new_locs, new_valuation)
+        zone = self._delay_close(zone, new_locs,
+                                 self._config_for(new_locs, new_valuation))
         if zone.is_empty():
             stats.empty_zones += 1
             return None
-        return SymState(new_locs, new_valuation, self._finish(zone))
+        return SymState(new_locs, new_valuation,
+                        self._intern(self._finish(zone)))
 
     def enabled_action_zone_parts(self, state):
         """For each enabled transition, the part of the zone where its
         clock guards hold (before delay).  Used by the deadlock check."""
         parts = []
-        transitions = discrete_transitions(
-            self.network, state.locs, state.valuation)
-        for transition in transitions:
+        config = self._config_for(state.locs, state.valuation)
+        for _transition, guard_groups, resets, new_locs, _vals in config.fires:
             zone = state.zone.copy()
             self.stats.zones_created += 1
-            for process, atom in transition.clock_guard_atoms():
-                for i, j, b in atom.encoded_constraints(
-                        process.resolve_clock):
+            for group in guard_groups:
+                for i, j, b in group:
                     zone.constrain(i, j, b)
                     self.stats.constraints_applied += 1
                 if zone.is_empty():
@@ -174,10 +309,9 @@ class ZoneGraph:
             # The step must also land in a non-empty target situation:
             # apply resets and target invariants.
             probe = zone.copy()
-            for clock_index, value in transition.clock_resets():
+            for clock_index, value in resets:
                 probe.reset(clock_index, value)
-            probe = self._apply_invariants(
-                probe, transition.target_locations(state.locs))
+            probe = self._apply_invariants(probe, new_locs)
             if probe.is_empty():
                 continue
             parts.append(zone)

@@ -26,17 +26,36 @@ Safety (the controller keeps ``safe`` forever): greatest fixpoint of
 
 A state where nothing at all can happen counts as (vacuously) safe —
 the run stops there — matching the convention discussed in DESIGN.md.
+
+Both fixpoints run as worklist algorithms over precomputed predecessor
+lists (the :class:`~repro.mc.explorecore.Frontier` of the shared
+exploration core): a state is re-examined only when one of its
+successors changes side, instead of rescanning the whole arena per
+round.  The computed winning sets are the same fixpoints as the naive
+iteration; the ``tiga.fixpoint_iterations`` counter now counts worklist
+examinations rather than full sweeps.
 """
 
 from __future__ import annotations
 
+from ..mc.explorecore import Frontier
 from ..obs.metrics import active
 from ..obs.trace import span
 from .strategy import Strategy
 
 
-def _env_closed(graph, i, region):
-    return all(j in region for _t, j in graph.unc[i])
+def _predecessors(graph):
+    """For every state, the states with an edge (ctrl, unc or tick)
+    into it."""
+    preds = [[] for _ in range(graph.num_states)]
+    for i in range(graph.num_states):
+        for _t, j in graph.ctrl[i]:
+            preds[j].append(i)
+        for _t, j in graph.unc[i]:
+            preds[j].append(i)
+        if graph.tick[i] is not None:
+            preds[graph.tick[i]].append(i)
+    return preds
 
 
 def solve_reachability(graph, goal):
@@ -48,34 +67,43 @@ def solve_reachability(graph, goal):
     """
     winning = set(goal)
     choice = {}
-    changed = True
     iterations = 0
+
+    def winning_move(i):
+        """The controller's move when ``i`` joins the attractor, or
+        ``None`` while the membership condition does not hold."""
+        for _t, j in graph.unc[i]:
+            if j not in winning:
+                return None
+        for transition, j in graph.ctrl[i]:
+            if j in winning:
+                return (transition, j)
+        tick = graph.tick[i]
+        if tick is not None and tick in winning:
+            return ("tick", tick)
+        if tick is None and graph.unc[i]:
+            # Time cannot pass and the controller stays put: the
+            # environment must fire one of its edges, all of which
+            # lead into W.
+            return ("stay", i)
+        return None
+
     with span("tiga.solve_reachability", states=graph.num_states) as sp:
-        while changed:
-            changed = False
+        preds = _predecessors(graph)
+        frontier = Frontier("bfs")
+        frontier.extend(winning)
+        while frontier:
+            j = frontier.pop()
             iterations += 1
-            for i in range(graph.num_states):
+            for i in preds[j]:
                 if i in winning:
                     continue
-                if not _env_closed(graph, i, winning):
-                    continue
-                move = None
-                for transition, j in graph.ctrl[i]:
-                    if j in winning:
-                        move = (transition, j)
-                        break
-                if move is None and graph.tick[i] is not None \
-                        and graph.tick[i] in winning:
-                    move = ("tick", graph.tick[i])
-                if move is None and graph.tick[i] is None and graph.unc[i]:
-                    # Time cannot pass and the controller stays put: the
-                    # environment must fire one of its edges, all of
-                    # which lead into W.
-                    move = ("stay", i)
+                move = winning_move(i)
                 if move is not None:
                     winning.add(i)
                     choice[i] = move
-                    changed = True
+                    frontier.push(i)
+        iterations = max(iterations, 1)
         sp.set("iterations", iterations)
         sp.set("winning", len(winning))
     _record_solve("reachability", iterations, winning)
@@ -96,24 +124,38 @@ def solve_safety(graph, safe):
     that stays in the winning region ("tick", a controller edge, or
     "stay" when nothing needs doing)."""
     region = set(safe)
-    changed = True
     iterations = 0
+
+    def escapes(i):
+        """True when ``i`` can no longer be held inside the region."""
+        for _t, j in graph.unc[i]:
+            if j not in region:
+                return True
+        tick = graph.tick[i]
+        if tick is not None and tick not in region:
+            # Time would escape: the controller must preempt with one
+            # of its own edges that stays inside.
+            return not any(j in region for _t, j in graph.ctrl[i])
+        return False
+
     with span("tiga.solve_safety", states=graph.num_states) as sp:
-        while changed:
-            changed = False
+        preds = _predecessors(graph)
+        frontier = Frontier("bfs")
+        for i in list(region):
             iterations += 1
-            for i in list(region):
-                if not _env_closed(graph, i, region):
-                    region.discard(i)
-                    changed = True
+            if escapes(i):
+                region.discard(i)
+                frontier.push(i)
+        while frontier:
+            j = frontier.pop()
+            for i in preds[j]:
+                if i not in region:
                     continue
-                if graph.tick[i] is not None \
-                        and graph.tick[i] not in region:
-                    # Time would escape: the controller must preempt
-                    # with one of its own edges that stays inside.
-                    if not any(j in region for _t, j in graph.ctrl[i]):
-                        region.discard(i)
-                        changed = True
+                iterations += 1
+                if escapes(i):
+                    region.discard(i)
+                    frontier.push(i)
+        iterations = max(iterations, 1)
         sp.set("iterations", iterations)
         sp.set("winning", len(region))
     _record_solve("safety", iterations, region)

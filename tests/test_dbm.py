@@ -276,3 +276,26 @@ def test_extrapolation_only_grows(z, a, b):
     wide = z.copy().extrapolate([0, 8, 8])
     if z.contains_point((a, b)):
         assert wide.contains_point((a, b))
+
+
+class TestConstrainValidation:
+    """constrain() must reject indices that would corrupt the matrix."""
+
+    def test_diagonal_constraint_rejected(self):
+        from repro.core.errors import ModelError
+
+        z = DBM.universal(3)
+        with pytest.raises(ModelError):
+            z.constrain(1, 1, le(5))
+        # The zone is untouched (in particular, still canonical and
+        # non-empty: the seed silently wrote to the diagonal here).
+        assert z == DBM.universal(3)
+
+    def test_out_of_range_indices_rejected(self):
+        from repro.core.errors import ModelError
+
+        z = DBM.universal(3)
+        for i, j in [(3, 0), (0, 3), (-1, 0), (0, -1), (7, 7)]:
+            with pytest.raises(ModelError):
+                z.constrain(i, j, le(5))
+        assert z == DBM.universal(3)

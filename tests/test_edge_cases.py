@@ -111,11 +111,16 @@ class TestSearchCutoffs:
         assert result.states_explored <= 51
 
     def test_verifier_max_states_liveness(self):
+        from repro.core.errors import SearchLimitError
         from repro.mc import AF, DataPred
 
         verifier = Verifier(self._unbounded_counter(), max_states=100)
-        with pytest.raises(MemoryError):
+        with pytest.raises(SearchLimitError) as exc_info:
             verifier.check(AF(DataPred(lambda env: env["n"] > 1000)))
+        assert exc_info.value.limit == 100
+        # Backwards compatibility: pre-existing handlers caught
+        # MemoryError, which SearchLimitError still is.
+        assert isinstance(exc_info.value, MemoryError)
 
 
 class TestInclusionSubsumption:

@@ -1,0 +1,354 @@
+"""The exploration-core suite: unit tests for the shared data
+structures and the old-vs-new differential equivalence contract.
+
+The contract (ISSUE: exploration rework): the production
+:func:`repro.mc.explore` must agree **bit for bit** with the preserved
+seed engine (:func:`repro.mc.reference.reference_explore`) — same
+verdicts, witnesses, state counts and logical observability totals —
+and must itself be invariant under switching the zone-interning /
+successor-cache layer on or off.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ModelError, ReproError, SearchLimitError
+from repro.mc import (
+    Frontier,
+    LRUCache,
+    TraceNode,
+    ZoneStore,
+    build_graph,
+    explore,
+    materialise,
+    reconstruct_trace,
+)
+from repro.mc.reference import reference_explore
+from repro.models.brp import make_brp
+from repro.models.fischer import make_fischer
+from repro.models.traingate import make_traingate
+from repro.obs.metrics import collecting
+from repro.runtime import ParallelExecutor, SerialExecutor
+from repro.dbm import DBM
+from repro.ta import Automaton, Network, ZoneGraph, clk
+
+
+# ---------------------------------------------------------------------------
+# Unit tests for the core data structures.
+
+
+class TestFrontier:
+    def test_bfs_pops_oldest_first(self):
+        f = Frontier("bfs")
+        f.extend([1, 2, 3])
+        assert [f.pop(), f.pop(), f.pop()] == [1, 2, 3]
+
+    def test_dfs_pops_newest_first(self):
+        f = Frontier("dfs")
+        f.extend([1, 2, 3])
+        assert [f.pop(), f.pop(), f.pop()] == [3, 2, 1]
+
+    def test_len_and_bool(self):
+        f = Frontier()
+        assert not f and len(f) == 0
+        f.push("a")
+        assert f and len(f) == 1
+        f.pop()
+        assert not f
+
+    def test_unknown_order_rejected(self):
+        with pytest.raises(ModelError):
+            Frontier("random")
+
+
+class TestTraceNode:
+    def test_reconstruct_none_is_none(self):
+        assert reconstruct_trace(None) is None
+
+    def test_root_has_no_transition(self):
+        root = TraceNode("s0")
+        assert reconstruct_trace(root) == [(None, "s0")]
+
+    def test_chain_is_root_first(self):
+        root = TraceNode("s0")
+        a = TraceNode("s1", "t1", root)
+        b = TraceNode("s2", "t2", a)
+        assert reconstruct_trace(b) == [
+            (None, "s0"), ("t1", "s1"), ("t2", "s2")]
+
+    def test_prefixes_are_shared(self):
+        root = TraceNode("s0")
+        a = TraceNode("s1", "t1", root)
+        b = TraceNode("s2", "t2", root)
+        assert a.parent is b.parent is root
+
+
+class TestZoneStore:
+    def test_interns_equal_zones_to_one_object(self):
+        store = ZoneStore()
+        z1 = DBM.zero(3).up()
+        z2 = DBM.zero(3).up()
+        assert z1 is not z2
+        first = store.intern(z1)
+        second = store.intern(z2)
+        assert first is z1
+        assert second is z1
+        assert store.hits == 1
+        assert store.distinct == len(store) == 1
+
+    def test_distinct_zones_stay_distinct(self):
+        store = ZoneStore()
+        z1 = DBM.zero(3)
+        z2 = DBM.zero(3).up()
+        assert store.intern(z1) is z1
+        assert store.intern(z2) is z2
+        assert store.hits == 0
+        assert store.distinct == 2
+
+
+class TestLRUCache:
+    def test_hit_and_miss_counters(self):
+        cache = LRUCache(4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_evicts_least_recently_used(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1   # refresh a
+        cache.put("c", 3)            # evicts b
+        assert "b" not in cache
+        assert cache.get("a") == 1 and cache.get("c") == 3
+
+    def test_maxsize_zero_disables_storage(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert len(cache) == 0
+        assert cache.get("a") is None
+
+    def test_maxsize_none_is_unbounded(self):
+        cache = LRUCache(None)
+        for i in range(1000):
+            cache.put(i, i)
+        assert len(cache) == 1000
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ModelError):
+            LRUCache(-1)
+
+    def test_clear(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.clear()
+        assert "a" not in cache and len(cache) == 0
+
+
+# ---------------------------------------------------------------------------
+# Differential equivalence: seed engine vs the exploration core.
+
+
+MODELS = [
+    pytest.param(lambda: make_traingate(3), id="traingate3"),
+    pytest.param(lambda: make_fischer(3), id="fischer3"),
+    pytest.param(lambda: make_fischer(4), id="fischer4"),
+    pytest.param(lambda: make_brp(n_frames=2, max_retrans=1), id="brp"),
+]
+
+#: Physical cache diagnostics, legitimately different across engine
+#: configurations; everything else under ``mc.`` must match exactly.
+PHYSICAL = ("mc.zone_interned", "mc.succ_cache_hits")
+
+
+def _logical_mc(snapshot):
+    return {name: value for name, value in snapshot["counters"].items()
+            if name.startswith("mc.") and name not in PHYSICAL}
+
+
+def _run(engine, network, **kwargs):
+    """One observed search; returns (result, graph stats, mc counters)."""
+    if engine == "reference":
+        graph = ZoneGraph(network, intern_zones=False, cache_size=0)
+        search = reference_explore
+    elif engine == "uncached":
+        graph = ZoneGraph(network, intern_zones=False, cache_size=0)
+        search = explore
+    else:
+        graph = ZoneGraph(network)
+        search = explore
+    with collecting() as collector:
+        result = search(graph, **kwargs)
+    return result, graph.stats.snapshot(), _logical_mc(collector.snapshot())
+
+
+def _trace_key(trace):
+    if trace is None:
+        return None
+    return [(transition.describe() if transition is not None else None,
+             state.key())
+            for transition, state in trace]
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("make", MODELS)
+    def test_full_exploration_bit_identical(self, make):
+        results = {engine: _run(engine, make())
+                   for engine in ("reference", "uncached", "cached")}
+        ref_result, ref_stats, ref_counters = results["reference"]
+        for engine in ("uncached", "cached"):
+            result, stats, counters = results[engine]
+            assert result.found == ref_result.found, engine
+            assert result.states_explored == ref_result.states_explored
+            assert result.states_stored == ref_result.states_stored
+            assert stats == ref_stats, engine
+            assert counters == ref_counters, engine
+
+    @pytest.mark.parametrize("make", MODELS)
+    def test_witness_traces_match(self, make):
+        network = make()
+        # A goal a few steps in: some process has left its initial
+        # location (index 0) — reachable in every bundled model.
+        def goal(state):
+            return any(li != 0 for li in state.locs)
+
+        traces = {}
+        for engine in ("reference", "uncached", "cached"):
+            result, _stats, _counters = _run(engine, network, goal=goal)
+            assert result.found
+            traces[engine] = _trace_key(result.trace)
+        assert traces["uncached"] == traces["reference"]
+        assert traces["cached"] == traces["reference"]
+
+    def test_max_states_and_no_inclusion_agree(self):
+        network = make_fischer(3)
+        for kwargs in ({"max_states": 40}, {"use_inclusion": False}):
+            ref, ref_stats, _ = _run("reference", make_fischer(3), **kwargs)
+            new, new_stats, _ = _run("cached", network, **kwargs)
+            assert (new.states_explored, new.states_stored) == \
+                (ref.states_explored, ref.states_stored)
+            assert new_stats == ref_stats
+
+    def test_dfs_order_explores_same_states(self):
+        """DFS visits a different sequence but the same reachable set."""
+        bfs = explore(ZoneGraph(make_fischer(3)), order="dfs")
+        ref = reference_explore(
+            ZoneGraph(make_fischer(3), intern_zones=False, cache_size=0))
+        assert bfs.states_stored == ref.states_stored
+
+
+@st.composite
+def random_automata(draw):
+    """Small random diagonal-free timed automata (1-2 clocks)."""
+    clocks = ["x", "y"][:draw(st.integers(1, 2))]
+    n_locs = draw(st.integers(2, 4))
+    a = Automaton("R", clocks=clocks)
+    for i in range(n_locs):
+        invariant = []
+        if draw(st.booleans()):
+            invariant = [clk(draw(st.sampled_from(clocks)), "<=",
+                             draw(st.integers(1, 5)))]
+        a.add_location(f"l{i}", invariant=invariant)
+    for _ in range(draw(st.integers(1, 6))):
+        guard = []
+        if draw(st.booleans()):
+            guard = [clk(draw(st.sampled_from(clocks)),
+                         draw(st.sampled_from(["<=", ">=", "<", ">"])),
+                         draw(st.integers(0, 5)))]
+        resets = [(c, 0) for c in clocks if draw(st.booleans())]
+        a.add_edge(f"l{draw(st.integers(0, n_locs - 1))}",
+                   f"l{draw(st.integers(0, n_locs - 1))}",
+                   guard=guard, resets=resets)
+    return a
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_automata())
+def test_random_automata_bit_identical(automaton):
+    """Property: on arbitrary small automata the three engine
+    configurations agree on counts, stats and counter totals."""
+    network = Network("rand")
+    network.add_process(automaton.name, automaton)
+    ref, ref_stats, ref_counters = _run("reference", network)
+    for engine in ("uncached", "cached"):
+        result, stats, counters = _run(engine, network)
+        assert (result.found, result.states_explored,
+                result.states_stored) == \
+            (ref.found, ref.states_explored, ref.states_stored)
+        assert stats == ref_stats
+        assert counters == ref_counters
+
+
+# ---------------------------------------------------------------------------
+# Search limits.
+
+
+class TestSearchLimits:
+    def test_build_graph_raises_search_limit(self):
+        graph = ZoneGraph(make_fischer(3))
+        with pytest.raises(SearchLimitError) as exc_info:
+            build_graph(graph, max_states=10)
+        assert exc_info.value.limit == 10
+        # Dual inheritance: a repro error *and* the MemoryError that
+        # pre-core callers caught.
+        assert isinstance(exc_info.value, ReproError)
+        assert isinstance(exc_info.value, MemoryError)
+
+    def test_materialise_propagates_search_limit(self):
+        graph = ZoneGraph(make_fischer(3))
+        with pytest.raises(SearchLimitError):
+            materialise(graph, max_states=10)
+
+    def test_materialise_within_budget(self):
+        nodes, edges, initial = materialise(ZoneGraph(make_fischer(2)))
+        assert initial == 0
+        assert len(nodes) == len(edges) > 0
+
+
+# ---------------------------------------------------------------------------
+# Cache soundness on repeated searches over one graph.
+
+
+class TestSharedGraphCaching:
+    def test_second_search_hits_cache_with_identical_result(self):
+        graph = ZoneGraph(make_fischer(3))
+        first = explore(graph)
+        stats_first = graph.stats.snapshot()
+        second = explore(graph)
+        assert graph.succ_cache.hits > 0
+        assert (second.found, second.states_explored,
+                second.states_stored) == \
+            (first.found, first.states_explored, first.states_stored)
+        # Logical stats of the second run == delta == the first run's.
+        assert tuple(b - a for a, b in
+                     zip(stats_first, graph.stats.snapshot())) == stats_first
+
+    def test_interning_shares_zone_objects(self):
+        graph = ZoneGraph(make_fischer(3))
+        explore(graph)
+        assert graph.zone_store.hits > 0
+        assert graph.zone_store.distinct > 0
+
+
+# ---------------------------------------------------------------------------
+# Serial vs parallel observability totals.
+
+
+def _observed_explore(n):
+    result = explore(ZoneGraph(make_fischer(n)))
+    return (result.found, result.states_explored, result.states_stored)
+
+
+class TestParallelEquivalence:
+    def test_parallel_obs_totals_match_serial(self):
+        tasks = [(2,), (3,), (2,), (3,)]
+        with collecting() as serial_c:
+            serial = SerialExecutor().map(_observed_explore, tasks)
+        with ParallelExecutor(workers=2) as pool:
+            with collecting() as parallel_c:
+                parallel = pool.map(_observed_explore, tasks)
+        assert parallel == serial
+        assert _logical_mc(parallel_c.snapshot()) == \
+            _logical_mc(serial_c.snapshot())

@@ -106,3 +106,16 @@ def test_complement_semantics(ints, x):
     f = Federation(2, [interval(lo, hi) for lo, hi in ints])
     comp = f.complement()
     assert comp.contains_point((x,)) == (not f.contains_point((x,)))
+
+
+def test_federation_is_unhashable():
+    """Equality is semantic, so hashing is explicitly disabled: set or
+    dict insertion must fail loudly instead of falling back to id()."""
+    import pytest
+
+    f = Federation(2, [interval(0, 5)])
+    assert Federation.__hash__ is None
+    with pytest.raises(TypeError):
+        hash(f)
+    with pytest.raises(TypeError):
+        {f}

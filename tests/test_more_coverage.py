@@ -83,7 +83,9 @@ class TestDFinderBounds:
                 c.add_transition("p", f"s{i}", f"s{i + 1}")
             system.add_component(c)
             system.add_connector(Connector(f"conn{k}", [(f"C{k}", "p")]))
-        with pytest.raises(MemoryError):
+        from repro.core.errors import SearchLimitError
+
+        with pytest.raises(SearchLimitError):
             find_potential_deadlocks(system, max_configurations=10)
 
 
