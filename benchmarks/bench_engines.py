@@ -144,6 +144,90 @@ def exploration_benchmark(n, require_speedup=None):
             "speedup": round(speedup, 2)}
 
 
+def mdp_benchmark(n_frames, max_retrans, require_speedup=None):
+    """Timed old-vs-new probabilistic pipeline on BRP under the active
+    collector: digital-MDP build + Pmax(not_success) reachability, seed
+    engine (``repro.mdp.reference``) vs memoised builder + sparse core.
+    Asserts identical state spaces and values within 1e-9 and
+    (optionally) a minimum end-to-end speedup.  Returns the measurement
+    dict (also used by ``--mdp``).
+    """
+    import numpy as np
+
+    from repro.mdp.reference import (
+        reachability_probability as reference_reachability,
+        reference_build_digital_mdp,
+    )
+    from repro.obs.trace import span
+
+    model = f"brp({n_frames},{max_retrans})"
+    runs = {}
+    with span("bench.mdp_core", model=model) as sp:
+        for name, build, solve in (
+                ("reference", reference_build_digital_mdp,
+                 reference_reachability),
+                ("core", build_digital_mdp, reachability_probability)):
+            network = brp.make_brp(n_frames, max_retrans, 1)
+            start = time.perf_counter()
+            digital = build(network)
+            built = time.perf_counter()
+            targets = digital.states_where(brp.not_success)
+            values = solve(digital.mdp, targets, maximize=True)
+            done = time.perf_counter()
+            runs[name] = (digital, targets, values,
+                          built - start, done - built)
+        reference, core = runs["reference"], runs["core"]
+        assert core[0].mdp.num_states == reference[0].mdp.num_states
+        assert core[1] == reference[1]
+        assert float(np.max(np.abs(core[2] - reference[2]))) <= 1e-9
+        reference_total = reference[3] + reference[4]
+        core_total = core[3] + core[4]
+        speedup = reference_total / core_total
+        sp.set("states", reference[0].mdp.num_states)
+        sp.set("speedup", round(speedup, 2))
+    if require_speedup is not None:
+        assert speedup >= require_speedup, (
+            f"MDP core only {speedup:.2f}x faster than the seed engine "
+            f"on {model} (required {require_speedup}x)")
+
+    table = ResultTable("engine", "build s", "solve s", "states",
+                        title=f"Digital-MDP pipeline, {model}")
+    for name in ("reference", "core"):
+        digital, _targets, _values, build_s, solve_s = runs[name]
+        table.add_row(name, round(build_s, 2), round(solve_s, 2),
+                      digital.mdp.num_states)
+    table.print()
+    print(f"speedup (reference / core): {speedup:.2f}x")
+    return {"model": model,
+            "states": reference[0].mdp.num_states,
+            "reference_seconds": round(reference_total, 3),
+            "core_seconds": round(core_total, 3),
+            "speedup": round(speedup, 2)}
+
+
+@pytest.mark.benchmark(group="engines-mdp")
+def test_mdp_core_vs_reference(benchmark):
+    """The sparse MDP core against the preserved seed engine (values
+    must agree within 1e-9; see ``--mdp`` for the timed comparison on
+    the larger BRP instance)."""
+    import numpy as np
+
+    from repro.mdp.reference import (
+        reachability_probability as reference_reachability,
+    )
+
+    digital = build_digital_mdp(brp.make_brp(8, 1, 1))
+    targets = digital.states_where(brp.not_success)
+
+    def run():
+        return reachability_probability(digital.mdp, targets,
+                                        maximize=True)
+
+    values = benchmark.pedantic(run, rounds=1, iterations=1)
+    truth = reference_reachability(digital.mdp, targets, maximize=True)
+    assert float(np.max(np.abs(values - truth))) <= 1e-9
+
+
 @pytest.mark.benchmark(group="engines-mdp")
 @pytest.mark.parametrize("interval", [False, True])
 def test_value_iteration_ablation(benchmark, interval):
@@ -221,8 +305,29 @@ def main(argv=None):
     parser.add_argument("--fischer", type=int, default=None,
                         help="Fischer instance size for --explore "
                              "(default 5, or 4 with --quick)")
+    parser.add_argument("--mdp", action="store_true",
+                        help="run the probabilistic-pipeline old-vs-new "
+                             "benchmark (BRP digital MDP build + check) "
+                             "instead of the per-engine workloads")
     args = parser.parse_args(argv)
     smc_runs = 100 if args.quick else 738
+
+    if args.mdp:
+        n_frames, max_retrans = (16, 2) if args.quick else (64, 5)
+        collector = Collector("bench_mdp")
+        tracer = Tracer()
+        with collecting(collector), tracing(tracer):
+            # The acceptance bar: the memoised builder + sparse core
+            # must be at least 2x the seed pipeline end-to-end.
+            measurement = mdp_benchmark(n_frames, max_retrans,
+                                        require_speedup=2.0)
+        report = Report(collector, tracer,
+                        meta={"benchmark": "mdp-core", **measurement})
+        report.print()
+        if args.json_path:
+            report.write(args.json_path)
+            print(f"wrote {args.json_path}")
+        return 0
 
     if args.explore:
         n = args.fischer if args.fischer is not None \

@@ -4,33 +4,57 @@ Implements the standard explicit-engine pipeline of a probabilistic
 model checker (PRISM's role in the paper's Table I):
 
 1. graph-based precomputation of the states with probability exactly 0
-   or 1 (Prob0/Prob1 for both optimisation directions);
-2. vectorised value iteration over the remaining states, optionally as
-   *interval iteration* (a converging upper bound alongside the lower
-   one) for certified accuracy;
+   or 1 (Prob0/Prob1 for both optimisation directions) — counting-based
+   attractor fixpoints over the predecessor CSR built at
+   :meth:`~repro.mdp.MDP.finalize` (O(transitions) per fixpoint instead
+   of repeated full-state rescans);
+2. vectorised value iteration over the remaining states, run one SCC at
+   a time in reverse topological order
+   (:func:`repro.mdp.graph.topological_value_iteration`), optionally as
+   *interval iteration* for certified accuracy — with the model's
+   maximal end components collapsed first when maximising, so the upper
+   sequence actually converges to the true value (Haddad–Monmege;
+   without the collapse an end component pins it above, the latent bug
+   of the seed engine preserved in :mod:`repro.mdp.reference`);
 3. expected total reward until a target is reached, with the usual
    infinity semantics when the target may be missed;
 4. step-bounded reachability.
+
+The pre-core implementations live verbatim in
+:mod:`repro.mdp.reference` as the differential-test oracle.
 """
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from ..core.errors import AnalysisError
+from ..obs.metrics import incr, observe
+from .graph import maximal_end_components, topological_value_iteration
+from .model import MDP
 
 
 # -- graph precomputations ------------------------------------------------------
 
 def prob0_max(mdp, targets):
     """States where the *maximal* reachability probability is 0:
-    no path reaches the target at all."""
+    no path reaches the target at all.
+
+    Backward reachability from the targets over the predecessor CSR.
+    """
+    mdp.finalize()
+    g = mdp.graph
+    pred_offsets = g.pred_offsets_l
+    pred_trans = g.pred_trans_l
+    trans_source = g.trans_source_l
     can_reach = set(targets)
-    preds = mdp.predecessors_map()
-    stack = list(targets)
+    stack = list(can_reach)
     while stack:
         t = stack.pop()
-        for s in preds[t]:
+        for k in range(pred_offsets[t], pred_offsets[t + 1]):
+            s = trans_source[pred_trans[k]]
             if s not in can_reach:
                 can_reach.add(s)
                 stack.append(s)
@@ -41,111 +65,165 @@ def prob0_min(mdp, targets):
     """States where the *minimal* reachability probability is 0: some
     scheduler avoids the target forever.
 
-    Greatest fixpoint: U = non-target states with some action whose
-    whole support stays in U.
+    Greatest fixpoint U = non-target states with some action whose
+    whole support stays in U, computed as the complement of a
+    counting-based attractor: a state is *removed* (cannot avoid) once
+    every one of its actions has a successor already removed.  Each
+    transition is inspected at most once.
     """
-    targets = set(targets)
-    u = set(range(mdp.num_states)) - targets
-    changed = True
-    while changed:
-        changed = False
-        for s in list(u):
-            ok = False
-            for _label, pairs, _r in mdp.actions_of(s):
-                if all(t in u for t, _p in pairs):
-                    ok = True
-                    break
-            if not ok:
-                u.discard(s)
-                changed = True
-    return u
+    mdp.finalize()
+    g = mdp.graph
+    pred_offsets = g.pred_offsets_l
+    pred_trans = g.pred_trans_l
+    trans_action = g.trans_action_l
+    action_state = g.action_state_l
+    state_offsets_all = g.state_offsets_all
+    degree = np.diff(state_offsets_all).tolist()
+    unsafe_action = [False] * mdp.num_actions
+    unsafe_count = [0] * mdp.num_states
+    target_set = set(targets)
+    removed = set(target_set)
+    stack = list(removed)
+    while stack:
+        t = stack.pop()
+        for k in range(pred_offsets[t], pred_offsets[t + 1]):
+            a = trans_action[pred_trans[k]]
+            if unsafe_action[a]:
+                continue
+            unsafe_action[a] = True
+            s = action_state[a]
+            unsafe_count[s] += 1
+            if unsafe_count[s] == degree[s] and s not in removed:
+                removed.add(s)
+                stack.append(s)
+    return set(range(mdp.num_states)) - removed
 
 
 def prob1_max(mdp, targets):
     """States where the maximal reachability probability is 1 (Prob1E).
 
-    de Alfaro's nested fixpoint: nu X. mu Y. (s in T) or exists action
-    with support inside X and some successor in Y.
+    de Alfaro's nested fixpoint nu X. mu Y, with the inner least
+    fixpoint as a backward traversal over *eligible* actions (support
+    inside X) and eligibility recomputed vectorised per outer round.
     """
-    targets = set(targets)
-    x = set(range(mdp.num_states))
+    mdp.finalize()
+    g = mdp.graph
+    n = mdp.num_states
+    cols = mdp.cols
+    pred_offsets = g.pred_offsets_l
+    pred_trans = g.pred_trans_l
+    trans_action = g.trans_action_l
+    action_state = g.action_state_l
+    target_list = list(set(targets))
+    x_mask = np.ones(n, dtype=bool)
+    x_count = n
     while True:
-        y = set(targets)
-        grew = True
-        while grew:
-            grew = False
-            for s in range(mdp.num_states):
-                if s in y:
+        if len(cols):
+            eligible = np.bincount(
+                g.trans_action,
+                weights=(~x_mask)[cols].astype(np.float64),
+                minlength=mdp.num_actions) == 0
+        else:
+            eligible = np.ones(mdp.num_actions, dtype=bool)
+        eligible = eligible.tolist()
+        y = set(target_list)
+        stack = list(y)
+        while stack:
+            t = stack.pop()
+            for k in range(pred_offsets[t], pred_offsets[t + 1]):
+                a = trans_action[pred_trans[k]]
+                if not eligible[a]:
                     continue
-                for _label, pairs, _r in mdp.actions_of(s):
-                    support = [t for t, _p in pairs]
-                    if all(t in x for t in support) and any(
-                            t in y for t in support):
-                        y.add(s)
-                        grew = True
-                        break
-        if y == x:
-            return x
-        x = y
+                s = action_state[a]
+                if s not in y:
+                    y.add(s)
+                    stack.append(s)
+        # y is a subset of x by monotonicity, so counts decide equality.
+        if len(y) == x_count:
+            return y
+        x_mask = np.zeros(n, dtype=bool)
+        x_mask[list(y)] = True
+        x_count = len(y)
 
 
 def prob1_min(mdp, targets):
     """States where the minimal reachability probability is 1 (Prob1A):
-    complement of prob0_min over the complement construction.
-
-    A state has min probability 1 iff no scheduler can make the
-    probability of *avoiding* the target positive, which is the
-    complement of ``prob0-style`` escape analysis: we compute the states
-    from which some scheduler reaches, with positive probability, the
-    region where the target can be avoided surely.
-    """
-    targets = set(targets)
-    avoid_surely = prob0_min(mdp, targets)  # min prob 0: avoidable
-    # States with min prob < 1: some scheduler reaches avoid_surely with
-    # positive probability (standard Prob1A complement).
-    bad = set(avoid_surely)
-    preds = mdp.predecessors_map()
+    complement of the states from which some scheduler reaches, with
+    positive probability, the region where the target can be avoided
+    surely (``prob0_min``)."""
+    mdp.finalize()
+    g = mdp.graph
+    pred_offsets = g.pred_offsets_l
+    pred_trans = g.pred_trans_l
+    trans_source = g.trans_source_l
+    target_set = set(targets)
+    bad = prob0_min(mdp, targets)
     stack = list(bad)
     while stack:
         t = stack.pop()
-        for s in preds[t]:
-            if s in bad or s in targets:
+        for k in range(pred_offsets[t], pred_offsets[t + 1]):
+            # The transition itself witnesses an action with a successor
+            # in bad -> the adversary (who minimises reachability) can
+            # steer towards avoidance.
+            s = trans_source[pred_trans[k]]
+            if s in bad or s in target_set:
                 continue
-            # some action has a successor in bad -> the adversary (who
-            # minimises reachability) can steer towards avoidance.
-            for _label, pairs, _r in mdp.actions_of(s):
-                if any(u in bad for u, _p in pairs):
-                    bad.add(s)
-                    stack.append(s)
-                    break
+            bad.add(s)
+            stack.append(s)
     return set(range(mdp.num_states)) - bad
 
 
 # -- value iteration -------------------------------------------------------------
 
-def _iterate(mdp, values, frozen_mask, maximize, rewards=None,
-             epsilon=1e-12, max_iterations=1000000):
-    """In-place Jacobi value iteration on the frozen sparse form."""
-    reduce_actions = np.maximum if maximize else np.minimum
-    probs, cols = mdp.probs, mdp.cols
-    action_offsets = mdp.action_offsets
-    state_offsets = mdp.state_offsets
-    action_rewards = rewards if rewards is not None else None
-    for iteration in range(max_iterations):
-        contrib = probs * values[cols]
-        action_values = np.add.reduceat(contrib, action_offsets)
-        # reduceat misbehaves on empty segments, but finalize() ensures
-        # every action has at least one transition.
-        if action_rewards is not None:
-            action_values = action_values + action_rewards
-        new_values = reduce_actions.reduceat(action_values, state_offsets)
-        new_values[frozen_mask] = values[frozen_mask]
-        delta = np.max(np.abs(new_values - values))
-        values[:] = new_values
-        if delta <= epsilon:
-            return iteration + 1
-    raise AnalysisError(
-        f"value iteration did not converge in {max_iterations} iterations")
+def _interval_upper_max(mdp, values, frozen, epsilon):
+    """Sound upper sequence for maximal reachability.
+
+    Collapses the maximal end components among the non-frozen states
+    into single quotient states (dropping MEC-internal actions), where
+    iteration from above has a unique fixpoint, then maps the converged
+    upper bounds back.  Without the collapse a MEC pins the upper bound
+    at its starting value (1) regardless of the true probability.
+    """
+    n = mdp.num_states
+    mec_of, mec_count = maximal_end_components(mdp, restrict=~frozen)
+    mec_l = mec_of.tolist()
+    frozen_l = frozen.tolist()
+    # Quotient state ids: every non-MEC state keeps its own, each MEC
+    # becomes one fresh state.
+    q_of = [0] * n
+    quotient = MDP(f"{mdp.name}/mec")
+    mec_id = [-1] * mec_count
+    for s in range(n):
+        m = mec_l[s]
+        if m >= 0:
+            if mec_id[m] < 0:
+                mec_id[m] = quotient.add_state()
+            q_of[s] = mec_id[m]
+        else:
+            q_of[s] = quotient.add_state()
+    for s in range(n):
+        if frozen_l[s]:
+            continue  # frozen quotient states stay absorbing
+        ms = mec_l[s]
+        for _label, pairs, _r in mdp._actions[s]:
+            if ms >= 0 and all(mec_l[t] == ms for t, _p in pairs):
+                continue  # MEC-internal action: a quotient self-loop
+            quotient.add_action(
+                q_of[s], [(p, q_of[t]) for t, p in pairs])
+    quotient.finalize()
+    nq = quotient.num_states
+    upper_q = np.ones(nq)
+    frozen_q = np.zeros(nq, dtype=bool)
+    for s in range(n):
+        if frozen_l[s]:
+            upper_q[q_of[s]] = values[s]
+            frozen_q[q_of[s]] = True
+    iterations = topological_value_iteration(
+        quotient, upper_q, frozen_q, maximize=True, epsilon=epsilon)
+    upper = values.copy()
+    live = ~frozen
+    upper[live] = upper_q[np.asarray(q_of, dtype=np.int64)[live]]
+    return upper, iterations
 
 
 def reachability_probability(mdp, targets, maximize=True, epsilon=1e-12,
@@ -153,30 +231,44 @@ def reachability_probability(mdp, targets, maximize=True, epsilon=1e-12,
     """Vector of reachability probabilities for every state.
 
     With ``interval=True``, runs interval iteration (a second sequence
-    converging from above) and returns the midpoint, guaranteeing the
-    result is within ``epsilon`` of the true value.
+    converging from above — over the MEC quotient when maximising, see
+    :func:`_interval_upper_max`) and returns the midpoint, guaranteeing
+    the result is within ``epsilon`` of the true value.
     """
     mdp.finalize()
     targets = set(targets)
     if not targets:
         return np.zeros(mdp.num_states)
+    start = time.perf_counter()
     zeros = (prob0_max(mdp, targets) if maximize
              else prob0_min(mdp, targets))
     ones = (prob1_max(mdp, targets) if maximize
             else prob1_min(mdp, targets))
+    observe("mdp.prob01_ms", (time.perf_counter() - start) * 1000.0)
     values = np.zeros(mdp.num_states)
     for s in ones:
         values[s] = 1.0
     frozen = np.zeros(mdp.num_states, dtype=bool)
     for s in zeros | ones | targets:
         frozen[s] = True
-    _iterate(mdp, values, frozen, maximize, epsilon=epsilon)
+    iterations = topological_value_iteration(
+        mdp, values, frozen, maximize, epsilon=epsilon)
     if not interval:
+        incr("mdp.vi_iterations", iterations)
         return values
-    upper = np.ones(mdp.num_states)
-    for s in zeros:
-        upper[s] = 0.0
-    _iterate(mdp, upper, frozen, maximize, epsilon=epsilon)
+    if maximize:
+        upper, upper_iterations = _interval_upper_max(
+            mdp, values, frozen, epsilon)
+    else:
+        # Minimal reachability needs no collapse: with the prob0_min
+        # region pinned at 0 the Bellman operator has a unique fixpoint
+        # on the rest, so the from-above sequence converges to it.
+        upper = np.ones(mdp.num_states)
+        for s in zeros:
+            upper[s] = 0.0
+        upper_iterations = topological_value_iteration(
+            mdp, upper, frozen, maximize, epsilon=epsilon)
+    incr("mdp.vi_iterations", iterations + upper_iterations)
     if np.any(upper + 1e-6 < values):
         raise AnalysisError("interval iteration bounds crossed")
     return (values + upper) / 2.0
@@ -194,36 +286,35 @@ def expected_total_reward(mdp, targets, maximize=True, epsilon=1e-12,
     """
     mdp.finalize()
     targets = set(targets)
+    start = time.perf_counter()
     certain = (prob1_min(mdp, targets) if maximize
                else prob1_max(mdp, targets))
-    values = np.zeros(mdp.num_states)
-    infinite = np.zeros(mdp.num_states, dtype=bool)
-    for s in range(mdp.num_states):
-        if s not in certain and s not in targets:
-            infinite[s] = True
+    observe("mdp.prob01_ms", (time.perf_counter() - start) * 1000.0)
+    infinite = np.ones(mdp.num_states, dtype=bool)
+    for s in certain:
+        infinite[s] = False
+    for s in targets:
+        infinite[s] = False
     frozen = np.zeros(mdp.num_states, dtype=bool)
     for s in targets:
         frozen[s] = True
-    # Run VI over finite states only: treat infinite states as frozen at
-    # a huge sentinel so they never look attractive when minimising.
-    values[infinite] = np.inf
     frozen |= infinite
-    # np.inf * 0 = nan; replace inf contributions manually by masking:
-    # we instead run on a copy where inf is a large finite sentinel and
-    # restore afterwards.
+    # Infinite states are frozen at a huge finite sentinel (np.inf * 0
+    # would poison the products with nan) so they never look attractive
+    # when minimising; restored to inf afterwards.
     sentinel = 1e18
-    work = np.where(np.isinf(values), sentinel, values)
+    work = np.where(infinite, sentinel, 0.0)
     if not maximize:
         # Minimising with zero-reward cycles: the least fixpoint can be
         # too low (a scheduler could "hide" in a free cycle), so iterate
         # from above, which converges to the optimal proper policy.
         work = np.where(frozen, work, sentinel / 4)
         work[list(targets)] = 0.0
-    _iterate(mdp, work, frozen, maximize,
-             rewards=mdp.action_rewards, epsilon=epsilon,
-             max_iterations=max_iterations)
-    result = np.where(work >= sentinel / 2, np.inf, work)
-    return result
+    iterations = topological_value_iteration(
+        mdp, work, frozen, maximize, rewards=mdp.action_rewards,
+        epsilon=epsilon, max_iterations=max_iterations)
+    incr("mdp.vi_iterations", iterations)
+    return np.where(work >= sentinel / 2, np.inf, work)
 
 
 def bounded_reachability(mdp, targets, steps, maximize=True):

@@ -1,0 +1,328 @@
+"""Graph algorithms on the frozen sparse MDP.
+
+The numerical core behind :mod:`repro.mdp.analysis`: everything here
+operates on the flat CSR-style arrays that :meth:`repro.mdp.MDP.finalize`
+produces (``probs`` / ``cols`` grouped by action, actions grouped by
+state), the layout modern explicit probabilistic engines use (cf. the
+Modest Toolset / PRISM explicit engines):
+
+* :class:`GraphCore` — the derived graph structure built once per
+  finalize: the *predecessor* CSR (incoming transition indices grouped
+  by target state), owner maps (transition -> action -> state) and an
+  iterative Tarjan SCC decomposition whose component ids are in
+  *reverse topological order* (every successor component of ``C`` has
+  an id smaller than ``C``'s);
+* :func:`maximal_end_components` — the standard iterated-SCC MEC
+  decomposition, used to make interval iteration's upper sequence
+  sound for maximal reachability;
+* :func:`topological_value_iteration` — Jacobi value iteration run
+  per SCC in reverse topological order, so acyclic parts of the model
+  are solved with a single backup each and iteration is confined to
+  the components that actually need it.
+
+The pre-core implementations (full-state set fixpoints, global value
+iteration) are preserved verbatim in :mod:`repro.mdp.reference` as the
+differential-test oracle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.errors import AnalysisError
+from ..obs.metrics import set_gauge
+
+
+def tarjan_scc(n, offsets, targets):
+    """Iterative Tarjan over a CSR adjacency.
+
+    ``offsets`` (length ``n + 1``) and ``targets`` are plain Python
+    lists — the successors of ``v`` are ``targets[offsets[v]:
+    offsets[v + 1]]``.  Returns ``(scc_of, count)`` where ``scc_of`` is
+    a list assigning component ids in completion order, i.e. reverse
+    topological order: every component reachable from ``C`` (other
+    than ``C`` itself) has a smaller id.
+    """
+    unvisited = -1
+    index = [unvisited] * n
+    lowlink = [0] * n
+    on_stack = [False] * n
+    scc_of = [unvisited] * n
+    stack = []
+    next_index = 0
+    comp = 0
+    for root in range(n):
+        if index[root] != unvisited:
+            continue
+        index[root] = lowlink[root] = next_index
+        next_index += 1
+        stack.append(root)
+        on_stack[root] = True
+        work = [(root, offsets[root])]
+        while work:
+            v, ptr = work[-1]
+            if ptr < offsets[v + 1]:
+                work[-1] = (v, ptr + 1)
+                w = targets[ptr]
+                if index[w] == unvisited:
+                    index[w] = lowlink[w] = next_index
+                    next_index += 1
+                    stack.append(w)
+                    on_stack[w] = True
+                    work.append((w, offsets[w]))
+                elif on_stack[w] and index[w] < lowlink[v]:
+                    lowlink[v] = index[w]
+            else:
+                work.pop()
+                if lowlink[v] == index[v]:
+                    while True:
+                        w = stack.pop()
+                        on_stack[w] = False
+                        scc_of[w] = comp
+                        if w == v:
+                            break
+                    comp += 1
+                if work:
+                    u = work[-1][0]
+                    if lowlink[v] < lowlink[u]:
+                        lowlink[u] = lowlink[v]
+    return scc_of, comp
+
+
+def concat_ranges(lo, hi):
+    """Concatenate the integer ranges ``[lo[k], hi[k])`` into one array."""
+    counts = hi - lo
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    shift = lo - np.concatenate(([0], np.cumsum(counts)[:-1]))
+    return np.repeat(shift, counts) + np.arange(total, dtype=np.int64)
+
+
+class GraphCore:
+    """Derived graph structure of a finalized MDP.
+
+    Built once by :meth:`repro.mdp.MDP.finalize`; every analysis in
+    :mod:`repro.mdp.analysis` reads these arrays instead of rescanning
+    the per-state action lists.  The ``*_l`` attributes are plain-list
+    mirrors of the arrays walked by the O(transitions) attractor
+    fixpoints (Python-int indexing is several times faster than NumPy
+    scalar indexing in those loops).
+    """
+
+    __slots__ = (
+        "action_offsets_all", "state_offsets_all", "state_trans_offsets",
+        "trans_action", "trans_source", "action_state",
+        "pred_offsets", "pred_trans",
+        "scc_of", "scc_count",
+        "pred_offsets_l", "pred_trans_l",
+        "trans_action_l", "trans_source_l", "action_state_l",
+    )
+
+    @classmethod
+    def build(cls, mdp):
+        self = cls()
+        n = mdp.num_states
+        cols = mdp.cols
+        m = len(cols)
+        num_actions = mdp.num_actions
+        self.action_offsets_all = np.append(mdp.action_offsets, m)
+        self.state_offsets_all = np.append(mdp.state_offsets, num_actions)
+        self.trans_action = np.repeat(
+            np.arange(num_actions, dtype=np.int64),
+            np.diff(self.action_offsets_all))
+        self.action_state = np.repeat(
+            np.arange(n, dtype=np.int64), np.diff(self.state_offsets_all))
+        self.trans_source = (self.action_state[self.trans_action]
+                             if m else np.empty(0, dtype=np.int64))
+        # Transitions of a state's actions are contiguous, so the
+        # successor CSR of the *state* graph is just cols sliced by:
+        self.state_trans_offsets = self.action_offsets_all[
+            self.state_offsets_all]
+        # Predecessor CSR: incoming transition indices grouped by target.
+        if m:
+            self.pred_trans = np.argsort(cols, kind="stable")
+            self.pred_offsets = np.concatenate(
+                ([0], np.cumsum(np.bincount(cols, minlength=n))))
+        else:
+            self.pred_trans = np.empty(0, dtype=np.int64)
+            self.pred_offsets = np.zeros(n + 1, dtype=np.int64)
+        scc_of, self.scc_count = tarjan_scc(
+            n, self.state_trans_offsets.tolist(), cols.tolist())
+        self.scc_of = np.asarray(scc_of, dtype=np.int64)
+        self.pred_offsets_l = self.pred_offsets.tolist()
+        self.pred_trans_l = self.pred_trans.tolist()
+        self.trans_action_l = self.trans_action.tolist()
+        self.trans_source_l = self.trans_source.tolist()
+        self.action_state_l = self.action_state.tolist()
+        set_gauge("mdp.scc_count", self.scc_count)
+        return self
+
+    def __repr__(self):
+        return (f"GraphCore({len(self.action_state_l)} actions, "
+                f"{self.scc_count} SCCs)")
+
+
+def _filtered_csr(n, src, dst):
+    """CSR adjacency (python lists) of an edge subset."""
+    if len(src) == 0:
+        return [0] * (n + 1), []
+    order = np.argsort(src, kind="stable")
+    offsets = np.concatenate(
+        ([0], np.cumsum(np.bincount(src, minlength=n))))
+    return offsets.tolist(), dst[order].tolist()
+
+
+def maximal_end_components(mdp, restrict=None):
+    """Decompose the MDP into maximal end components.
+
+    Standard iterated-SCC algorithm: restrict to actions whose whole
+    support stays inside the candidate set, decompose into SCCs, drop
+    actions crossing component boundaries and states left without
+    actions, repeat until stable.  With ``restrict`` (a boolean mask),
+    only states where the mask is ``True`` participate.
+
+    Returns ``(mec_of, count)``: ``mec_of[s]`` is the component id of
+    ``s`` (or ``-1`` when ``s`` is in no end component).  Sets the
+    ``mdp.mec_states`` gauge on the active collector.
+    """
+    g = mdp.graph
+    n = mdp.num_states
+    if n == 0:
+        return np.empty(0, dtype=np.int64), 0
+    num_actions = mdp.num_actions
+    cols = mdp.cols
+    ta = g.trans_action
+    owner = g.action_state
+    alive = (np.ones(n, dtype=bool) if restrict is None
+             else np.array(restrict, dtype=bool, copy=True))
+    act_ok = alive[owner]
+    scc_arr = None
+    while True:
+        # Prune to a fixpoint: an action may not touch a dead state, a
+        # state may not survive without an action.
+        while True:
+            ok = act_ok & alive[owner]
+            if len(cols):
+                dead_targets = np.bincount(
+                    ta, weights=(~alive[cols]).astype(np.float64),
+                    minlength=num_actions)
+                ok &= dead_targets == 0
+            has_act = np.bincount(
+                owner[ok], minlength=n).astype(bool)
+            new_alive = alive & has_act
+            stable = (np.array_equal(ok, act_ok)
+                      and np.array_equal(new_alive, alive))
+            act_ok, alive = ok, new_alive
+            if stable:
+                break
+        # SCCs of the surviving sub-MDP; actions crossing a component
+        # boundary cannot belong to an end component.
+        mask_t = act_ok[ta]
+        offsets_l, targets_l = _filtered_csr(
+            n, g.trans_source[mask_t], cols[mask_t])
+        scc_l, _count = tarjan_scc(n, offsets_l, targets_l)
+        scc_arr = np.asarray(scc_l, dtype=np.int64)
+        if len(cols):
+            crossing = np.bincount(
+                ta, weights=(scc_arr[cols] != scc_arr[owner][ta]).astype(
+                    np.float64),
+                minlength=num_actions) > 0
+        else:
+            crossing = np.zeros(num_actions, dtype=bool)
+        leaving = act_ok & crossing
+        if not leaving.any():
+            break
+        act_ok &= ~leaving
+    mec_of = np.full(n, -1, dtype=np.int64)
+    if alive.any():
+        _uniq, compact = np.unique(scc_arr[alive], return_inverse=True)
+        mec_of[alive] = compact
+        count = len(_uniq)
+    else:
+        count = 0
+    set_gauge("mdp.mec_states", int(alive.sum()))
+    return mec_of, count
+
+
+def topological_value_iteration(mdp, values, frozen, maximize,
+                                rewards=None, epsilon=1e-12,
+                                max_iterations=1000000):
+    """In-place Jacobi value iteration, one SCC at a time.
+
+    Components are processed in reverse topological order (successor
+    components first — exactly the id order Tarjan assigns), so by the
+    time a component is solved every value it depends on outside itself
+    is final.  Trivial components (a single state without a self-loop)
+    take a single Bellman backup; the rest iterate until the in-component
+    change drops to ``epsilon``.  Returns the total number of backups,
+    which the callers flush into the ``mdp.vi_iterations`` counter.
+    """
+    g = mdp.graph
+    n = mdp.num_states
+    if n == 0:
+        return 0
+    reduce_actions = np.maximum if maximize else np.minimum
+    probs, cols = mdp.probs, mdp.cols
+    action_offsets_all = g.action_offsets_all
+    state_offsets_all = g.state_offsets_all
+    state_trans_offsets = g.state_trans_offsets
+    actions = mdp._actions
+    order = np.argsort(g.scc_of, kind="stable")
+    bounds = np.concatenate(
+        ([0], np.cumsum(np.bincount(g.scc_of, minlength=g.scc_count))))
+    total_iterations = 0
+    for comp in range(g.scc_count):
+        members = order[bounds[comp]:bounds[comp + 1]]
+        live = members[~frozen[members]]
+        if live.size == 0:
+            continue
+        if live.size == 1 and members.size == 1:
+            s = int(live[0])
+            lo, hi = state_trans_offsets[s], state_trans_offsets[s + 1]
+            if not np.any(cols[lo:hi] == s):
+                # Acyclic state: one backup is exact.
+                base = int(state_offsets_all[s])
+                best = None
+                for offset, (_label, pairs, _r) in enumerate(actions[s]):
+                    backup = 0.0
+                    for t, p in pairs:
+                        backup += p * values[t]
+                    if rewards is not None:
+                        backup += rewards[base + offset]
+                    if best is None or (backup > best if maximize
+                                        else backup < best):
+                        best = backup
+                values[s] = best
+                total_iterations += 1
+                continue
+        acts = concat_ranges(state_offsets_all[live],
+                             state_offsets_all[live + 1])
+        trans = concat_ranges(action_offsets_all[acts],
+                              action_offsets_all[acts + 1])
+        sub_probs = probs[trans]
+        sub_cols = cols[trans]
+        sub_act_offsets = np.concatenate(
+            ([0], np.cumsum(action_offsets_all[acts + 1]
+                            - action_offsets_all[acts])[:-1]))
+        sub_state_offsets = np.concatenate(
+            ([0], np.cumsum(state_offsets_all[live + 1]
+                            - state_offsets_all[live])[:-1]))
+        sub_rewards = rewards[acts] if rewards is not None else None
+        for _iteration in range(max_iterations):
+            contrib = sub_probs * values[sub_cols]
+            action_values = np.add.reduceat(contrib, sub_act_offsets)
+            if sub_rewards is not None:
+                action_values = action_values + sub_rewards
+            new_values = reduce_actions.reduceat(
+                action_values, sub_state_offsets)
+            delta = np.max(np.abs(new_values - values[live]))
+            values[live] = new_values
+            total_iterations += 1
+            if delta <= epsilon:
+                break
+        else:
+            raise AnalysisError(
+                f"value iteration did not converge in {max_iterations} "
+                f"iterations")
+    return total_iterations

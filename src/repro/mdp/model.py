@@ -49,7 +49,12 @@ class MDP:
         """Attach an action to ``state``.
 
         ``pairs`` is a list of ``(probability, target_state)``; the
-        probabilities must sum to 1 (within rounding).
+        probabilities must sum to 1 (within rounding).  Pairs naming
+        the same target are merged by summing their probabilities, and
+        zero-probability pairs are dropped.  Note the *stored* shape
+        (as returned by :meth:`actions_of`) is the transposed
+        post-merge tuple ``(target_state, probability)`` — the layout
+        :meth:`finalize` flattens into ``cols`` / ``probs``.
         """
         if self._frozen:
             raise ModelError("MDP already finalized")
@@ -84,7 +89,12 @@ class MDP:
     # -- frozen sparse form --------------------------------------------------------
 
     def finalize(self):
-        """Compile to flat arrays for vectorised value iteration."""
+        """Compile to flat arrays for vectorised value iteration.
+
+        Also builds the derived :class:`repro.mdp.graph.GraphCore`
+        (predecessor CSR + SCC decomposition) as ``self.graph``; the
+        analyses in :mod:`repro.mdp.analysis` run on those arrays.
+        """
         if self._frozen:
             return self
         for state, acts in enumerate(self._actions):
@@ -110,6 +120,8 @@ class MDP:
         self.state_offsets = np.asarray(state_offsets[:-1], dtype=np.int64)
         self.num_actions = len(action_rewards)
         self._frozen = True
+        from .graph import GraphCore
+        self.graph = GraphCore.build(self)
         return self
 
     def successors(self, state):

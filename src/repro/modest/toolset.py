@@ -146,14 +146,22 @@ def _lift_predicate(network, predicate):
     return _Pred()
 
 
-def mcpta(model, properties, extra_constants=None):
-    """Exact probabilistic model checking via digital clocks + MDP."""
+def mcpta(model, properties, extra_constants=None, interval=False):
+    """Exact probabilistic model checking via digital clocks + MDP.
+
+    With ``interval=True``, probability queries run certified interval
+    iteration (sound even across end components, thanks to the MEC
+    collapse in :mod:`repro.mdp.analysis`) instead of plain value
+    iteration.
+    """
     with span("modest.mcpta", properties=len(properties)) as sp:
         network = load(model)
         digital = build_digital_mdp(network,
                                     extra_constants=extra_constants)
         sp.set("mdp_states", digital.mdp.num_states)
+        sp.set("mdp_transitions", digital.mdp.num_transitions)
         set_gauge("modest.mcpta.states", digital.mdp.num_states)
+        set_gauge("modest.mcpta.transitions", digital.mdp.num_transitions)
         results = {}
         for prop in properties:
             incr("modest.mcpta.properties")
@@ -163,7 +171,8 @@ def mcpta(model, properties, extra_constants=None):
                     digital.mdp, targets)
             elif isinstance(prop, (Pmax, Pmin)):
                 values = reachability_probability(
-                    digital.mdp, targets, maximize=isinstance(prop, Pmax))
+                    digital.mdp, targets, maximize=isinstance(prop, Pmax),
+                    interval=interval)
                 results[prop.name] = float(values[0])
             elif isinstance(prop, (Emax, Emin)):
                 values = expected_total_reward(

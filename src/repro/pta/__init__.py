@@ -1,14 +1,21 @@
 """Probabilistic timed automata and the digital-clocks translation."""
 
 from .pta import PTA, Branch, PTANetwork, ProbEdge, edge_branches
-from .digital import DigitalMDP, DigitalState, build_digital_mdp
+from .digital import (
+    DigitalMDP,
+    DigitalSemantics,
+    DigitalState,
+    build_digital_mdp,
+    digital_semantics,
+)
 from .overapprox import overapproximate_automaton, overapproximate_network
 from .simulate import DigitalSimulator, SimulationRun
 from .por import check_confluent, independent, transition_footprint
 
 __all__ = [
     "PTA", "Branch", "PTANetwork", "ProbEdge", "edge_branches",
-    "DigitalMDP", "DigitalState", "build_digital_mdp",
+    "DigitalMDP", "DigitalSemantics", "DigitalState",
+    "build_digital_mdp", "digital_semantics",
     "overapproximate_automaton", "overapproximate_network",
     "DigitalSimulator", "SimulationRun",
     "check_confluent", "independent", "transition_footprint",

@@ -9,11 +9,25 @@ exact BRP probabilities are produced here.
 
 Tick actions carry reward 1, so expected *time* equals expected total
 reward in the resulting MDP.
+
+All untimed firing data is memoised per discrete configuration in
+:class:`DigitalSemantics`, mirroring what ``ta/zonegraph.py`` does for
+the zone engines: candidate transitions, the branch-product outcome
+distributions (resolved clock resets, committed valuations, target
+location vectors) and the delay-forbidden flag are computed once per
+``(locs, valuation)`` and shared by every clock vector that reaches the
+configuration — both by :func:`build_digital_mdp` and by the
+:class:`~repro.pta.simulate.DigitalSimulator` (modes), which obtain a
+shared per-network instance from :func:`digital_semantics`.
+
+The pre-memoization builder is preserved verbatim in
+:mod:`repro.mdp.reference` as the differential-test oracle.
 """
 
 from __future__ import annotations
 
 from itertools import product
+from weakref import WeakKeyDictionary
 
 from ..core.errors import ModelError, SearchLimitError
 from ..mdp.model import MDP
@@ -46,14 +60,22 @@ class DigitalMDP:
         self.mdp = mdp
         self.states = states          # index -> DigitalState
         self.network = network
+        self._names_by_locs = {}      # locs tuple -> location name vector
+
+    def _names(self, locs):
+        names = self._names_by_locs.get(locs)
+        if names is None:
+            names = self.network.location_vector_names(locs)
+            self._names_by_locs[locs] = names
+        return names
 
     def states_where(self, predicate):
         """Indices of states satisfying ``predicate(locs_names, valuation,
         clocks)``."""
         out = set()
         for index, state in enumerate(self.states):
-            names = self.network.location_vector_names(state.locs)
-            if predicate(names, state.valuation, state.clocks):
+            if predicate(self._names(state.locs), state.valuation,
+                         state.clocks):
                 out.add(index)
         return out
 
@@ -88,70 +110,193 @@ def _check_closed_diagonal_free(network):
                     f"({process.name}: {atom!r})")
 
 
-def _invariants_hold(network, locs, clocks):
-    for process, loc_index in zip(network.processes, locs):
-        for atom in process.location(loc_index).invariant:
-            if not atom.holds(clocks[process.resolve_clock(atom.clock)]):
-                return False
-    return True
+class _Fire:
+    """Pre-encoded firing data of one candidate transition.
 
-
-def _fire_branches(network, state, transition):
-    """All probabilistic outcomes of firing ``transition``.
-
-    Returns a list of ``(probability, DigitalState)``; the joint
-    distribution is the product over the participants' branch choices.
-    A *Dirac* step into an invariant-violating state is simply disabled
-    (the empty list — UPPAAL's semantics for plain edges); a genuinely
-    probabilistic step with only *some* violating branches leaves the
-    distribution undefined and is a model error.
+    ``guard`` pairs each clock-guard atom with its resolved global
+    clock index; ``outcomes`` is the joint branch-product distribution
+    with everything clock-independent already applied — probability,
+    target location vector, committed valuation, and resolved
+    ``(clock_index, value)`` resets.  ``dirac`` records whether the
+    transition had a single branch combination (which decides the
+    invariant-violation semantics in :meth:`DigitalSemantics.fire`).
     """
-    combos = list(product(*[edge_branches(edge)
-                            for _process, edge in
-                            transition.participants]))
-    outcomes = []
-    for combo in combos:
-        probability = 1.0
-        locs = list(state.locs)
-        env = state.valuation.env()
-        clocks = list(state.clocks)
-        for (process, _edge), branch in zip(transition.participants, combo):
-            probability *= branch.probability
-            locs[process.index] = process.location_index[branch.target]
-            for update in branch.update:
-                if callable(update):
-                    update(env)
-                else:
-                    update.apply(env)
-            for clock, value in branch.resets:
-                clocks[process.resolve_clock(clock)] = value
-        if probability <= 0.0:
-            continue
-        new_state = DigitalState(
-            tuple(locs), env.commit(), tuple(clocks))
-        if not _invariants_hold(network, new_state.locs, new_state.clocks):
-            if len(combos) == 1:
-                return []  # Dirac step: the edge is simply disabled
-            raise ModelError(
-                "probabilistic branch violates the target invariant "
-                f"(transition {transition.describe()})")
-        outcomes.append((probability, new_state))
-    return outcomes
+
+    __slots__ = ("transition", "label", "guard", "outcomes", "dirac")
+
+    def __init__(self, transition, label, guard, outcomes, dirac):
+        self.transition = transition
+        self.label = label
+        self.guard = guard
+        self.outcomes = outcomes
+        self.dirac = dirac
+
+
+class _DigitalConfig:
+    """Memoised untimed data of one discrete configuration."""
+
+    __slots__ = ("fires", "no_delay")
+
+    def __init__(self, fires, no_delay):
+        self.fires = fires
+        self.no_delay = no_delay
+
+
+class DigitalSemantics:
+    """Memoised digital-clocks semantics of a frozen PTA network.
+
+    Holds the per-``(locs, valuation)`` firing tables (bounded LRU, as
+    in the zone graph) and the per-``(process, location)`` invariant
+    atom tables with pre-resolved clock indices.  One instance serves
+    any number of builds and simulation runs over the same network.
+    """
+
+    def __init__(self, network, extra_constants=None):
+        # Imported here (not at module top) to avoid widening the
+        # package surface pulled in by a bare `import repro.pta`.
+        from ..mc.explorecore import LRUCache
+        from ..ta.zonegraph import DEFAULT_CACHE_SIZE
+
+        self.network = network.freeze()
+        _check_closed_diagonal_free(network)
+        self.caps = tuple(c + 1
+                          for c in network.max_constants(extra_constants))
+        self._configs = LRUCache(DEFAULT_CACHE_SIZE)
+        # Invariant atoms resolved once per (process, location): the
+        # clock indices never change, so the per-state work in
+        # invariants_hold is just the holds() calls themselves.
+        self._invariants = tuple(
+            tuple(
+                tuple((process.resolve_clock(atom.clock), atom)
+                      for atom in location.invariant)
+                for location in process.locations)
+            for process in network.processes)
+
+    def invariants_hold(self, locs, clocks):
+        for table in map(tuple.__getitem__, self._invariants, locs):
+            for index, atom in table:
+                if not atom.holds(clocks[index]):
+                    return False
+        return True
+
+    def initial_state(self):
+        network = self.network
+        state = DigitalState(
+            network.initial_locations(), network.initial_valuation(),
+            (0,) * network.dbm_size)
+        if not self.invariants_hold(state.locs, state.clocks):
+            raise ModelError("initial state violates invariants")
+        return state
+
+    def config_for(self, locs, valuation):
+        """The memoised :class:`_DigitalConfig` of a configuration."""
+        key = (locs, valuation.values)
+        config = self._configs.get(key)
+        if config is not None:
+            return config
+        network = self.network
+        transitions = tuple(discrete_transitions(network, locs, valuation))
+        fires = []
+        for transition in transitions:
+            guard = tuple(
+                (process.resolve_clock(atom.clock), atom)
+                for process, atom in transition.clock_guard_atoms())
+            combos = list(product(*[edge_branches(edge)
+                                    for _process, edge in
+                                    transition.participants]))
+            outcomes = []
+            for combo in combos:
+                probability = 1.0
+                new_locs = list(locs)
+                env = valuation.env()
+                resets = []
+                for (process, _edge), branch in zip(
+                        transition.participants, combo):
+                    probability *= branch.probability
+                    new_locs[process.index] = \
+                        process.location_index[branch.target]
+                    for update in branch.update:
+                        if callable(update):
+                            update(env)
+                        else:
+                            update.apply(env)
+                    for clock, value in branch.resets:
+                        resets.append((process.resolve_clock(clock), value))
+                if probability <= 0.0:
+                    continue
+                outcomes.append((probability, tuple(new_locs),
+                                 env.commit(), tuple(resets)))
+            fires.append(_Fire(transition, transition.describe(), guard,
+                               tuple(outcomes), len(combos) == 1))
+        no_delay = (delay_forbidden(network, locs)
+                    or has_urgent_sync(network, locs, valuation, transitions))
+        config = _DigitalConfig(tuple(fires), no_delay)
+        self._configs.put(key, config)
+        return config
+
+    def fire(self, fire, clocks):
+        """All probabilistic outcomes of firing ``fire`` from ``clocks``.
+
+        Returns a list of ``(probability, DigitalState)``.  A *Dirac*
+        step into an invariant-violating state is simply disabled (the
+        empty list — UPPAAL's semantics for plain edges); a genuinely
+        probabilistic step with only *some* violating branches leaves
+        the distribution undefined and is a model error.
+        """
+        results = []
+        for probability, locs, valuation, resets in fire.outcomes:
+            new_clocks = list(clocks)
+            for index, value in resets:
+                new_clocks[index] = value
+            new_clocks = tuple(new_clocks)
+            if not self.invariants_hold(locs, new_clocks):
+                if fire.dirac:
+                    return []  # Dirac step: the edge is simply disabled
+                raise ModelError(
+                    "probabilistic branch violates the target invariant "
+                    f"(transition {fire.label})")
+            results.append(
+                (probability, DigitalState(locs, valuation, new_clocks)))
+        return results
+
+    def tick(self, clocks):
+        """Unit delay with saturation (the reference clock stays 0)."""
+        return (0,) + tuple(min(v + 1, cap)
+                            for v, cap in zip(clocks[1:], self.caps[1:]))
+
+
+#: network -> {constants key -> DigitalSemantics}; weak so dropping the
+#: network drops its memoised tables.
+_SEMANTICS = WeakKeyDictionary()
+
+
+def digital_semantics(network, extra_constants=None):
+    """The shared :class:`DigitalSemantics` of a network.
+
+    Builder and simulators all draw from here, so e.g. the thousands of
+    per-seed :class:`~repro.pta.simulate.DigitalSimulator` instances a
+    modes run creates share one set of firing tables.
+    """
+    per_network = _SEMANTICS.get(network)
+    if per_network is None:
+        per_network = {}
+        _SEMANTICS[network] = per_network
+    key = (None if not extra_constants
+           else tuple(sorted(extra_constants.items())))
+    semantics = per_network.get(key)
+    if semantics is None:
+        semantics = DigitalSemantics(network, extra_constants)
+        per_network[key] = semantics
+    return semantics
 
 
 def build_digital_mdp(network, extra_constants=None, time_reward=True,
-                      max_states=2000000):
+                      max_states=2000000, semantics=None):
     """Explore the digital-clocks semantics into a :class:`DigitalMDP`."""
-    network.freeze()
-    _check_closed_diagonal_free(network)
-    caps = tuple(c + 1 for c in network.max_constants(extra_constants))
-
+    sem = (semantics if semantics is not None
+           else digital_semantics(network, extra_constants))
     mdp = MDP(network.name)
-    initial = DigitalState(
-        network.initial_locations(), network.initial_valuation(),
-        (0,) * network.dbm_size)
-    if not _invariants_hold(network, initial.locs, initial.clocks):
-        raise ModelError("initial state violates invariants")
+    initial = sem.initial_state()
 
     index_of = {initial.key(): 0}
     states = [initial]
@@ -162,40 +307,35 @@ def build_digital_mdp(network, extra_constants=None, time_reward=True,
         key = state.key()
         idx = index_of.get(key)
         if idx is None:
+            if len(states) >= max_states:
+                raise SearchLimitError(
+                    f"digital MDP exceeds {max_states} states",
+                    limit=max_states)
             idx = mdp.add_state()
             index_of[key] = idx
             states.append(state)
             queue.append(idx)
-            if idx >= max_states:
-                raise SearchLimitError(
-                    f"digital MDP exceeds {max_states} states",
-                    limit=max_states)
         return idx
 
     while queue:
         current = queue.pop()
         state = states[current]
+        config = sem.config_for(state.locs, state.valuation)
+        clocks = state.clocks
         # Discrete actions.
-        for transition in discrete_transitions(
-                network, state.locs, state.valuation):
-            if not all(
-                    atom.holds(state.clocks[process.resolve_clock(
-                        atom.clock)])
-                    for process, atom in transition.clock_guard_atoms()):
+        for fire in config.fires:
+            if not all(atom.holds(clocks[index])
+                       for index, atom in fire.guard):
                 continue
-            outcomes = _fire_branches(network, state, transition)
+            outcomes = sem.fire(fire, clocks)
             if not outcomes:
                 continue
             pairs = [(p, intern(s)) for p, s in outcomes]
-            mdp.add_action(current, pairs,
-                           label=transition.describe(), reward=0.0)
+            mdp.add_action(current, pairs, label=fire.label, reward=0.0)
         # Tick.
-        if not delay_forbidden(network, state.locs) and \
-                not has_urgent_sync(network, state.locs, state.valuation):
-            ticked = (0,) + tuple(
-                min(v + 1, cap)
-                for v, cap in zip(state.clocks[1:], caps[1:]))
-            if _invariants_hold(network, state.locs, ticked):
+        if not config.no_delay:
+            ticked = sem.tick(clocks)
+            if sem.invariants_hold(state.locs, ticked):
                 succ = DigitalState(state.locs, state.valuation, ticked)
                 mdp.add_action(current, [(1.0, intern(succ))],
                                label="tick",

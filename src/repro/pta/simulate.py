@@ -23,12 +23,7 @@ from __future__ import annotations
 from ..core.errors import AnalysisError, ModelError
 from ..core.rng import ensure_rng
 from ..obs.metrics import active
-from ..ta.transitions import (
-    delay_forbidden,
-    discrete_transitions,
-    has_urgent_sync,
-)
-from .digital import DigitalState, _fire_branches, _invariants_hold
+from .digital import DigitalState, digital_semantics
 
 POLICIES = ("max-delay", "min-delay", "uniform", "por")
 
@@ -49,7 +44,13 @@ class SimulationRun:
 
 
 class DigitalSimulator:
-    """Simulates runs of a PTA network under a scheduler policy."""
+    """Simulates runs of a PTA network under a scheduler policy.
+
+    The untimed firing tables come from the network's shared
+    :class:`~repro.pta.digital.DigitalSemantics`, so the per-seed
+    simulator instances a modes batch creates all reuse one memoised
+    set of transition data.
+    """
 
     def __init__(self, network, policy="max-delay", rng=None):
         if policy not in POLICIES:
@@ -58,39 +59,28 @@ class DigitalSimulator:
         self.network = network.freeze()
         self.policy = policy
         self.rng = ensure_rng(rng)
-        self.caps = tuple(c + 1 for c in network.max_constants())
+        self.semantics = digital_semantics(network)
+        self.caps = self.semantics.caps
 
     def initial(self):
-        state = DigitalState(
-            self.network.initial_locations(),
-            self.network.initial_valuation(),
-            (0,) * self.network.dbm_size)
-        if not _invariants_hold(self.network, state.locs, state.clocks):
-            raise ModelError("initial state violates invariants")
-        return state
+        return self.semantics.initial_state()
 
     def _enabled_actions(self, state):
-        out = []
-        for transition in discrete_transitions(
-                self.network, state.locs, state.valuation):
-            if all(atom.holds(state.clocks[process.resolve_clock(
-                    atom.clock)])
-                   for process, atom in transition.clock_guard_atoms()):
-                out.append(transition)
-        return out
+        config = self.semantics.config_for(state.locs, state.valuation)
+        clocks = state.clocks
+        return [fire for fire in config.fires
+                if all(atom.holds(clocks[index])
+                       for index, atom in fire.guard)]
 
     def _ticked(self, clocks):
         # The reference clock (index 0) stays at zero.
-        return (0,) + tuple(min(v + 1, cap)
-                            for v, cap in zip(clocks[1:], self.caps[1:]))
+        return self.semantics.tick(clocks)
 
     def _can_tick(self, state):
-        if delay_forbidden(self.network, state.locs):
+        if self.semantics.config_for(state.locs, state.valuation).no_delay:
             return False
-        if has_urgent_sync(self.network, state.locs, state.valuation):
-            return False
-        return _invariants_hold(self.network, state.locs,
-                                self._ticked(state.clocks))
+        return self.semantics.invariants_hold(state.locs,
+                                              self._ticked(state.clocks))
 
     def step(self, state):
         """One scheduler move; returns (kind, new_state, time_advance)
@@ -122,16 +112,16 @@ class DigitalSimulator:
             # taken (avoiding starvation of either component).
             from .por import check_confluent
 
-            check_confluent(actions)
-        transition = self.rng.choice(actions)
-        outcomes = _fire_branches(self.network, state, transition)
+            check_confluent([fire.transition for fire in actions])
+        fire = self.rng.choice(actions)
+        outcomes = self.semantics.fire(fire, state.clocks)
         x = self.rng.random()
         acc = 0.0
         for probability, succ in outcomes:
             acc += probability
             if x < acc:
-                return (transition, succ, 0)
-        return (transition, outcomes[-1][1], 0)
+                return (fire.transition, succ, 0)
+        return (fire.transition, outcomes[-1][1], 0)
 
     def run(self, stop=None, max_time=None, max_steps=100000,
             record_trace=False, observer=None, start=None):

@@ -150,7 +150,7 @@ class TestInclusionSubsumption:
 
 class TestMDPErrorPaths:
     def test_value_iteration_nonconvergence_guard(self):
-        from repro.mdp.analysis import _iterate
+        from repro.mdp.graph import topological_value_iteration
 
         import numpy as np
 
@@ -163,8 +163,9 @@ class TestMDPErrorPaths:
         # Accumulating reward on a loop diverges: the iteration guard
         # must fire rather than spin forever.
         with pytest.raises(AnalysisError):
-            _iterate(m, values, frozen, True, rewards=m.action_rewards,
-                     epsilon=1e-12, max_iterations=3)
+            topological_value_iteration(
+                m, values, frozen, True, rewards=m.action_rewards,
+                epsilon=1e-12, max_iterations=3)
 
     def test_reachability_on_unfinalized_mdp_finalizes(self):
         m = MDP()
