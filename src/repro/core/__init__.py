@@ -8,6 +8,7 @@ from .errors import (
     QueryError,
     ReproError,
     SearchLimitError,
+    TaskError,
     TestFailure,
 )
 from .expressions import (
@@ -38,7 +39,8 @@ from .tables import ResultTable, format_number
 
 __all__ = [
     "AnalysisError", "EvaluationError", "ModelError", "ParseError",
-    "QueryError", "ReproError", "SearchLimitError", "TestFailure",
+    "QueryError", "ReproError", "SearchLimitError", "TaskError",
+    "TestFailure",
     "Assignment", "BinOp", "Const", "Expr", "FALSE", "Index", "Ite",
     "TRUE", "UnOp", "Var", "conjoin", "lift",
     "Declarations", "Env", "Valuation",

@@ -35,6 +35,23 @@ class AnalysisError(ReproError):
     """An analysis engine could not complete (divergence, unsupported model)."""
 
 
+class TaskError(AnalysisError):
+    """A runtime task failed (and its fault policy was exhausted).
+
+    Carries the task's position in the campaign and its spawn-keyed
+    seed so the failing run is reproducible from the message alone:
+    re-running the same entry point with the same master seed dispatches
+    the identical task at the identical index.
+    """
+
+    def __init__(self, message, index=None, seed=None):
+        super().__init__(message)
+        #: Position of the failed task in submission (= aggregation) order.
+        self.index = index
+        #: First spawn-stream seed of the task's batch (when known).
+        self.seed = seed
+
+
 class SearchLimitError(ReproError, MemoryError):
     """A state-space search exceeded its configured ``max_states`` cap.
 

@@ -261,7 +261,8 @@ def modes_batch(model, properties, policy, max_time, seeds):
 
 
 def modes(model, properties, runs=10000, rng=None, policy="max-delay",
-          max_time=None, confidence=0.95, executor=None, batch_size=None):
+          max_time=None, confidence=0.95, executor=None, batch_size=None,
+          fault_policy=None):
     """Statistical estimation by discrete-event simulation.
 
     For probability properties returns a
@@ -276,7 +277,10 @@ def modes(model, properties, runs=10000, rng=None, policy="max-delay",
     from ``rng``; ``model`` must then be MODEST source text or a
     :class:`~repro.runtime.Spec` (both picklable), and property
     predicates module-level functions or specs.  Estimates are
-    bit-identical for any worker count and batch size.
+    bit-identical for any worker count and batch size —
+    ``fault_policy`` (a :class:`~repro.runtime.FaultPolicy`) keeps
+    that guarantee across crashed, raising, or hung workers by
+    replaying the failed batches from their seeds.
     """
     reach_props = [p for p in properties
                    if isinstance(p, (Reach, Pmax, Pmin))]
@@ -307,7 +311,8 @@ def modes(model, properties, runs=10000, rng=None, policy="max-delay",
             tasks = [(model, properties, policy, max_time, chunk)
                      for chunk in batched(seeds, size)]
             done = 0
-            for batch in executor.map(modes_batch, tasks):
+            for batch in executor.map(modes_batch, tasks,
+                                      policy=fault_policy):
                 done += len(batch)
                 heartbeat("modest.modes", done, total=runs)
                 for hit_time in batch:

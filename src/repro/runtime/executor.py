@@ -21,6 +21,18 @@ what the sequential tests (SPRT) use for chunked early stopping: the
 coordinator stops pulling tasks — and the window stops being refilled —
 as soon as the decision boundary is crossed.
 
+Fault tolerance (:mod:`repro.runtime.faults`): :meth:`imap` takes an
+optional :class:`~repro.runtime.FaultPolicy`.  A worker that raises is
+retried with deterministic backoff; a worker that dies
+(:class:`~concurrent.futures.process.BrokenProcessPool`) or hangs past
+the policy timeout causes the pool to be torn down, rebuilt, and every
+in-flight task **replayed by its spawn-keyed seeds** — tasks are pure
+functions of their seed chunks, so a recovered run is bit-identical to
+a fault-free run.  When the policy is exhausted the task either raises
+:class:`~repro.core.errors.TaskError` (carrying its index and seed for
+reproduction), is skipped, or is degraded to an inline serial run,
+per the policy's ``on_exhausted`` strategy.
+
 Observability (:mod:`repro.obs`): when a metrics collector is active in
 the coordinator, both executors record per-task wall times and counts
 under ``runtime.*``, and :class:`ParallelExecutor` additionally runs
@@ -32,33 +44,47 @@ parallel execution — fixed-budget workloads report bit-identical
 logical totals for any worker count.  (Sequential tests that stop early
 are the one caveat: a parallel run may execute — and account — a few
 speculative runs past the stopping point inside already-dispatched
-chunks.)
+chunks.)  Fault recovery keeps the guarantee: a failed attempt's
+worker-side collector dies with it, so exactly one clean attempt per
+task is merged.  The recovery machinery itself counts under
+``runtime.retries`` / ``runtime.replayed`` / ``runtime.pool_rebuilds``
+/ ``runtime.timeouts`` / ``runtime.skipped`` / ``runtime.degraded``.
 """
 
 from __future__ import annotations
 
+import concurrent.futures
 import os
 import time
 from collections import deque
 
-from ..core.errors import AnalysisError
-from ..obs.metrics import active
+from ..core.errors import AnalysisError, TaskError
+from ..obs.metrics import active, incr
+from .faults import task_seed
 
 
-class _CollectedTask:
-    """Worker-side wrapper shipping metrics home with the result.
+class _WorkerTask:
+    """Worker-side wrapper: optional fault injection, optional metrics.
 
-    Runs the task under a fresh collector and returns ``(result,
-    metrics snapshot, worker pid, seconds)``; picklable as long as the
-    wrapped function is.
+    Called as ``(index, attempt, *args)`` so the injector can key on the
+    task's position and fire only on first attempts.  With ``collect``,
+    the task runs under a fresh collector and returns ``(result,
+    metrics snapshot, worker pid, seconds)``; otherwise the bare result.
+    Picklable as long as the wrapped function (and injector) are.
     """
 
-    __slots__ = ("fn",)
+    __slots__ = ("fn", "injector", "collect")
 
-    def __init__(self, fn):
+    def __init__(self, fn, injector, collect):
         self.fn = fn
+        self.injector = injector
+        self.collect = collect
 
-    def __call__(self, *args):
+    def __call__(self, index, attempt, *args):
+        if self.injector is not None:
+            self.injector(index, attempt)
+        if not self.collect:
+            return self.fn(*args)
         from ..obs.metrics import Collector, collecting
 
         collector = Collector("worker")
@@ -69,19 +95,50 @@ class _CollectedTask:
                 time.perf_counter() - start)
 
 
+class _PendingTask:
+    """An in-flight task: its submission index, the (replayable) task
+    tuple, the attempt count, the current future, and the pool
+    generation the future was submitted under."""
+
+    __slots__ = ("index", "task", "attempts", "future", "generation")
+
+    def __init__(self, index, task):
+        self.index = index
+        self.task = tuple(task)
+        self.attempts = 0
+        self.future = None
+        self.generation = -1
+
+
+#: Sentinel distinguishing "task skipped" from a ``None`` result.
+_SKIPPED = object()
+
+
+def _task_error(record, exc, suffix=""):
+    seed = task_seed(record.task)
+    where = f"task {record.index}"
+    if seed is not None:
+        where += f" (seed {seed})"
+    return TaskError(
+        f"{where} failed after {record.attempts} attempt(s){suffix}: "
+        f"{exc!r}; the same master seed replays it deterministically",
+        index=record.index, seed=seed)
+
+
 class Executor:
     """Interface: ordered (optionally lazy) map over picklable tasks."""
 
     #: Degree of parallelism; used to pick default batch sizes.
     workers = 1
 
-    def map(self, fn, tasks):
+    def map(self, fn, tasks, policy=None):
         """Run ``fn(*task)`` for every task; results in task order."""
-        return list(self.imap(fn, tasks))
+        return list(self.imap(fn, tasks, policy=policy))
 
-    def imap(self, fn, tasks):
+    def imap(self, fn, tasks, policy=None):
         """Lazy :meth:`map`: a generator yielding results in task order.
-        Closing the generator stops further task consumption."""
+        Closing the generator stops further task consumption.  ``policy``
+        is an optional :class:`~repro.runtime.FaultPolicy`."""
         raise NotImplementedError
 
     def batch_size_for(self, runs):
@@ -106,25 +163,71 @@ class SerialExecutor(Executor):
 
     Exists so callers can write one aggregation loop: serial and
     parallel runs share the seed-stream protocol and therefore agree
-    bit for bit.
+    bit for bit.  A :class:`~repro.runtime.FaultPolicy` is honoured for
+    task-raised exceptions (retry / skip / degrade — ``kill``
+    injections have no worker to kill and surface as ordinary faults);
+    per-task timeouts require a process pool and are ignored here.
     """
 
     workers = 1
 
-    def imap(self, fn, tasks):
+    def imap(self, fn, tasks, policy=None):
         collector = active()
-        if collector is None:
+        if collector is None and policy is None:
             for task in tasks:
                 yield fn(*task)
             return
-        collector.set_gauge("runtime.workers", self.workers)
-        for task in tasks:
+        injector = policy.injector if policy is not None else None
+        if collector is not None:
+            collector.set_gauge("runtime.workers", self.workers)
+        for index, task in enumerate(tasks):
             start = time.perf_counter()
-            result = fn(*task)
-            collector.incr("runtime.tasks")
-            collector.observe("runtime.task_seconds",
-                              time.perf_counter() - start)
+            try:
+                if injector is not None:
+                    injector(index, 0, in_worker=False)
+                result = fn(*task)
+            except Exception as exc:
+                if policy is None:
+                    raise
+                result = self._recover(fn, task, index, policy, exc)
+                if result is _SKIPPED:
+                    continue
+            if collector is not None:
+                collector.incr("runtime.tasks")
+                collector.observe("runtime.task_seconds",
+                                  time.perf_counter() - start)
             yield result
+
+    def _recover(self, fn, task, index, policy, exc):
+        """Retry per policy; apply the exhaustion strategy when spent."""
+        record = _PendingTask(index, task)
+        record.attempts = 1
+        seed = task_seed(task)
+        while record.attempts <= policy.max_retries:
+            incr("runtime.retries")
+            time.sleep(policy.delay(record.attempts - 1,
+                                    seed if seed is not None else index))
+            try:
+                if policy.injector is not None:
+                    policy.injector(index, record.attempts, in_worker=False)
+                return fn(*task)
+            except Exception as retry_exc:
+                exc = retry_exc
+                record.attempts += 1
+        if policy.on_exhausted == "skip":
+            incr("runtime.skipped")
+            return _SKIPPED
+        if policy.on_exhausted == "degrade-to-serial":
+            # Already serial: one final clean attempt (injections fire
+            # on the first attempt only).
+            incr("runtime.degraded")
+            try:
+                return fn(*task)
+            except Exception as final_exc:
+                raise _task_error(record, final_exc,
+                                  suffix=" (and one degraded retry)") \
+                    from final_exc
+        raise _task_error(record, exc) from exc
 
     def __repr__(self):
         return "SerialExecutor()"
@@ -145,6 +248,11 @@ class ParallelExecutor(Executor):
     a long tail of speculative runs.
     """
 
+    #: How long :meth:`imap` cleanup waits for still-running futures
+    #: when no policy timeout is set, before presuming them hung and
+    #: abandoning the pool (so :meth:`close` can never deadlock).
+    drain_timeout = 60.0
+
     def __init__(self, workers=None, inflight=None, mp_context=None):
         self.workers = (os.cpu_count() or 1) if workers is None else workers
         if self.workers < 1:
@@ -153,10 +261,14 @@ class ParallelExecutor(Executor):
         self.inflight = inflight or 2 * self.workers
         self._mp_context = mp_context
         self._pool = None
+        #: Bumped every time a pool is abandoned; futures remember the
+        #: generation they were submitted under, so recovery can tell a
+        #: *newly* broken pool from stale futures of an already-replaced
+        #: one (and rebuild/charge only for the former).
+        self._generation = 0
 
     def _ensure_pool(self):
         if self._pool is None:
-            import concurrent.futures
             import multiprocessing
 
             context = self._mp_context
@@ -166,21 +278,129 @@ class ParallelExecutor(Executor):
                 max_workers=self.workers, mp_context=context)
         return self._pool
 
-    def imap(self, fn, tasks):
+    def _abandon_pool(self, terminate=False):
+        """Drop the current pool (broken or presumed hung); the next
+        submission rebuilds one.  With ``terminate``, hard-kill the
+        worker processes first — a hung worker never returns, so a
+        graceful shutdown would never finish."""
+        pool, self._pool = self._pool, None
+        self._generation += 1
+        if pool is None:
+            return
+        if terminate:
+            processes = getattr(pool, "_processes", None) or {}
+            for process in list(processes.values()):
+                process.terminate()
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def imap(self, fn, tasks, policy=None):
         collector = active()
+        injector = policy.injector if policy is not None else None
+        timeout = policy.timeout if policy is not None else None
+        wrap = collector is not None or injector is not None
+        call = _WorkerTask(fn, injector, collector is not None) if wrap \
+            else fn
+        worker_ids = {}
         if collector is not None:
-            fn = _CollectedTask(fn)
-            worker_ids = {}
             collector.set_gauge("runtime.workers", self.workers)
-        pool = self._ensure_pool()
-        tasks = iter(tasks)
+        task_iter = iter(tasks)
         pending = deque()
+        next_index = 0
+
+        def submit(record):
+            # A killed worker can break the pool between the head
+            # result and the next submission, making pool.submit itself
+            # raise — rebuild and resubmit until a healthy pool takes
+            # the task (each worker spawn either succeeds or breaks the
+            # fresh pool immediately, so this cannot spin hot).
+            while True:
+                pool = self._ensure_pool()
+                try:
+                    if wrap:
+                        record.future = pool.submit(
+                            call, record.index, record.attempts,
+                            *record.task)
+                    else:
+                        record.future = pool.submit(fn, *record.task)
+                    record.generation = self._generation
+                    return
+                except concurrent.futures.BrokenExecutor:
+                    incr("runtime.pool_rebuilds")
+                    self._abandon_pool()
 
         def submit_next():
-            for task in tasks:
-                pending.append(pool.submit(fn, *task))
+            nonlocal next_index
+            for task in task_iter:
+                record = _PendingTask(next_index, task)
+                next_index += 1
+                submit(record)
+                pending.append(record)
                 return True
             return False
+
+        def replay_pending(head):
+            # The pool died under every in-flight future.  Resubmitting
+            # the identical task tuples — same spawn-keyed seeds — to a
+            # fresh pool makes the recovered run bit-identical to a
+            # fault-free one.  The culprit of a pool-level fault is
+            # unknowable, so the whole in-flight window is charged one
+            # attempt: a poison task that keeps killing its worker
+            # exhausts its policy instead of replaying forever (and
+            # kill injections, which fire on attempt 0 only, fire once).
+            for record in pending:
+                if record is not head:
+                    record.attempts += 1
+                    submit(record)
+                    incr("runtime.replayed")
+
+        def replay_stale(head):
+            # The pool was already replaced (by a submission-time
+            # rebuild); futures from the dead pool just need
+            # resubmitting — nothing newly broke, so no charge.
+            for record in pending:
+                if record.generation != self._generation:
+                    submit(record)
+                    incr("runtime.replayed")
+
+        def recover(head, exc):
+            """Handle one fault of the head task.  Returns ``"retry"``
+            (resubmitted), ``"skip"``, or ``"degrade"``; raises
+            :class:`TaskError` when the policy is absent or spent."""
+            head.attempts += 1
+            if policy is not None and head.attempts <= policy.max_retries:
+                seed = task_seed(head.task)
+                incr("runtime.retries")
+                time.sleep(policy.delay(
+                    head.attempts - 1,
+                    seed if seed is not None else head.index))
+                submit(head)
+                return "retry"
+            strategy = policy.on_exhausted if policy is not None else "fail"
+            if strategy == "skip":
+                incr("runtime.skipped")
+                return "skip"
+            if strategy == "degrade-to-serial":
+                incr("runtime.degraded")
+                return "degrade"
+            raise _task_error(head, exc) from exc
+
+        def run_inline(head):
+            # Last-resort degrade-to-serial: run the task in the
+            # coordinator with no pool involved.  Metrics the task
+            # records go straight to the active collector — at the same
+            # position in task order a pooled merge would take.
+            start = time.perf_counter()
+            try:
+                result = fn(*head.task)
+            except Exception as exc:
+                raise _task_error(head, exc,
+                                  suffix=" (and one degraded retry)") \
+                    from exc
+            if collector is not None:
+                collector.incr("runtime.tasks")
+                collector.observe("runtime.task_seconds",
+                                  time.perf_counter() - start)
+            return result
 
         def absorb(outcome):
             # Merge the worker's collector snapshot in task order, so
@@ -199,14 +419,79 @@ class ParallelExecutor(Executor):
                 if not submit_next():
                     break
             while pending:
-                result = pending.popleft().result()
+                head = pending[0]
+                outcome = None
+                while True:
+                    try:
+                        outcome = head.future.result(timeout=timeout)
+                        action = "ok"
+                        break
+                    except concurrent.futures.TimeoutError as exc:
+                        if head.future.done():
+                            # The task itself raised a TimeoutError
+                            # worker-side; the pool is healthy.
+                            action = recover(head, exc)
+                        else:
+                            # Exceeded the policy budget: presume a hung
+                            # worker, tear the pool down, replay.
+                            incr("runtime.timeouts")
+                            incr("runtime.pool_rebuilds")
+                            self._abandon_pool(terminate=True)
+                            replay_pending(head)
+                            action = recover(head, AnalysisError(
+                                f"no result within the {timeout}s "
+                                f"fault-policy timeout"))
+                    except (concurrent.futures.BrokenExecutor,
+                            concurrent.futures.CancelledError) as exc:
+                        # A worker died (segfault, os._exit, OOM kill):
+                        # every in-flight future is void.
+                        if head.generation != self._generation:
+                            # ... but the pool was already rebuilt; this
+                            # is a stale future, not a fresh fault.
+                            replay_stale(head)
+                            action = "retry"
+                        else:
+                            incr("runtime.pool_rebuilds")
+                            self._abandon_pool()
+                            replay_pending(head)
+                            action = recover(head, exc)
+                    except Exception as exc:
+                        # The task raised worker-side; pool is healthy.
+                        action = recover(head, exc)
+                    if action != "retry":
+                        break
+                pending.popleft()
                 submit_next()
-                if collector is not None:
-                    result = absorb(result)
+                if action == "skip":
+                    continue
+                if action == "degrade":
+                    result = run_inline(head)
+                elif collector is not None:
+                    result = absorb(outcome)
+                elif wrap:
+                    result = outcome  # injector-wrapped, no collector
+                else:
+                    result = outcome
                 yield result
         finally:
-            for future in pending:
-                future.cancel()
+            if pending:
+                for record in pending:
+                    record.future.cancel()
+                live = [record.future for record in pending
+                        if not record.future.cancelled()]
+                if live:
+                    # Drain: wait (bounded) for already-running futures
+                    # and consume their outcomes, so no zombie futures
+                    # or unraised worker exceptions outlive the
+                    # generator and close() can never deadlock.
+                    done, not_done = concurrent.futures.wait(
+                        live, timeout=timeout if timeout is not None
+                        else self.drain_timeout)
+                    for future in done:
+                        if not future.cancelled():
+                            future.exception()
+                    if not_done:
+                        self._abandon_pool(terminate=True)
 
     def close(self):
         if self._pool is not None:

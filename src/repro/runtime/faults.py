@@ -1,0 +1,185 @@
+"""Fault tolerance for the parallel runtime.
+
+Long statistical campaigns must survive partial failure to be usable
+at scale (the modes/Modest overview stresses exactly this): a crashed
+worker, a flaky task, or a hung process must not kill a million-run
+estimation.  This module provides the three pieces the executors use:
+
+* :class:`FaultPolicy` — *what to do* when a task faults: an optional
+  per-task ``timeout``, ``max_retries`` with exponential backoff and
+  **deterministic jitter drawn from the task's own seed stream**, and
+  an on-exhaustion strategy (``"fail"``, ``"skip"``, or
+  ``"degrade-to-serial"``).
+* :class:`FaultInjector` — a deterministic test/bench hook that makes a
+  chosen task kill its worker, raise, or hang on its **first attempt
+  only**, so recovery paths are exercised reproducibly.
+* :func:`task_seed` — the spawn-keyed seed identifying a task, used
+  both for the jitter stream and for the replay-context carried by
+  :class:`~repro.core.errors.TaskError`.
+
+The replay guarantee: a recovered run is **bit-identical** to a
+fault-free run.  Every task the SMC layer submits is a pure function of
+its spawn-keyed per-run seeds, so the executor recovers from any fault
+by resubmitting the *exact same task tuple* — same seeds, same model
+spec — and aggregating its result at the same position in task order.
+Retries and pool rebuilds therefore change wall-clock time and the
+physical ``runtime.*`` counters, never an estimate, a verdict, or a
+logical metric total (asserted by ``tests/test_faults.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from ..core.errors import AnalysisError
+from ..core.rng import RandomSource
+
+
+class InjectedFault(RuntimeError):
+    """Raised inside a task by :class:`FaultInjector` (``raises``/serial
+    ``kill`` injections) — an ordinary task failure to the executor."""
+
+
+#: On-exhaustion strategies accepted by :class:`FaultPolicy`.
+STRATEGIES = ("fail", "skip", "degrade-to-serial")
+
+
+class FaultPolicy:
+    """How an executor treats a faulting task.
+
+    ``timeout``
+        Per-task wall-clock budget in seconds (``None`` = unbounded).
+        A task that exceeds it is presumed hung; the pool is torn down
+        (terminating the stuck worker), rebuilt, and the in-flight
+        tasks are replayed by their seeds.
+    ``max_retries``
+        How many times a single task may fault before the
+        ``on_exhausted`` strategy applies.  Retries sleep
+        ``backoff * backoff_factor**k`` seconds (k = 0, 1, ...) plus
+        deterministic jitter: attempt k draws the k-th value of
+        ``RandomSource(task_seed)`` — reproducible for any worker
+        count, yet decorrelated across tasks.
+    ``on_exhausted``
+        ``"fail"`` raises :class:`~repro.core.errors.TaskError` (with
+        the task index and seed, so the run is reproducible from the
+        message); ``"skip"`` drops the task's results from the stream
+        (degrading the sample budget, never the aggregation order);
+        ``"degrade-to-serial"`` runs the task inline in the
+        coordinator process — no pool involved — as a last resort.
+    ``injector``
+        An optional :class:`FaultInjector` shipped to the workers (the
+        test/bench hook).  ``None`` in production.
+    """
+
+    __slots__ = ("timeout", "max_retries", "backoff", "backoff_factor",
+                 "jitter", "on_exhausted", "injector")
+
+    def __init__(self, timeout=None, max_retries=2, backoff=0.05,
+                 backoff_factor=2.0, jitter=0.5, on_exhausted="fail",
+                 injector=None):
+        if timeout is not None and timeout <= 0:
+            raise AnalysisError(f"timeout must be positive, got {timeout}")
+        if max_retries < 0:
+            raise AnalysisError(
+                f"max_retries must be >= 0, got {max_retries}")
+        if on_exhausted not in STRATEGIES:
+            raise AnalysisError(
+                f"unknown on_exhausted strategy {on_exhausted!r} "
+                f"(expected one of {STRATEGIES})")
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self.backoff_factor = backoff_factor
+        self.jitter = jitter
+        self.on_exhausted = on_exhausted
+        self.injector = injector
+
+    def delay(self, attempt, seed):
+        """Backoff before retry number ``attempt`` (0-based) of the task
+        seeded with ``seed``: exponential base plus deterministic jitter
+        drawn from the task's own seed stream."""
+        base = self.backoff * self.backoff_factor ** attempt
+        if not self.jitter or not self.backoff:
+            return base
+        stream = RandomSource(seed)
+        draw = 0.0
+        for _ in range(attempt + 1):
+            draw = stream.random()
+        return base * (1.0 + self.jitter * draw)
+
+    def __repr__(self):
+        return (f"FaultPolicy(timeout={self.timeout}, "
+                f"max_retries={self.max_retries}, "
+                f"on_exhausted={self.on_exhausted!r})")
+
+
+class FaultInjector:
+    """Deterministic fault injection at chosen task indices.
+
+    Picklable and shipped worker-side via :class:`FaultPolicy`; fires
+    at the *start* of a task (before any simulation work, so no partial
+    metrics can leak) and **only on the task's first attempt** — the
+    replayed attempt runs clean, which is what lets the recovery tests
+    assert bit-identical results.
+
+    ``kill``
+        Task indices whose worker process dies hard (``os._exit``) —
+        the :class:`BrokenProcessPool` path.  In a serial executor
+        (no worker to kill) the injection raises
+        :class:`InjectedFault` instead.
+    ``raises``
+        Task indices that raise :class:`InjectedFault`.
+    ``hang``
+        Task indices that sleep ``hang_seconds`` before continuing —
+        combined with :attr:`FaultPolicy.timeout` this exercises the
+        hung-worker teardown path.
+    """
+
+    __slots__ = ("kill", "raises", "hang", "hang_seconds", "exit_code")
+
+    def __init__(self, kill=(), raises=(), hang=(), hang_seconds=30.0,
+                 exit_code=86):
+        self.kill = frozenset(kill)
+        self.raises = frozenset(raises)
+        self.hang = frozenset(hang)
+        self.hang_seconds = hang_seconds
+        self.exit_code = exit_code
+
+    def __call__(self, index, attempt, in_worker=True):
+        if attempt != 0:
+            return
+        if index in self.kill:
+            if in_worker:
+                os._exit(self.exit_code)
+            raise InjectedFault(
+                f"injected worker kill in task {index} (serial executor)")
+        if index in self.hang:
+            time.sleep(self.hang_seconds)
+        if index in self.raises:
+            raise InjectedFault(f"injected failure in task {index}")
+
+    def __repr__(self):
+        parts = []
+        for name in ("kill", "raises", "hang"):
+            value = getattr(self, name)
+            if value:
+                parts.append(f"{name}={sorted(value)}")
+        return f"FaultInjector({', '.join(parts)})"
+
+
+def task_seed(task):
+    """The spawn-keyed seed identifying a task, or ``None``.
+
+    Every batch task the SMC layer submits carries its chunk of the
+    master source's spawn stream as a list of integer seeds; the chunk's
+    first seed pins the task to a position in that stream.  Scans the
+    task tuple for the first non-empty all-int sequence (scalar ints —
+    horizons, budgets — don't qualify) so the executor can report and
+    jitter by seed without knowing each entry point's argument layout.
+    """
+    for arg in task:
+        if (isinstance(arg, (list, tuple)) and arg
+                and all(type(x) is int for x in arg)):
+            return arg[0]
+    return None

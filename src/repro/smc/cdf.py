@@ -76,7 +76,8 @@ def first_passage_batch(simulator_factory, predicates, horizon, seeds):
 
 
 def first_passage_cdfs(simulator_factory, predicates, horizon, runs, grid,
-                       rng=None, executor=None, batch_size=None):
+                       rng=None, executor=None, batch_size=None,
+                       fault_policy=None):
     """Estimate, for each predicate, the CDF of its first-passage time.
 
     ``simulator_factory(rng)`` builds a fresh simulator exposing
@@ -88,6 +89,9 @@ def first_passage_cdfs(simulator_factory, predicates, horizon, runs, grid,
     — e.g. ``functools.partial(repro.smc.stochastic.network_simulator,
     Spec(make_traingate, 3))``.  Runs draw one spawned child source
     each either way, so serial and parallel samples are identical.
+    ``fault_policy`` (a :class:`~repro.runtime.FaultPolicy`) replays
+    failed batches from their seeds, keeping the samples identical
+    across worker faults.
     """
     rng = ensure_rng(rng)
     with span("smc.first_passage_cdfs", runs=runs):
@@ -102,7 +106,8 @@ def first_passage_cdfs(simulator_factory, predicates, horizon, runs, grid,
             for batch in executor.map(
                     first_passage_batch,
                     [(simulator_factory, predicates, horizon, chunk)
-                     for chunk in batched(seeds, size)]):
+                     for chunk in batched(seeds, size)],
+                    policy=fault_policy):
                 done += len(batch)
                 heartbeat("smc.cdf", done, total=runs)
                 for times in batch:

@@ -10,13 +10,14 @@ mu/sigma columns of Table I).
 
 from __future__ import annotations
 
+import contextlib
 import math
 
 from scipy import stats
 
 from ..core.errors import AnalysisError
 from ..core.rng import ensure_rng
-from ..obs.metrics import incr
+from ..obs.metrics import active, collecting, incr
 from ..obs.progress import heartbeat
 from ..obs.trace import span
 
@@ -108,8 +109,52 @@ def chernoff_runs(epsilon, delta):
     return math.ceil(math.log(2.0 / delta) / (2.0 * epsilon * epsilon))
 
 
+def _campaign_setup(checkpoint, fingerprint, initial_state):
+    """Checkpoint scaffolding shared by the fixed-budget estimators.
+
+    Returns ``(state, inner, outer)``: the (possibly resumed) campaign
+    state, the campaign-local collector capturing exactly this
+    campaign's metrics (``None`` without a checkpoint), and the
+    coordinator's ambient collector to merge into on completion.
+    Resuming a matching checkpoint merges its saved metrics snapshot,
+    so the final logical totals equal an uninterrupted run's.
+    """
+    if checkpoint is None:
+        return initial_state, None, None
+    from ..obs.metrics import Collector
+
+    outer = active()
+    inner = Collector("smc.checkpoint")
+    state = initial_state
+    loaded = checkpoint.load(fingerprint)
+    if loaded is not None:
+        state = loaded["state"]
+        inner.merge(loaded.get("metrics", {}))
+    return state, inner, outer
+
+
+def _campaign_finish(checkpoint, inner, outer):
+    """Fold a checkpointed campaign's collector into the ambient one
+    and discard the (now complete) checkpoint file."""
+    if checkpoint is None:
+        return
+    if outer is not None:
+        outer.merge(inner)
+    checkpoint.clear()
+
+
+def _require_executor(name, executor, fault_policy, checkpoint):
+    if executor is None and (fault_policy is not None
+                             or checkpoint is not None):
+        raise AnalysisError(
+            f"{name}: fault_policy/checkpoint apply to the batched "
+            f"executor path — pass executor=SerialExecutor() or a "
+            f"ParallelExecutor")
+
+
 def estimate_probability(run_once, runs, rng=None, confidence=0.95,
-                         executor=None, batch_size=None):
+                         executor=None, batch_size=None,
+                         fault_policy=None, checkpoint=None):
     """Estimate P(run_once(rng) is truthy) from ``runs`` samples.
 
     With an ``executor`` (see :mod:`repro.runtime`) the budget is split
@@ -117,7 +162,18 @@ def estimate_probability(run_once, runs, rng=None, confidence=0.95,
     ``run_once`` must then be picklable (a module-level function, or a
     :func:`functools.partial` over one).  Results are bit-identical for
     any executor, worker count, and batch size.
+
+    ``fault_policy`` (a :class:`~repro.runtime.FaultPolicy`) makes the
+    campaign survive crashed / raising / hung workers by replaying the
+    failed batches from their seeds — still bit-identical.
+    ``checkpoint`` (a :class:`~repro.runtime.Checkpoint`) snapshots the
+    tally and metrics every few batches and resumes a matching
+    interrupted campaign exactly; a campaign whose fault policy skipped
+    batches (``on_exhausted="skip"``) should not be checkpointed, as
+    resume assumes the completed batches form a prefix.
     """
+    _require_executor("estimate_probability", executor, fault_policy,
+                      checkpoint)
     with span("smc.estimate_probability", runs=runs) as sp:
         if executor is None:
             rng = ensure_rng(rng)
@@ -128,34 +184,61 @@ def estimate_probability(run_once, runs, rng=None, confidence=0.95,
                 if (index + 1) & 63 == 0:
                     heartbeat("smc.estimate", index + 1, total=runs,
                               successes=successes)
-        else:
-            from ..runtime import batched, run_batch, seed_stream
+            done = runs
+            incr("smc.runs", runs)
+            incr("smc.accepted", successes)
+            sp.set("successes", successes)
+            return ProbabilityEstimate(successes, done, confidence)
 
-            seeds = seed_stream(rng, runs)
-            size = batch_size or executor.batch_size_for(runs)
-            successes = 0
-            done = 0
-            for outcomes in executor.map(
-                    run_batch,
-                    [(run_once, chunk) for chunk in batched(seeds, size)]):
+        from ..runtime import batched, run_batch, seed_stream
+
+        seeds = seed_stream(rng, runs)
+        size = batch_size or executor.batch_size_for(runs)
+        chunks = batched(seeds, size)
+        fingerprint = {"kind": "smc.estimate_probability", "runs": runs,
+                       "batch_size": size,
+                       "seeds": seeds[:1] + seeds[-1:]}
+        state, inner, outer = _campaign_setup(
+            checkpoint, fingerprint,
+            {"batch": 0, "successes": 0, "done": 0})
+        scope = collecting(inner) if inner is not None \
+            else contextlib.nullcontext()
+        with scope:
+            completed = state["batch"]
+            successes = state["successes"]
+            done = state["done"]
+            tasks = [(run_once, chunk) for chunk in chunks[completed:]]
+            for outcomes in executor.imap(run_batch, tasks,
+                                          policy=fault_policy):
                 successes += sum(outcomes)
                 done += len(outcomes)
+                completed += 1
                 heartbeat("smc.estimate", done, total=runs,
                           successes=successes)
-        incr("smc.runs", runs)
-        incr("smc.accepted", successes)
+                if checkpoint is not None and checkpoint.due(completed):
+                    checkpoint.save(fingerprint,
+                                    {"batch": completed,
+                                     "successes": successes,
+                                     "done": done},
+                                    inner.snapshot())
+            incr("smc.runs", done)
+            incr("smc.accepted", successes)
+        _campaign_finish(checkpoint, inner, outer)
         sp.set("successes", successes)
-    return ProbabilityEstimate(successes, runs, confidence)
+    return ProbabilityEstimate(successes, done, confidence)
 
 
 def estimate_mean(run_once, runs, rng=None, confidence=0.95,
-                  executor=None, batch_size=None):
+                  executor=None, batch_size=None,
+                  fault_policy=None, checkpoint=None):
     """Estimate E[run_once(rng)] from ``runs`` samples.
 
-    Executor semantics as in :func:`estimate_probability`; samples are
-    concatenated in run order, so the estimate (and its interval) does
-    not depend on the batching.
+    Executor semantics as in :func:`estimate_probability` (including
+    ``fault_policy`` and ``checkpoint``); samples are concatenated in
+    run order, so the estimate (and its interval) does not depend on
+    the batching.
     """
+    _require_executor("estimate_mean", executor, fault_policy, checkpoint)
     with span("smc.estimate_mean", runs=runs):
         if executor is None:
             rng = ensure_rng(rng)
@@ -164,16 +247,35 @@ def estimate_mean(run_once, runs, rng=None, confidence=0.95,
                 samples.append(run_once(rng))
                 if (index + 1) & 63 == 0:
                     heartbeat("smc.estimate_mean", index + 1, total=runs)
-        else:
-            from ..runtime import batched, sample_batch, seed_stream
+            incr("smc.runs", runs)
+            return MeanEstimate(samples, confidence)
 
-            seeds = seed_stream(rng, runs)
-            size = batch_size or executor.batch_size_for(runs)
-            samples = []
-            for values in executor.map(
-                    sample_batch,
-                    [(run_once, chunk) for chunk in batched(seeds, size)]):
+        from ..runtime import batched, sample_batch, seed_stream
+
+        seeds = seed_stream(rng, runs)
+        size = batch_size or executor.batch_size_for(runs)
+        chunks = batched(seeds, size)
+        fingerprint = {"kind": "smc.estimate_mean", "runs": runs,
+                       "batch_size": size,
+                       "seeds": seeds[:1] + seeds[-1:]}
+        state, inner, outer = _campaign_setup(
+            checkpoint, fingerprint, {"batch": 0, "samples": []})
+        scope = collecting(inner) if inner is not None \
+            else contextlib.nullcontext()
+        with scope:
+            completed = state["batch"]
+            samples = list(state["samples"])
+            tasks = [(run_once, chunk) for chunk in chunks[completed:]]
+            for values in executor.imap(sample_batch, tasks,
+                                        policy=fault_policy):
                 samples.extend(values)
+                completed += 1
                 heartbeat("smc.estimate_mean", len(samples), total=runs)
-        incr("smc.runs", runs)
+                if checkpoint is not None and checkpoint.due(completed):
+                    checkpoint.save(fingerprint,
+                                    {"batch": completed,
+                                     "samples": samples},
+                                    inner.snapshot())
+            incr("smc.runs", len(samples))
+        _campaign_finish(checkpoint, inner, outer)
     return MeanEstimate(samples, confidence)

@@ -63,7 +63,8 @@ def _spec_run_once(network, predicate, horizon, default_rate):
 def probability_at_least(network, predicate, theta, horizon,
                          indifference=0.01, alpha=0.05, beta=0.05,
                          rng=None, default_rate=1.0, max_runs=1000000,
-                         executor=None, batch_size=None):
+                         executor=None, batch_size=None,
+                         fault_policy=None):
     """Test ``Pr[<= horizon](<> predicate) >= theta`` sequentially.
 
     ``predicate`` takes ``(location_names, valuation, clocks)``.
@@ -82,15 +83,17 @@ def probability_at_least(network, predicate, theta, horizon,
         run_once = _spec_run_once(network, predicate, horizon, default_rate)
     return sprt(run_once, theta, indifference=indifference, alpha=alpha,
                 beta=beta, rng=rng, max_runs=max_runs, executor=executor,
-                batch_size=batch_size)
+                batch_size=batch_size, fault_policy=fault_policy)
 
 
 def probability_estimate(network, predicate, horizon, runs=738,
                          confidence=0.95, rng=None, default_rate=1.0,
-                         executor=None, batch_size=None):
+                         executor=None, batch_size=None,
+                         fault_policy=None, checkpoint=None):
     """Quantitative variant: ``Pr[<= horizon](<> predicate)`` with a
     Clopper–Pearson interval (default budget = the Chernoff count for
-    eps = delta = 0.05)."""
+    eps = delta = 0.05).  ``fault_policy`` and ``checkpoint`` behave as
+    in :func:`~repro.smc.estimate_probability`."""
     rng = ensure_rng(rng)
     if executor is None:
         run_once = _make_run_once(resolve_model(network),
@@ -100,7 +103,9 @@ def probability_estimate(network, predicate, horizon, runs=738,
         run_once = _spec_run_once(network, predicate, horizon, default_rate)
     return estimate_probability(run_once, runs=runs, rng=rng,
                                 confidence=confidence, executor=executor,
-                                batch_size=batch_size)
+                                batch_size=batch_size,
+                                fault_policy=fault_policy,
+                                checkpoint=checkpoint)
 
 
 def observe_extremum(model, observe, horizon, mode, rng=None,
@@ -128,7 +133,7 @@ def observe_extremum(model, observe, horizon, mode, rng=None,
 
 def expected_value(network, observe, horizon, runs=500, mode="max",
                    confidence=0.95, rng=None, default_rate=1.0,
-                   executor=None, batch_size=None):
+                   executor=None, batch_size=None, fault_policy=None):
     """Estimate UPPAAL-SMC's ``E[<= horizon](max|min|final: expr)``.
 
     ``observe(names, valuation, clocks) -> number`` is evaluated at
@@ -159,7 +164,8 @@ def expected_value(network, observe, horizon, runs=500, mode="max",
             done = 0
             for values in executor.map(
                     sample_batch,
-                    [(run_once, chunk) for chunk in batched(seeds, size)]):
+                    [(run_once, chunk) for chunk in batched(seeds, size)],
+                    policy=fault_policy):
                 done += len(values)
                 heartbeat("smc.expected_value", done, total=runs)
                 samples.extend(v for v in values if not math.isnan(v))

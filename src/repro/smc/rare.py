@@ -74,7 +74,8 @@ def splitting_batch(model, level_of, starts, seeds, target_level,
 def fixed_effort_splitting(network, level_of, max_level,
                            runs_per_stage=400, rng=None,
                            policy="max-delay", max_steps=100000,
-                           executor=None, batch_size=None):
+                           executor=None, batch_size=None,
+                           fault_policy=None):
     """Estimate ``P(eventually level_of(state) >= max_level)``.
 
     ``level_of(names, valuation, clocks) -> int`` is the importance
@@ -130,7 +131,8 @@ def fixed_effort_splitting(network, level_of, max_level,
                           max_steps)
                          for s, z in zip(batched(starts, size),
                                          batched(seeds, size))]
-                for reached_batch in executor.map(splitting_batch, tasks):
+                for reached_batch in executor.map(splitting_batch, tasks,
+                                                  policy=fault_policy):
                     for reached in reached_batch:
                         total_runs += 1
                         if reached is not None:

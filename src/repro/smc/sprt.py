@@ -52,7 +52,8 @@ def _record_verdict(result):
 
 
 def sprt(run_once, theta, indifference=0.01, alpha=0.05, beta=0.05,
-         rng=None, max_runs=1000000, executor=None, batch_size=None):
+         rng=None, max_runs=1000000, executor=None, batch_size=None,
+         fault_policy=None):
     """Sequentially test H1: p >= theta + delta vs H0: p <= theta - delta.
 
     ``alpha`` bounds the probability of accepting H1 when H0 holds,
@@ -66,7 +67,10 @@ def sprt(run_once, theta, indifference=0.01, alpha=0.05, beta=0.05,
     The verdict, run count, and success count are bit-identical to the
     serial seeded walk for any worker count and chunk size (a few
     in-flight chunks may be discarded unread on early stop).
-    ``run_once`` must then be picklable.
+    ``run_once`` must then be picklable.  ``fault_policy`` (a
+    :class:`~repro.runtime.FaultPolicy`) lets the dispatch survive
+    crashed / raising / hung workers by replaying the failed chunks
+    from their seeds — the verdict stays bit-identical.
     """
     p0 = theta - indifference
     p1 = theta + indifference
@@ -111,7 +115,7 @@ def sprt(run_once, theta, indifference=0.01, alpha=0.05, beta=0.05,
             dispatched += size
 
     run = 0
-    results = executor.imap(run_batch, tasks())
+    results = executor.imap(run_batch, tasks(), policy=fault_policy)
     try:
         with span("smc.sprt", theta=theta):
             for outcomes in results:

@@ -1,0 +1,338 @@
+"""Fault-tolerance tests (:mod:`repro.runtime.faults`).
+
+The load-bearing property mirrors the runtime suite's: because tasks
+are pure functions of their spawn-keyed seed chunks, a campaign that
+loses workers, suffers raising tasks, or hangs past its timeout must —
+after recovery — produce **bit-identical estimates and identical
+logical metric totals** to a fault-free serial run.
+
+The process-pool tests honour ``REPRO_MP_START`` (``fork`` / ``spawn``)
+so CI can exercise both multiprocessing start methods; spawn is the
+one that catches pickling bugs in the fault machinery itself.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core import AnalysisError, TaskError
+from repro.obs.metrics import Collector, collecting
+from repro.runtime import (
+    Checkpoint,
+    FaultInjector,
+    FaultPolicy,
+    InjectedFault,
+    ParallelExecutor,
+    SerialExecutor,
+    task_seed,
+)
+from repro.smc import estimate_mean, estimate_probability, sprt
+
+MP_START = os.environ.get("REPRO_MP_START") or None
+
+
+@pytest.fixture(scope="module")
+def pool2():
+    with ParallelExecutor(workers=2, mp_context=MP_START) as executor:
+        yield executor
+
+
+# Module-level run closures (picklable).
+
+def biased_coin(rng):
+    return rng.random() < 0.3
+
+
+def uniform_sample(rng):
+    return rng.uniform(0.0, 10.0)
+
+
+def snapshot_probability(executor, fault_policy=None, checkpoint=None,
+                         runs=200):
+    collector = Collector("campaign")
+    with collecting(collector):
+        estimate = estimate_probability(
+            biased_coin, runs=runs, rng=13, executor=executor,
+            batch_size=10, fault_policy=fault_policy,
+            checkpoint=checkpoint)
+    return estimate, collector.snapshot()["counters"]
+
+
+def logical(counters):
+    return {key: value for key, value in counters.items()
+            if key.startswith("smc.")}
+
+
+class TestFaultPolicy:
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            FaultPolicy(max_retries=-1)
+        with pytest.raises(AnalysisError):
+            FaultPolicy(on_exhausted="explode")
+        with pytest.raises(AnalysisError):
+            FaultPolicy(timeout=0)
+
+    def test_delay_is_deterministic_and_backs_off(self):
+        policy = FaultPolicy(backoff=0.1, backoff_factor=2.0, jitter=0.5)
+        first = [policy.delay(attempt, seed=99) for attempt in range(3)]
+        again = [policy.delay(attempt, seed=99) for attempt in range(3)]
+        assert first == again
+        # Exponential growth survives the bounded jitter.
+        assert first[1] > first[0] and first[2] > first[1]
+        bare = FaultPolicy(backoff=0.1, backoff_factor=2.0, jitter=0.0)
+        assert [bare.delay(a, seed=1) for a in range(3)] == \
+            [0.1, 0.2, 0.4]
+
+    def test_task_seed_finds_seed_chunk(self):
+        assert task_seed((biased_coin, [17, 18, 19])) == 17
+        assert task_seed(("model", (), [5])) == 5
+        assert task_seed(("no", "seeds", ())) is None
+
+    def test_injector_fires_on_first_attempt_only(self):
+        injector = FaultInjector(raises={2})
+        with pytest.raises(InjectedFault):
+            injector(2, 0, in_worker=False)
+        injector(2, 1, in_worker=False)  # replay: no fire
+        injector(3, 0, in_worker=False)  # other index: no fire
+
+
+class TestSerialRecovery:
+    def test_retry_recovers_injected_raise(self):
+        policy = FaultPolicy(max_retries=2, backoff=0.0,
+                             injector=FaultInjector(raises={3, 5}))
+        reference, _ = snapshot_probability(SerialExecutor())
+        estimate, counters = snapshot_probability(SerialExecutor(),
+                                                  fault_policy=policy)
+        assert (estimate.successes, estimate.runs) == \
+            (reference.successes, reference.runs)
+        assert counters["runtime.retries"] == 2
+
+    def test_serial_kill_injection_surfaces_as_fault(self):
+        # No worker to kill: the injector raises instead, and the
+        # policy recovers it like any task fault.
+        policy = FaultPolicy(max_retries=1, backoff=0.0,
+                             injector=FaultInjector(kill={2}))
+        reference, _ = snapshot_probability(SerialExecutor())
+        estimate, _ = snapshot_probability(SerialExecutor(),
+                                           fault_policy=policy)
+        assert estimate.successes == reference.successes
+
+    def test_exhausted_fail_raises_task_error(self):
+        def always_raise(rng):
+            raise ValueError("boom")
+
+        policy = FaultPolicy(max_retries=1, backoff=0.0)
+        with pytest.raises(TaskError) as excinfo:
+            list(SerialExecutor().imap(
+                lambda seed: always_raise(seed), [(1,)], policy=policy))
+        assert excinfo.value.index == 0
+
+    def test_exhausted_skip_drops_task(self):
+        policy = FaultPolicy(max_retries=0, backoff=0.0,
+                             on_exhausted="skip",
+                             injector=FaultInjector(raises={1}))
+        collector = Collector("skip")
+
+        def identity(value):
+            return value
+
+        with collecting(collector):
+            results = list(SerialExecutor().imap(
+                identity, [(0,), (1,), (2,)], policy=policy))
+        # Injections fire on attempt 0 only, and skip means the task's
+        # result is simply absent.
+        assert results == [0, 2]
+        assert collector.snapshot()["counters"]["runtime.skipped"] == 1
+
+    def test_exhausted_degrade_runs_one_clean_attempt(self):
+        policy = FaultPolicy(max_retries=0, backoff=0.0,
+                             on_exhausted="degrade-to-serial",
+                             injector=FaultInjector(raises={1}))
+        collector = Collector("degrade")
+
+        def identity(value):
+            return value
+
+        with collecting(collector):
+            results = list(SerialExecutor().imap(
+                identity, [(0,), (1,), (2,)], policy=policy))
+        assert results == [0, 1, 2]
+        assert collector.snapshot()["counters"]["runtime.degraded"] == 1
+
+
+class TestParallelRecovery:
+    def test_kill_and_raise_equivalence(self, pool2):
+        """The acceptance scenario: a worker killed mid-campaign plus
+        two raising tasks must not change the estimate or any logical
+        metric total relative to a fault-free serial run."""
+        reference, ref_counters = snapshot_probability(SerialExecutor())
+        policy = FaultPolicy(
+            max_retries=3, backoff=0.01,
+            injector=FaultInjector(kill={1}, raises={3, 5}))
+        estimate, counters = snapshot_probability(pool2,
+                                                  fault_policy=policy)
+        assert (estimate.successes, estimate.runs, estimate.low,
+                estimate.high) == (reference.successes, reference.runs,
+                                   reference.low, reference.high)
+        assert logical(counters) == logical(ref_counters)
+        assert counters["runtime.tasks"] == ref_counters["runtime.tasks"]
+        assert counters["runtime.pool_rebuilds"] >= 1
+        assert counters["runtime.retries"] >= 1
+
+    def test_hang_recovery_by_timeout(self, pool2):
+        reference, _ = snapshot_probability(SerialExecutor(), runs=100)
+        policy = FaultPolicy(
+            timeout=2.0, max_retries=2, backoff=0.01,
+            injector=FaultInjector(hang={2}, hang_seconds=30.0))
+        estimate, counters = snapshot_probability(pool2,
+                                                  fault_policy=policy,
+                                                  runs=100)
+        assert (estimate.successes, estimate.runs) == \
+            (reference.successes, reference.runs)
+        assert counters["runtime.timeouts"] >= 1
+        assert counters["runtime.pool_rebuilds"] >= 1
+
+    def test_replay_preserves_estimate_without_collector(self, pool2):
+        # Fault recovery must not depend on the observability layer.
+        reference = estimate_probability(biased_coin, runs=200, rng=13,
+                                         executor=SerialExecutor(),
+                                         batch_size=10)
+        policy = FaultPolicy(max_retries=2, backoff=0.01,
+                             injector=FaultInjector(raises={4}))
+        estimate = estimate_probability(biased_coin, runs=200, rng=13,
+                                        executor=pool2, batch_size=10,
+                                        fault_policy=policy)
+        assert (estimate.successes, estimate.runs) == \
+            (reference.successes, reference.runs)
+
+    def test_exhausted_fail_carries_index_and_seed(self, pool2):
+        policy = FaultPolicy(max_retries=0, backoff=0.0,
+                             injector=FaultInjector(raises={2}))
+
+        def consume():
+            return snapshot_probability(pool2, fault_policy=policy)
+
+        with pytest.raises(TaskError) as excinfo:
+            consume()
+        # The retry loop replays the injected index once (attempt 1
+        # does not re-fire), so exhaustion at max_retries=0 blames the
+        # injected task.
+        assert excinfo.value.index == 2
+        assert excinfo.value.seed is not None
+
+    def test_degrade_to_serial_in_pool(self, pool2):
+        reference, ref_counters = snapshot_probability(SerialExecutor())
+        policy = FaultPolicy(max_retries=0, backoff=0.0,
+                             on_exhausted="degrade-to-serial",
+                             injector=FaultInjector(raises={2}))
+        estimate, counters = snapshot_probability(pool2,
+                                                  fault_policy=policy)
+        assert (estimate.successes, estimate.runs) == \
+            (reference.successes, reference.runs)
+        assert logical(counters) == logical(ref_counters)
+        assert counters["runtime.degraded"] == 1
+
+    def test_sprt_with_faults_matches_verdict(self, pool2):
+        policy = FaultPolicy(max_retries=2, backoff=0.01,
+                             injector=FaultInjector(raises={1}))
+        reference = sprt(biased_coin, theta=0.5, rng=7,
+                         executor=SerialExecutor(), batch_size=16)
+        verdict = sprt(biased_coin, theta=0.5, rng=7, executor=pool2,
+                       batch_size=16, fault_policy=policy)
+        assert bool(verdict) == bool(reference) is False
+
+
+class TestCheckpoint:
+    def fingerprinted(self, path, every=2):
+        return Checkpoint(path, every=every)
+
+    def test_resume_is_bit_identical(self, pool2, tmp_path):
+        path = str(tmp_path / "campaign.json")
+        reference, ref_counters = snapshot_probability(SerialExecutor())
+        # First attempt dies mid-campaign under a fail-fast policy.
+        policy = FaultPolicy(max_retries=0, backoff=0.0,
+                             injector=FaultInjector(raises={12}))
+        with pytest.raises(TaskError):
+            snapshot_probability(pool2, fault_policy=policy,
+                                 checkpoint=self.fingerprinted(path))
+        saved = json.loads(open(path).read())
+        assert 0 < saved["state"]["batch"] < 20
+        # Resume: finishes the remaining batches and matches serial —
+        # estimate and logical totals both.
+        estimate, counters = snapshot_probability(
+            pool2, checkpoint=self.fingerprinted(path))
+        assert (estimate.successes, estimate.runs, estimate.low,
+                estimate.high) == (reference.successes, reference.runs,
+                                   reference.low, reference.high)
+        assert logical(counters) == logical(ref_counters)
+        assert not os.path.exists(path), "cleared on completion"
+
+    def test_mean_resume_matches_samples(self, pool2, tmp_path):
+        path = str(tmp_path / "mean.json")
+        reference = estimate_mean(uniform_sample, runs=120, rng=7,
+                                  executor=SerialExecutor(),
+                                  batch_size=10)
+        policy = FaultPolicy(max_retries=0, backoff=0.0,
+                             injector=FaultInjector(raises={7}))
+        with pytest.raises(TaskError):
+            estimate_mean(uniform_sample, runs=120, rng=7,
+                          executor=pool2, batch_size=10,
+                          fault_policy=policy,
+                          checkpoint=Checkpoint(path, every=1))
+        resumed = estimate_mean(uniform_sample, runs=120, rng=7,
+                                executor=pool2, batch_size=10,
+                                checkpoint=Checkpoint(path, every=1))
+        assert resumed.samples == reference.samples
+
+    def test_fingerprint_mismatch_restarts(self, pool2, tmp_path):
+        path = str(tmp_path / "stale.json")
+        policy = FaultPolicy(max_retries=0, backoff=0.0,
+                             injector=FaultInjector(raises={5}))
+        with pytest.raises(TaskError):
+            snapshot_probability(pool2, fault_policy=policy,
+                                 checkpoint=Checkpoint(path, every=1))
+        # Different campaign parameters: the stale checkpoint must be
+        # ignored, not half-applied.
+        reference = estimate_probability(biased_coin, runs=200, rng=99,
+                                         executor=SerialExecutor(),
+                                         batch_size=10)
+        estimate = estimate_probability(biased_coin, runs=200, rng=99,
+                                        executor=pool2, batch_size=10,
+                                        checkpoint=Checkpoint(path,
+                                                              every=1))
+        assert estimate.successes == reference.successes
+
+    def test_corrupt_checkpoint_is_ignored(self, tmp_path):
+        path = str(tmp_path / "corrupt.json")
+        with open(path, "w") as handle:
+            handle.write("{not json")
+        assert Checkpoint(path).load({"kind": "x"}) is None
+        with open(path, "w") as handle:
+            json.dump({"schema": "other/1"}, handle)
+        assert Checkpoint(path).load({"kind": "x"}) is None
+
+    def test_save_load_clear_roundtrip(self, tmp_path):
+        path = str(tmp_path / "roundtrip.json")
+        checkpoint = Checkpoint(path, every=3)
+        assert [checkpoint.due(n) for n in (1, 2, 3, 4, 6)] == \
+            [False, False, True, False, True]
+        fingerprint = {"kind": "test", "runs": 10}
+        checkpoint.save(fingerprint, {"batch": 4},
+                        metrics={"counters": {"smc.runs": 40}})
+        loaded = checkpoint.load(fingerprint)
+        assert loaded["state"] == {"batch": 4}
+        assert loaded["metrics"]["counters"]["smc.runs"] == 40
+        assert checkpoint.load({"kind": "other"}) is None
+        checkpoint.clear()
+        checkpoint.clear()  # idempotent
+        assert not os.path.exists(path)
+
+    def test_checkpoint_requires_executor(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            estimate_probability(biased_coin, runs=10, rng=1,
+                                 checkpoint=Checkpoint(
+                                     str(tmp_path / "x.json")))
+        with pytest.raises(AnalysisError):
+            estimate_probability(biased_coin, runs=10, rng=1,
+                                 fault_policy=FaultPolicy())

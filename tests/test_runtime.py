@@ -305,3 +305,46 @@ class TestSplittingEquivalence:
 def retransmission_level(_names, valuation, _clocks):
     """BRP importance function: the retransmission counter."""
     return min(valuation.get("rc", 0), 1)
+
+
+def double(value):
+    return 2 * value
+
+
+class TestExecutorEdgePaths:
+    def test_close_is_idempotent(self):
+        executor = ParallelExecutor(workers=2)
+        assert list(executor.map(double, [(i,) for i in range(4)])) == \
+            [0, 2, 4, 6]
+        executor.close()
+        executor.close()
+        # A closed executor lazily rebuilds its pool on next use.
+        assert list(executor.map(double, [(5,)])) == [10]
+        executor.close()
+
+    def test_generator_close_mid_stream(self, pool2):
+        results = pool2.imap(double, [(i,) for i in range(50)])
+        assert next(results) == 0
+        assert next(results) == 2
+        results.close()
+        # The executor survives an abandoned stream: in-flight futures
+        # are drained, not leaked, and the pool stays usable.
+        assert list(pool2.map(double, [(7,)])) == [14]
+
+    def test_inflight_one(self):
+        with ParallelExecutor(workers=2, inflight=1) as executor:
+            assert list(executor.imap(double, [(i,) for i in range(6)])) \
+                == [0, 2, 4, 6, 8, 10]
+
+    def test_zero_tasks(self, pool2):
+        assert list(pool2.imap(double, [])) == []
+        assert list(SerialExecutor().imap(double, [])) == []
+
+    def test_parallel_without_collector(self, pool2):
+        # No active collector: results flow through the unwrapped fast
+        # path (no metrics, no worker-side wrapping).
+        from repro.obs.metrics import active
+
+        assert active() is None
+        assert list(pool2.map(double, [(i,) for i in range(8)])) == \
+            [2 * i for i in range(8)]
