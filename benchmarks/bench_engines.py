@@ -12,6 +12,14 @@ observability layer and writes a ``repro.obs``-schema report (the CI
 engine-metrics artifact)::
 
     python benchmarks/bench_engines.py --quick --json out.json
+
+``--profile`` additionally runs the workload under the sampling
+profiler (attaching the collapsed-stack profile to the report, and —
+in ``--explore`` mode — asserting the ≤ 5 % overhead bound CI relies
+on), ``--flame PATH`` exports the flamegraph-ready collapsed stacks,
+and ``--runstore PATH`` records the report into the persistent
+``repro.runs/1`` history that ``python -m repro.obs.report diff``
+and ``check_regression.py`` attribute regressions from.
 """
 
 import time
@@ -282,13 +290,49 @@ def test_bip_priority_ablation(benchmark, with_priorities):
         assert blocked == 0
 
 
+#: The CI-asserted bound on the sampling profiler's measured duty
+#: cycle (seconds spent unwinding stacks / profiled wall seconds).
+MAX_PROFILE_OVERHEAD = 0.05
+
+
+def _finish(report, args, default_label):
+    """Shared tail of every standalone mode: print, write the JSON
+    artifact (atomically), export the flamegraph, record the run."""
+    import os
+
+    report.print()
+    label = default_label
+    if args.json_path:
+        report.write(args.json_path)
+        print(f"wrote {args.json_path}")
+        label = os.path.basename(args.json_path)
+    if args.flame and report.profile is not None:
+        profile = report.profile
+        collapsed = profile.profile.to_collapsed() \
+            if hasattr(profile, "profile") else profile.to_collapsed()
+        with open(args.flame, "w", encoding="utf-8") as handle:
+            handle.write(collapsed + "\n")
+        print(f"wrote {args.flame} (collapsed stacks; feed to "
+              f"flamegraph.pl or speedscope)")
+    if args.runstore:
+        from repro.obs.runstore import RunStore
+
+        record = RunStore(args.runstore).append(report, label)
+        print(f"recorded {record['run_id']} "
+              f"(fingerprint {record['fingerprint']}, "
+              f"git {str(record['git_sha'])[:10]}) -> {args.runstore}")
+    return 0
+
+
 def main(argv=None):
     """Standalone mode: one observed representative workload per engine,
     reported as tables and (optionally) a schema-versioned JSON file."""
     import argparse
+    import contextlib
 
     from repro.models.traingate import cross_predicate
     from repro.obs.metrics import Collector, collecting
+    from repro.obs.profiler import Profiler, profiling
     from repro.obs.report import Report
     from repro.obs.trace import Tracer, span, tracing
     from repro.smc import probability_estimate
@@ -309,48 +353,75 @@ def main(argv=None):
                         help="run the probabilistic-pipeline old-vs-new "
                              "benchmark (BRP digital MDP build + check) "
                              "instead of the per-engine workloads")
+    parser.add_argument("--profile", action="store_true",
+                        help="sample the workload under the statistical "
+                             "profiler and attach the profile")
+    parser.add_argument("--profile-hz", type=float, default=None,
+                        help="sampling rate (default: the profiler's "
+                             "DEFAULT_HZ)")
+    parser.add_argument("--flame", default=None, metavar="PATH",
+                        help="write flamegraph-ready collapsed stacks "
+                             "(implies --profile)")
+    parser.add_argument("--runstore", default=None, metavar="PATH",
+                        help="append the report to this repro.runs/1 "
+                             "JSONL run history")
     args = parser.parse_args(argv)
     smc_runs = 100 if args.quick else 738
+
+    profiler = None
+    if args.profile or args.flame or args.profile_hz is not None:
+        from repro.obs.profiler import DEFAULT_HZ
+
+        profiler = Profiler(hz=args.profile_hz if args.profile_hz
+                            is not None else DEFAULT_HZ)
+    scope = profiling(profiler=profiler) if profiler is not None \
+        else contextlib.nullcontext()
 
     if args.mdp:
         n_frames, max_retrans = (16, 2) if args.quick else (64, 5)
         collector = Collector("bench_mdp")
         tracer = Tracer()
-        with collecting(collector), tracing(tracer):
+        with collecting(collector), tracing(tracer), scope:
             # The acceptance bar: the memoised builder + sparse core
             # must be at least 2x the seed pipeline end-to-end.
             measurement = mdp_benchmark(n_frames, max_retrans,
                                         require_speedup=2.0)
-        report = Report(collector, tracer,
+        report = Report(collector, tracer, profile=profiler,
                         meta={"benchmark": "mdp-core", **measurement})
-        report.print()
-        if args.json_path:
-            report.write(args.json_path)
-            print(f"wrote {args.json_path}")
-        return 0
+        return _finish(report, args, "bench-mdp")
 
     if args.explore:
         n = args.fischer if args.fischer is not None \
             else (4 if args.quick else 5)
         collector = Collector("bench_explore")
         tracer = Tracer()
-        with collecting(collector), tracing(tracer):
+        with collecting(collector), tracing(tracer), scope:
             # The acceptance bar (>= 2x over the seed engine) is only
             # meaningful on instances large enough for the quadratic
             # terms to dominate.
             measurement = exploration_benchmark(
                 n, require_speedup=2.0 if n >= 5 else None)
-        report = Report(collector, tracer,
+        if profiler is not None:
+            # The profiler accounts its own duty cycle; the smoke job
+            # asserts the documented overhead bound on a real workload.
+            # Only the float lands in meta: run-varying ints would
+            # pollute the run store's workload fingerprint.
+            overhead = profiler.profile.overhead_ratio
+            measurement["profile_overhead"] = round(overhead, 6)
+            print(f"profiler overhead: {overhead:.2%} "
+                  f"({profiler.profile.samples} samples at "
+                  f"{profiler.hz:g} Hz)")
+            assert overhead <= MAX_PROFILE_OVERHEAD, (
+                f"sampling profiler consumed {overhead:.1%} of the "
+                f"exploration benchmark (bound "
+                f"{MAX_PROFILE_OVERHEAD:.0%})")
+        report = Report(collector, tracer, profile=profiler,
                         meta={"benchmark": "exploration", **measurement})
-        report.print()
-        if args.json_path:
-            report.write(args.json_path)
-            print(f"wrote {args.json_path}")
-        return 0
+        return _finish(report, args, "bench-explore")
 
     collector = Collector("bench_engines")
     tracer = Tracer()
-    with collecting(collector), tracing(tracer):
+    with collecting(collector), tracing(tracer), scope:
         with span("bench.mc"):
             network = make_traingate(2)
             verifier = Verifier(network)
@@ -369,15 +440,11 @@ def main(argv=None):
                                          counter_bound=4), rng=3)
             engine.run(max_steps=400)
 
-    report = Report(collector, tracer,
+    report = Report(collector, tracer, profile=profiler,
                     meta={"benchmark": "engines",
                           "quick": bool(args.quick),
                           "smc_runs": smc_runs})
-    report.print()
-    if args.json_path:
-        report.write(args.json_path)
-        print(f"wrote {args.json_path}")
-    return 0
+    return _finish(report, args, "bench-engines")
 
 
 if __name__ == "__main__":

@@ -24,7 +24,11 @@ Standalone use (CI uploads the JSON as a build artifact)::
 The JSON artifact follows the ``repro.obs`` report schema: timing rows
 live under ``meta.workloads`` and the engine counters gathered during
 the measured runs under ``metrics`` (gate it with
-``python -m repro.obs.report --check``).
+``python -m repro.obs.report --check``).  ``--profile`` samples the
+whole session under the statistical profiler — the parallel phases
+exercise the runtime's per-worker profile shipping on real workloads —
+and ``--runstore PATH`` appends the report to the persistent
+``repro.runs/1`` history used by ``python -m repro.obs.report diff``.
 """
 
 import os
@@ -125,12 +129,27 @@ def main(argv=None):
                         default=[2, 4], help="worker counts to measure")
     parser.add_argument("--json", dest="json_path", default=None,
                         help="write results as JSON to this path")
+    parser.add_argument("--profile", action="store_true",
+                        help="sample the session under the statistical "
+                             "profiler (workers ship their profiles "
+                             "home) and attach the merged profile")
+    parser.add_argument("--runstore", default=None, metavar="PATH",
+                        help="append the report to this repro.runs/1 "
+                             "JSONL run history")
     args = parser.parse_args(argv)
     runs = args.runs or (200 if args.quick else 2000)
 
+    import contextlib
+
+    from repro.obs.profiler import Profiler, profiling
+
+    profiler = Profiler() if args.profile else None
+    scope = profiling(profiler=profiler) if profiler is not None \
+        else contextlib.nullcontext()
+
     collector = Collector("bench_parallel_smc")
     workloads = {}
-    with collecting(collector):
+    with collecting(collector), scope:
         for name, run in sorted(WORKLOADS.items()):
             rows = measure(run, args.workers, runs)
             workloads[name] = rows
@@ -141,14 +160,24 @@ def main(argv=None):
                 table.add_row(label, round(row["seconds"], 3),
                               round(row["speedup"], 2))
             table.print()
+    if profiler is not None:
+        print(f"profiler overhead: {profiler.profile.overhead_ratio:.2%} "
+              f"({profiler.profile.samples} samples, workers included)")
 
+    report = Report(collector, profile=profiler,
+                    meta={"benchmark": "parallel-smc", "runs": runs,
+                          "cpus": os.cpu_count(),
+                          "workloads": workloads})
+    label = "bench-parallel-smc"
     if args.json_path:
-        report = Report(collector,
-                        meta={"benchmark": "parallel-smc", "runs": runs,
-                              "cpus": os.cpu_count(),
-                              "workloads": workloads})
         report.write(args.json_path)
         print(f"wrote {args.json_path}")
+        label = os.path.basename(args.json_path)
+    if args.runstore:
+        from repro.obs.runstore import RunStore
+
+        record = RunStore(args.runstore).append(report, label)
+        print(f"recorded {record['run_id']} -> {args.runstore}")
 
 
 if __name__ == "__main__":

@@ -42,6 +42,7 @@ import argparse
 import json
 import os
 import sys
+import time
 
 BASELINE_SCHEMA = "repro.bench-baseline/1"
 DEFAULT_BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
@@ -55,6 +56,7 @@ def metric_view(report):
     metrics = report.get("metrics", {})
     return {"counters": metrics.get("counters", {}),
             "gauges": metrics.get("gauges", {}),
+            "max_gauges": metrics.get("max_gauges", {}),
             "histograms": metrics.get("histograms", {}),
             "meta": report.get("meta", {})}
 
@@ -127,7 +129,8 @@ def check_artifact(name, specs, report):
 
 
 def update_baseline(baseline, reports):
-    """Refresh expected values in place, keeping each spec's shape."""
+    """Refresh expected values in place, keeping each spec's shape, and
+    stamp provenance (git SHA + date) into the baseline's ``meta``."""
     for name, report in reports.items():
         specs = baseline["artifacts"].get(name)
         if specs is None:
@@ -138,7 +141,49 @@ def update_baseline(baseline, reports):
             if actual is None or "min" in spec:
                 continue
             spec["value"] = actual
+    baseline["meta"] = {"git_sha": _git_sha(),
+                        "updated": time.strftime("%Y-%m-%d")}
     return baseline
+
+
+def _git_sha():
+    """The checkout's HEAD SHA, or None outside a git worktree (this
+    script stays standalone, so no repro.obs import here)."""
+    import subprocess
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    return out.stdout.strip() if out.returncode == 0 else None
+
+
+def print_attribution(store_path, labels):
+    """Best-effort regression attribution from the run history: for
+    each failing artifact, diff its two most recent recorded runs."""
+    try:
+        from repro.obs.diff import attribution_for_store
+        from repro.obs.runstore import RunStore
+    except ImportError as exc:
+        print(f"(no attribution: repro.obs not importable — {exc}; "
+              f"run with PYTHONPATH=src)", file=sys.stderr)
+        return
+    if not os.path.exists(store_path):
+        print(f"(no attribution: run store {store_path} not found)",
+              file=sys.stderr)
+        return
+    store = RunStore(store_path)
+    for label in sorted(labels):
+        text = attribution_for_store(store, label)
+        if text is None:
+            print(f"(no attribution for {label}: fewer than two runs "
+                  f"recorded in {store_path})", file=sys.stderr)
+            continue
+        print(f"\nattribution for {label} (last two recorded runs):",
+              file=sys.stderr)
+        print(text, file=sys.stderr)
 
 
 def main(argv=None):
@@ -154,6 +199,10 @@ def main(argv=None):
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline's expected values "
                              "from these artifacts instead of checking")
+    parser.add_argument("--runstore", default=None, metavar="PATH",
+                        help="repro.runs/1 run history; on gate failure "
+                             "print per-artifact regression attribution "
+                             "from the last two recorded runs")
     args = parser.parse_args(argv)
 
     with open(args.baseline) as handle:
@@ -178,6 +227,7 @@ def main(argv=None):
 
     errors = []
     checked = 0
+    failing = set()
     for name, report in sorted(reports.items()):
         specs = baseline["artifacts"].get(name)
         if specs is None:
@@ -185,7 +235,10 @@ def main(argv=None):
                           f"{args.baseline}")
             continue
         checked += len(specs)
-        errors.extend(check_artifact(name, specs, metric_view(report)))
+        problems = check_artifact(name, specs, metric_view(report))
+        if problems:
+            failing.add(name)
+        errors.extend(problems)
     for name in baseline["artifacts"]:
         if name not in reports:
             errors.append(f"{name}: in the baseline but not among the "
@@ -198,6 +251,8 @@ def main(argv=None):
         print("(intentional change? re-baseline per the module "
               "docstring of benchmarks/check_regression.py)",
               file=sys.stderr)
+        if args.runstore and failing:
+            print_attribution(args.runstore, failing)
         return 1
     print(f"benchmark regression gate passed: {checked} metrics across "
           f"{len(reports)} artifacts within baseline")

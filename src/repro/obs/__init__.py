@@ -9,12 +9,24 @@ One layer across every analysis engine (``mc``, ``smc``, ``pta``,
   Chrome trace-event format;
 * :mod:`repro.obs.progress` — opt-in heartbeats (runs completed, states
   explored, ETA) for long analyses;
+* :mod:`repro.obs.profiler` — a zero-dependency statistical sampling
+  profiler producing mergeable collapsed-stack profiles (flamegraph /
+  top-N-hotspot export), shipped home per worker by the parallel
+  runtime exactly like collector snapshots;
+* :mod:`repro.obs.resources` — peak-RSS / heap / GC readings recorded
+  as max-merge gauges;
+* :mod:`repro.obs.runstore` — the persistent, append-only
+  ``repro.runs/1`` JSONL run history (fingerprint-keyed, git SHA +
+  timestamp per record);
+* :mod:`repro.obs.diff` — run-to-run comparison with hot-function
+  regression attribution (``python -m repro.obs.report diff A B``);
 * :mod:`repro.obs.report` — summary tables plus the schema-versioned
   JSON CI artifact (imported on demand: it pulls engine modules for its
   demo session).
 
 Everything is **off by default** and costs one context-variable lookup
-per engine-boundary event when off; see ``docs/OBSERVABILITY.md``.
+per engine-boundary event when off; see ``docs/OBSERVABILITY.md`` and
+``docs/PROFILING.md``.
 """
 
 from .metrics import (
@@ -22,19 +34,33 @@ from .metrics import (
     Counter,
     Gauge,
     Histogram,
+    MaxGauge,
     active,
     collecting,
     incr,
     observe,
     set_gauge,
+    set_max,
     timed,
 )
+from .profiler import (
+    Profile,
+    Profiler,
+    active_profiler,
+    profile_record,
+    profiling,
+)
 from .progress import ProgressEvent, heartbeat, progress
+from .runstore import RunStore
 from .trace import NULL_SPAN, Span, Tracer, active_tracer, span, tracing
 
 __all__ = [
-    "Collector", "Counter", "Gauge", "Histogram",
-    "active", "collecting", "incr", "observe", "set_gauge", "timed",
+    "Collector", "Counter", "Gauge", "Histogram", "MaxGauge",
+    "active", "collecting", "incr", "observe", "set_gauge", "set_max",
+    "timed",
+    "Profile", "Profiler", "active_profiler", "profile_record",
+    "profiling",
     "ProgressEvent", "heartbeat", "progress",
+    "RunStore",
     "NULL_SPAN", "Span", "Tracer", "active_tracer", "span", "tracing",
 ]

@@ -1,0 +1,204 @@
+"""Run-to-run comparison with regression attribution.
+
+``check_regression.py`` can flag *that* ``meta.core_seconds`` grew 40 %;
+this module explains *why*: it diffs two ``repro.obs/1`` reports
+counter-by-counter and span-by-span, and — when both carry a sampling
+profile (:mod:`repro.obs.profiler`) — ranks the functions whose
+self-time share grew, which is the attribution the CI gate prints on
+failure instead of a bare delta:
+
+    python -m repro.obs.report diff engine_metrics.json#2 \\
+        engine_metrics.json#5 --runstore bench_runs.jsonl
+
+The three sections:
+
+* **counters / gauges / max gauges** — per-metric ``A``, ``B``,
+  absolute delta, and relative drift; metrics present on one side only
+  are reported as added/removed (an engine that suddenly stops
+  reporting a counter is itself a finding);
+* **spans** — the trace forests are flattened to ``parent/child``
+  paths, durations summed per path, and compared — the phase-level view
+  of where wall time moved;
+* **profile** — per-function *self-time fractions* from the collapsed
+  stacks, ranked by growth.  Fractions (not raw sample counts) make two
+  runs with different sample totals comparable.
+"""
+
+from __future__ import annotations
+
+from .profiler import hotspots_from_stacks
+
+
+def _relative(a, b):
+    """Relative drift of b vs a, or ``None`` when a is 0."""
+    if not isinstance(a, (int, float)) or not isinstance(b, (int, float)):
+        return None
+    if a == 0:
+        return None
+    return (b - a) / abs(a)
+
+
+def diff_metrics(a, b):
+    """Rows ``(name, a, b, delta, drift)`` over the union of two metric
+    mappings, sorted by name; missing sides are ``None``."""
+    rows = []
+    for name in sorted(set(a) | set(b)):
+        va, vb = a.get(name), b.get(name)
+        delta = vb - va if va is not None and vb is not None else None
+        rows.append((name, va, vb, delta, _relative(va, vb)))
+    return rows
+
+
+def flatten_spans(trace, prefix="", into=None):
+    """Aggregate a report's nested ``trace`` forest into
+    ``path -> {"duration": seconds, "count": n}`` with ``/``-joined
+    span paths; repeated paths sum."""
+    if into is None:
+        into = {}
+    for node in trace or []:
+        path = f"{prefix}/{node['name']}" if prefix else node["name"]
+        entry = into.setdefault(path, {"duration": 0.0, "count": 0})
+        entry["duration"] += node.get("duration", 0.0)
+        entry["count"] += 1
+        flatten_spans(node.get("children"), path, into)
+    return into
+
+
+def diff_spans(a, b):
+    """Rows ``(path, a_seconds, b_seconds, delta)`` over the union of
+    two flattened span forests, sorted by |delta| descending."""
+    spans_a, spans_b = flatten_spans(a), flatten_spans(b)
+    rows = []
+    for path in sorted(set(spans_a) | set(spans_b)):
+        da = spans_a.get(path, {}).get("duration")
+        db = spans_b.get(path, {}).get("duration")
+        delta = db - da if da is not None and db is not None else None
+        rows.append((path, da, db, delta))
+    rows.sort(key=lambda r: -(abs(r[3]) if r[3] is not None else
+                              float("inf")))
+    return rows
+
+
+def attribute_regression(profile_a, profile_b, top=10):
+    """Rank functions by growth of their self-time *fraction* between
+    two profile snapshots (:meth:`repro.obs.profiler.Profile.to_dict`).
+
+    Returns rows of ``{"function", "a_fraction", "b_fraction",
+    "delta_fraction", "delta_seconds"}`` sorted by fraction growth
+    (descending) — the functions a regression is attributed to.
+    ``delta_seconds`` scales each side's fraction by its own profiled
+    wall time, so it estimates real seconds gained per function.
+    """
+    hot_a = {row["function"]: row for row in hotspots_from_stacks(
+        profile_a.get("stacks", {}),
+        wall_seconds=profile_a.get("wall_seconds", 0.0))}
+    hot_b = {row["function"]: row for row in hotspots_from_stacks(
+        profile_b.get("stacks", {}),
+        wall_seconds=profile_b.get("wall_seconds", 0.0))}
+    rows = []
+    for function in set(hot_a) | set(hot_b):
+        fa = hot_a.get(function, {}).get("self_fraction", 0.0)
+        fb = hot_b.get(function, {}).get("self_fraction", 0.0)
+        sa = hot_a.get(function, {}).get("self_seconds", 0.0)
+        sb = hot_b.get(function, {}).get("self_seconds", 0.0)
+        rows.append({"function": function,
+                     "a_fraction": fa, "b_fraction": fb,
+                     "delta_fraction": fb - fa,
+                     "delta_seconds": sb - sa})
+    rows.sort(key=lambda r: (-r["delta_fraction"], r["function"]))
+    return rows[:top]
+
+
+def diff_reports(a, b, top=10):
+    """The full three-section diff of two ``repro.obs/1`` report
+    dicts; the ``profile`` section is ``None`` unless both sides carry
+    one."""
+    metrics_a = a.get("metrics", {})
+    metrics_b = b.get("metrics", {})
+    out = {
+        "counters": diff_metrics(metrics_a.get("counters", {}),
+                                 metrics_b.get("counters", {})),
+        "gauges": diff_metrics(metrics_a.get("gauges", {}),
+                               metrics_b.get("gauges", {})),
+        "max_gauges": diff_metrics(metrics_a.get("max_gauges", {}),
+                                   metrics_b.get("max_gauges", {})),
+        "spans": diff_spans(a.get("trace"), b.get("trace")),
+        "profile": None,
+    }
+    if a.get("profile") and b.get("profile"):
+        out["profile"] = attribute_regression(a["profile"], b["profile"],
+                                              top=top)
+    return out
+
+
+# -- formatting ------------------------------------------------------------------
+
+def _fmt(value, digits=6):
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.{digits}g}"
+    return str(value)
+
+
+def format_diff(diff, label_a="A", label_b="B", changed_only=True):
+    """Render a :func:`diff_reports` result as the CLI's text report."""
+    from ..core.tables import ResultTable
+
+    lines = []
+    for section in ("counters", "gauges", "max_gauges"):
+        rows = diff[section]
+        if changed_only:
+            rows = [r for r in rows if r[3] != 0]
+        if not rows:
+            continue
+        table = ResultTable("metric", label_a, label_b, "delta", "drift",
+                            title=f"{section} ({label_a} -> {label_b})")
+        for name, va, vb, delta, drift in rows:
+            table.add_row(name, _fmt(va), _fmt(vb),
+                          _fmt(delta),
+                          "-" if drift is None else f"{drift:+.1%}")
+        lines.append(table.render())
+    span_rows = [r for r in diff["spans"]
+                 if not changed_only or r[3] is None or
+                 abs(r[3]) > 1e-9]
+    if span_rows:
+        table = ResultTable("span", f"{label_a} s", f"{label_b} s",
+                            "delta s",
+                            title=f"spans ({label_a} -> {label_b})")
+        for path, da, db, delta in span_rows:
+            table.add_row(path, _fmt(da, 4), _fmt(db, 4), _fmt(delta, 4))
+        lines.append(table.render())
+    if diff["profile"] is not None:
+        table = ResultTable("function", f"{label_a} self%",
+                            f"{label_b} self%", "delta%", "delta s",
+                            title="hot-function attribution "
+                                  "(self-time growth)")
+        for row in diff["profile"]:
+            table.add_row(row["function"],
+                          f"{row['a_fraction']:.1%}",
+                          f"{row['b_fraction']:.1%}",
+                          f"{row['delta_fraction']:+.1%}",
+                          f"{row['delta_seconds']:+.3f}")
+        lines.append(table.render())
+    if not lines:
+        return "no differences"
+    return "\n\n".join(lines)
+
+
+def attribution_for_store(store, label, top=10):
+    """The formatted diff of the last two recorded runs of ``label``
+    in ``store`` (a :class:`~repro.obs.runstore.RunStore`), or ``None``
+    when fewer than two runs are recorded — the hook
+    ``check_regression.py`` calls on a gate failure."""
+    pair = store.last(label=label, n=2)
+    if len(pair) < 2:
+        return None
+    older, newer = pair
+    header = (f"{older['run_id']} ({older.get('git_sha') or 'no git'})"
+              f" -> {newer['run_id']} "
+              f"({newer.get('git_sha') or 'no git'})")
+    body = format_diff(diff_reports(older["report"], newer["report"],
+                                    top=top),
+                       label_a=older["run_id"], label_b=newer["run_id"])
+    return f"{header}\n{body}"

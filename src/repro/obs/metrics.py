@@ -64,6 +64,25 @@ class Gauge:
         return f"Gauge({self.value})"
 
 
+class MaxGauge:
+    """A high-water-mark gauge: writes and merges keep the maximum.
+
+    Last-write-wins gauges are wrong for peak values (peak RSS, heap
+    high-water marks): merging worker snapshots in task order would
+    report whichever worker happened to finish last, not the process
+    that actually peaked.  Max gauges merge by ``max`` instead, so the
+    merged value is the true high-water mark across all workers.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value=0):
+        self.value = value
+
+    def __repr__(self):
+        return f"MaxGauge({self.value})"
+
+
 class Histogram:
     """Streaming summary of observed values: count / total / min / max.
 
@@ -109,6 +128,7 @@ class Collector:
         self._lock = threading.Lock()
         self._counters = {}
         self._gauges = {}
+        self._max_gauges = {}
         self._histograms = {}
 
     # -- recording -------------------------------------------------------------
@@ -126,6 +146,16 @@ class Collector:
             if gauge is None:
                 gauge = self._gauges[name] = Gauge()
             gauge.value = value
+
+    def set_max(self, name, value):
+        """Record a high-water mark: keeps the maximum ever written
+        (and merges by maximum — use for peak RSS / heap values)."""
+        with self._lock:
+            gauge = self._max_gauges.get(name)
+            if gauge is None:
+                self._max_gauges[name] = MaxGauge(value)
+            elif value > gauge.value:
+                gauge.value = value
 
     def observe(self, name, value):
         with self._lock:
@@ -153,6 +183,8 @@ class Collector:
                 return self._counters[name].value
             if name in self._gauges:
                 return self._gauges[name].value
+            if name in self._max_gauges:
+                return self._max_gauges[name].value
             return default
 
     def counters(self):
@@ -166,6 +198,8 @@ class Collector:
                 "counters": {n: c.value
                              for n, c in self._counters.items()},
                 "gauges": {n: g.value for n, g in self._gauges.items()},
+                "max_gauges": {n: g.value
+                               for n, g in self._max_gauges.items()},
                 "histograms": {
                     n: {"count": h.count, "total": h.total,
                         "min": h.min if h.count else None,
@@ -177,11 +211,12 @@ class Collector:
 
     def merge(self, other):
         """Fold another collector (or a :meth:`snapshot` dict) into this
-        one: counters and histogram summaries add, gauges last-write.
+        one: counters and histogram summaries add, gauges last-write,
+        max gauges take the maximum.
 
-        Merging is commutative for counters and histograms; the parallel
-        runtime nevertheless merges in task order so gauge values are
-        deterministic too.
+        Merging is commutative for counters, histograms, and max gauges;
+        the parallel runtime nevertheless merges in task order so plain
+        gauge values are deterministic too.
         """
         snap = other.snapshot() if isinstance(other, Collector) else other
         with self._lock:
@@ -195,6 +230,12 @@ class Collector:
                 if gauge is None:
                     gauge = self._gauges[name] = Gauge()
                 gauge.value = value
+            for name, value in snap.get("max_gauges", {}).items():
+                gauge = self._max_gauges.get(name)
+                if gauge is None:
+                    self._max_gauges[name] = MaxGauge(value)
+                elif value > gauge.value:
+                    gauge.value = value
             for name, data in snap.get("histograms", {}).items():
                 histogram = self._histograms.get(name)
                 if histogram is None:
@@ -210,6 +251,7 @@ class Collector:
         with self._lock:
             self._counters.clear()
             self._gauges.clear()
+            self._max_gauges.clear()
             self._histograms.clear()
 
     def __repr__(self):
@@ -253,6 +295,14 @@ def set_gauge(name, value):
     col = _ACTIVE.get()
     if col is not None:
         col.set_gauge(name, value)
+
+
+def set_max(name, value):
+    """Record a high-water mark on the active collector (no-op when
+    off); max gauges keep — and merge by — the maximum."""
+    col = _ACTIVE.get()
+    if col is not None:
+        col.set_max(name, value)
 
 
 def observe(name, value):

@@ -15,14 +15,25 @@ scenario: a train-gate model-checking + SMC session)::
 
     PYTHONPATH=src python -m repro.obs.report --json obs_report.json
 
-or to gate CI artifacts::
+to gate CI artifacts (plain reports or ``repro.runs/1`` JSONL run
+stores)::
 
-    PYTHONPATH=src python -m repro.obs.report --check report1.json ...
+    PYTHONPATH=src python -m repro.obs.report --check report1.json \\
+        bench_runs.jsonl ...
+
+or to diff two recorded runs counter-by-counter, span-by-span, and —
+when both carry a sampling profile — with hot-function regression
+attribution (``A`` / ``B`` are report files, run ids, labels, or
+fingerprints in the ``--runstore``)::
+
+    PYTHONPATH=src python -m repro.obs.report diff A B \\
+        --runstore bench_runs.jsonl
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
 
 from ..core.tables import ResultTable
@@ -34,30 +45,67 @@ SCHEMA_VERSION = "repro.obs/1"
 
 
 class Report:
-    """Metrics (+ optional trace) packaged for humans and for CI."""
+    """Metrics (+ optional trace and profile) packaged for humans and
+    for CI.
 
-    def __init__(self, collector=None, tracer=None, meta=None):
+    Unless ``sample_resources`` is off, serialising the report first
+    samples the process's resource high-water marks
+    (:func:`repro.obs.resources.sample`) into the collector's max
+    gauges, so every report — and every run-store record — carries
+    peak-RSS / heap / GC columns.  ``profile`` may be a
+    :class:`~repro.obs.profiler.Profiler`, a
+    :class:`~repro.obs.profiler.Profile`, or a snapshot dict.
+    """
+
+    def __init__(self, collector=None, tracer=None, meta=None,
+                 profile=None, sample_resources=True):
         self.collector = collector if collector is not None else Collector()
         self.tracer = tracer
+        self.profile = profile
+        self.sample_resources = sample_resources
         self.meta = dict(meta) if meta else {}
 
     # -- JSON ------------------------------------------------------------------
 
+    def profile_dict(self):
+        """The attached profile as a snapshot dict, or ``None``."""
+        profile = self.profile
+        if profile is None:
+            return None
+        if hasattr(profile, "profile"):       # a Profiler
+            profile = profile.profile
+        if hasattr(profile, "to_dict"):       # a Profile
+            return profile.to_dict()
+        return dict(profile)                  # already a snapshot
+
     def to_dict(self):
+        if self.sample_resources:
+            from .resources import sample
+            sample(self.collector)
         data = {
             "schema": SCHEMA_VERSION,
             "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
             "meta": dict(self.meta),
             "metrics": self.collector.snapshot(),
         }
+        profile = self.profile_dict()
+        if profile is not None:
+            data["profile"] = profile
         if self.tracer is not None:
             data["trace"] = self.tracer.to_dict()
             data["chrome_trace"] = self.tracer.to_chrome_trace()
         return data
 
     def write(self, path):
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(self.to_dict(), handle, indent=2, default=repr)
+        """Write the JSON document atomically (temp file +
+        :func:`os.replace`, like :class:`~repro.runtime.Checkpoint`):
+        an interrupted run can never leave a truncated artifact for the
+        CI ``--check`` gate to choke on."""
+        payload = json.dumps(self.to_dict(), indent=2, default=repr)
+        tmp = f"{path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        os.replace(tmp, path)
         return path
 
     # -- tables ----------------------------------------------------------------
@@ -71,6 +119,9 @@ class Report:
             groups.setdefault(name.split(".", 1)[0], []).append(
                 (name, value))
         for name, value in sorted(snap["gauges"].items()):
+            groups.setdefault(name.split(".", 1)[0], []).append(
+                (name, value))
+        for name, value in sorted(snap.get("max_gauges", {}).items()):
             groups.setdefault(name.split(".", 1)[0], []).append(
                 (name, value))
         out = []
@@ -116,19 +167,57 @@ def validate(data):
     return data
 
 
+def _check_one(path):
+    """Validate one artifact: a ``repro.obs/1`` report, a single
+    ``repro.runs/1`` record, or a JSONL run store (every line must be a
+    valid run record wrapping a valid report).  Returns a short
+    description; raises :class:`ValueError` on any problem."""
+    from .runstore import SCHEMA_VERSION as RUNS_SCHEMA, validate_record
+
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError:
+        data = None
+    if isinstance(data, dict):
+        if data.get("schema") == RUNS_SCHEMA:
+            validate_record(data)
+            return "1 run record"
+        validate(data)
+        return "report"
+    # Not one JSON document: treat as a JSONL run store.
+    count = 0
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"line {lineno}: not JSON ({exc})") from exc
+        try:
+            validate_record(record)
+        except ValueError as exc:
+            raise ValueError(f"line {lineno}: {exc}") from exc
+        count += 1
+    if count == 0:
+        raise ValueError("neither a report nor a run store")
+    return f"{count} run records"
+
+
 def check_files(paths):
-    """Validate report files; returns the number of invalid ones and
-    prints a verdict per file (the CI schema gate)."""
+    """Validate report / run-store files; returns the number of invalid
+    ones and prints a verdict per file (the CI schema gate)."""
     failures = 0
     for path in paths:
         try:
-            with open(path, encoding="utf-8") as handle:
-                validate(json.load(handle))
-        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            kind = _check_one(path)
+        except (OSError, ValueError) as exc:
             print(f"FAIL {path}: {exc}")
             failures += 1
         else:
-            print(f"ok   {path}")
+            print(f"ok   {path} ({kind})")
     return failures
 
 
@@ -159,17 +248,88 @@ def demo_session(trains=3, runs=200, seed=42):
                         "trains": trains, "runs": runs, "seed": seed})
 
 
+def _resolve_run(key, store):
+    """Resolve a diff operand to ``(display_label, report_dict)``.
+
+    A path to a report or run-record file wins; otherwise the key is
+    looked up in ``store`` (run id, then latest label / fingerprint
+    match).  Raises :class:`ValueError` when nothing resolves.
+    """
+    from .runstore import SCHEMA_VERSION as RUNS_SCHEMA
+
+    if os.path.exists(key):
+        with open(key, encoding="utf-8") as handle:
+            data = json.load(handle)
+        if isinstance(data, dict) and data.get("schema") == RUNS_SCHEMA:
+            return data["run_id"], validate(data["report"])
+        return os.path.basename(key), validate(data)
+    if store is None:
+        raise ValueError(f"{key!r} is not a file and no --runstore was "
+                         f"given to look it up in")
+    record = store.find(key)
+    if record is None:
+        raise ValueError(f"no run matching {key!r} in {store.path}")
+    sha = record.get("git_sha")
+    label = record["run_id"] + (f" @ {sha[:10]}" if sha else "")
+    return label, record["report"]
+
+
+def diff_main(argv):
+    import argparse
+
+    from .diff import diff_reports, format_diff
+    from .runstore import RunStore
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report diff",
+        description="compare two recorded runs counter-by-counter and "
+                    "span-by-span, with hot-function regression "
+                    "attribution when both carry a profile")
+    parser.add_argument("run_a", help="report file, run id, label, or "
+                                      "fingerprint")
+    parser.add_argument("run_b", help="as run_a; the newer run")
+    parser.add_argument("--runstore", default=None, metavar="PATH",
+                        help="JSONL run store to resolve run ids in")
+    parser.add_argument("--top", type=int, default=10,
+                        help="attribution rows to print (default 10)")
+    parser.add_argument("--all", action="store_true",
+                        help="include unchanged metrics")
+    args = parser.parse_args(argv)
+
+    store = RunStore(args.runstore) if args.runstore else None
+    try:
+        label_a, report_a = _resolve_run(args.run_a, store)
+        label_b, report_b = _resolve_run(args.run_b, store)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}")
+        return 2
+    print(f"diff {label_a} -> {label_b}")
+    print(format_diff(diff_reports(report_a, report_b, top=args.top),
+                      label_a="A", label_b="B",
+                      changed_only=not args.all))
+    return 0
+
+
 def main(argv=None):
     import argparse
+    import sys
+
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "diff":
+        return diff_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.report",
-        description="observability demo session / report schema gate")
+        description="observability demo session / report schema gate / "
+                    "run diff (use the 'diff' subcommand)")
     parser.add_argument("--check", nargs="+", metavar="FILE", default=None,
-                        help="validate report JSON files and exit")
+                        help="validate report / run-store files and exit")
     parser.add_argument("--json", dest="json_path",
                         default="obs_report.json",
                         help="where the demo session report is written")
+    parser.add_argument("--runstore", default=None, metavar="PATH",
+                        help="also record the demo session report into "
+                             "this JSONL run store")
     parser.add_argument("--trains", type=int, default=3)
     parser.add_argument("--runs", type=int, default=200)
     args = parser.parse_args(argv)
@@ -181,6 +341,12 @@ def main(argv=None):
     report.print()
     report.write(args.json_path)
     print(f"\nwrote {args.json_path} (schema {SCHEMA_VERSION})")
+    if args.runstore:
+        from .runstore import RunStore
+
+        record = RunStore(args.runstore).append(
+            report, os.path.basename(args.json_path))
+        print(f"recorded {record['run_id']} -> {args.runstore}")
     return 0
 
 

@@ -1,0 +1,188 @@
+"""Persistent run history: an append-only, fingerprint-keyed JSONL
+store of observability reports.
+
+``BENCH_*.json`` artifacts answer "what did *this* run compute"; the
+run store answers "how does it compare to last week's".  Every recorded
+run wraps one :class:`repro.obs.report.Report` document in a
+schema-versioned envelope:
+
+    {"schema": "repro.runs/1", "run_id": "engine_metrics.json#3",
+     "label": "engine_metrics.json", "fingerprint": "9f2c4e81a7b3",
+     "git_sha": "...", "created": "2026-08-08T12:00:00+0000",
+     "report": { ... "repro.obs/1" document ... }}
+
+* **Append-only, atomic.**  One JSON object per line; an append
+  rewrites the file through a temp file + :func:`os.replace` (exactly
+  like :class:`~repro.runtime.Checkpoint`), so a killed process can
+  never leave a half-written record for a later reader — or the CI
+  ``--check`` gate — to choke on.  Foreign or truncated lines already
+  present are preserved verbatim and skipped on read.
+* **Fingerprint-keyed.**  The fingerprint hashes the label plus the
+  report's *configuration* metadata (strings / ints / bools — floats
+  are measurements, not configuration), so runs of the same workload
+  share a fingerprint across commits and
+  :mod:`repro.obs.diff` compares like with like.
+* **Provenance.**  Each record stamps the repository's ``HEAD`` SHA
+  (when available) and a timestamp, which is what lets a regression be
+  attributed to a commit range.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import subprocess
+import time
+
+#: Bump on breaking changes to the run-record envelope.
+SCHEMA_VERSION = "repro.runs/1"
+
+
+def current_git_sha(cwd=None):
+    """The repository ``HEAD`` SHA, or ``None`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=cwd, capture_output=True,
+            text=True, timeout=10)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def run_fingerprint(label, report):
+    """The workload fingerprint of a report: a short stable hash over
+    the label and the configuration subset of ``meta`` (strings, ints,
+    bools — floats are measurements and excluded, so two runs of the
+    same configuration fingerprint identically even when their timings
+    differ)."""
+    meta = report.get("meta", {}) if isinstance(report, dict) else {}
+    stable = {key: value for key, value in meta.items()
+              if isinstance(value, (str, bool)) or
+              (isinstance(value, int) and not isinstance(value, bool))}
+    payload = json.dumps({"label": label, "meta": stable},
+                         sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:12]
+
+
+def validate_record(data):
+    """Raise :class:`ValueError` unless ``data`` is a run record with
+    the current schema and an embedded valid report; returns ``data``."""
+    from .report import validate
+
+    if not isinstance(data, dict):
+        raise ValueError(f"not a run record: {type(data).__name__}")
+    schema = data.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise ValueError(f"unsupported run-record schema {schema!r} "
+                         f"(expected {SCHEMA_VERSION!r})")
+    for key in ("run_id", "label", "fingerprint", "report"):
+        if key not in data:
+            raise ValueError(f"run record is missing {key!r}")
+    validate(data["report"])
+    return data
+
+
+class RunStore:
+    """The JSONL run history at ``path`` (created on first append)."""
+
+    def __init__(self, path):
+        self.path = os.fspath(path)
+
+    # -- writing ---------------------------------------------------------------
+
+    def append(self, report, label, fingerprint=None):
+        """Record ``report`` (a :class:`~repro.obs.report.Report` or
+        its :meth:`to_dict`) under ``label``; returns the new record.
+
+        The write is atomic: existing file bytes (including any foreign
+        lines) are preserved verbatim and the new line rides along in
+        one :func:`os.replace`.
+        """
+        if hasattr(report, "to_dict"):
+            report = report.to_dict()
+        existing = b""
+        try:
+            with open(self.path, "rb") as handle:
+                existing = handle.read()
+        except OSError:
+            pass
+        if existing and not existing.endswith(b"\n"):
+            existing += b"\n"
+        sequence = sum(1 for _ in self.records(label=label)) + 1
+        record = {
+            "schema": SCHEMA_VERSION,
+            "run_id": f"{label}#{sequence}",
+            "label": label,
+            "fingerprint": fingerprint if fingerprint is not None
+            else run_fingerprint(label, report),
+            "git_sha": current_git_sha(),
+            "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "report": report,
+        }
+        line = json.dumps(record, separators=(",", ":"),
+                          default=repr).encode("utf-8")
+        tmp = f"{self.path}.tmp"
+        with open(tmp, "wb") as handle:
+            handle.write(existing + line + b"\n")
+        os.replace(tmp, self.path)
+        return record
+
+    # -- reading ---------------------------------------------------------------
+
+    def scan(self):
+        """``(records, skipped)``: all valid records in file order plus
+        the count of unparseable / foreign-schema lines (a truncated
+        tail, editor junk) that were skipped."""
+        records, skipped = [], 0
+        try:
+            with open(self.path, encoding="utf-8") as handle:
+                lines = handle.readlines()
+        except OSError:
+            return records, skipped
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = validate_record(json.loads(line))
+            except (ValueError, json.JSONDecodeError):
+                skipped += 1
+                continue
+            records.append(record)
+        return records, skipped
+
+    def records(self, label=None, fingerprint=None):
+        """Valid records in file order, optionally filtered."""
+        for record in self.scan()[0]:
+            if label is not None and record["label"] != label:
+                continue
+            if fingerprint is not None and \
+                    record["fingerprint"] != fingerprint:
+                continue
+            yield record
+
+    def last(self, label=None, fingerprint=None, n=1):
+        """The most recent ``n`` matching records, oldest first."""
+        matches = list(self.records(label=label, fingerprint=fingerprint))
+        return matches[-n:]
+
+    def find(self, key):
+        """Resolve ``key`` to one record: an exact ``run_id`` match
+        wins, then the latest record with that label, then the latest
+        with that fingerprint; ``None`` when nothing matches."""
+        latest_label = latest_fp = None
+        for record in self.scan()[0]:
+            if record["run_id"] == key:
+                return record
+            if record["label"] == key:
+                latest_label = record
+            if record["fingerprint"] == key:
+                latest_fp = record
+        return latest_label if latest_label is not None else latest_fp
+
+    def __repr__(self):
+        records, skipped = self.scan()
+        return (f"RunStore({self.path!r}, {len(records)} runs"
+                + (f", {skipped} skipped lines" if skipped else "") + ")")

@@ -46,7 +46,14 @@ are the one caveat: a parallel run may execute — and account — a few
 speculative runs past the stopping point inside already-dispatched
 chunks.)  Fault recovery keeps the guarantee: a failed attempt's
 worker-side collector dies with it, so exactly one clean attempt per
-task is merged.  The recovery machinery itself counts under
+task is merged.  When a profiler is active
+(:func:`repro.obs.profiler.profiling`), every task additionally runs
+under a fresh worker-side sampling profiler whose collapsed-stack
+snapshot ships home with the result and merges in task order too —
+same algebra, same single-clean-attempt guarantee — so a parallel
+campaign's merged profile equals the serial run's logical profile, and
+worker peak-RSS readings max-merge home through the collector's max
+gauges.  The recovery machinery itself counts under
 ``runtime.retries`` / ``runtime.replayed`` / ``runtime.pool_rebuilds``
 / ``runtime.timeouts`` / ``runtime.skipped`` / ``runtime.degraded``.
 """
@@ -64,35 +71,59 @@ from .faults import task_seed
 
 
 class _WorkerTask:
-    """Worker-side wrapper: optional fault injection, optional metrics.
+    """Worker-side wrapper: optional fault injection, metrics, and
+    profiling.
 
     Called as ``(index, attempt, *args)`` so the injector can key on the
-    task's position and fire only on first attempts.  With ``collect``,
-    the task runs under a fresh collector and returns ``(result,
-    metrics snapshot, worker pid, seconds)``; otherwise the bare result.
-    Picklable as long as the wrapped function (and injector) are.
+    task's position and fire only on first attempts.  With ``collect``
+    or a ``profile_hz``, the task runs under a fresh worker-side
+    collector and/or profiler and returns ``(result, metrics snapshot
+    or None, profile snapshot or None, worker pid, seconds)``;
+    otherwise the bare result.  Resource high-water marks are sampled
+    into the collector's max gauges after the task, so peak RSS
+    max-merges home.  Picklable as long as the wrapped function (and
+    injector) are.
     """
 
-    __slots__ = ("fn", "injector", "collect")
+    __slots__ = ("fn", "injector", "collect", "profile_hz")
 
-    def __init__(self, fn, injector, collect):
+    def __init__(self, fn, injector, collect, profile_hz=None):
         self.fn = fn
         self.injector = injector
         self.collect = collect
+        self.profile_hz = profile_hz
 
     def __call__(self, index, attempt, *args):
         if self.injector is not None:
             self.injector(index, attempt)
-        if not self.collect:
+        if not self.collect and self.profile_hz is None:
             return self.fn(*args)
+        from contextlib import ExitStack
+
         from ..obs.metrics import Collector, collecting
 
-        collector = Collector("worker")
+        collector = Collector("worker") if self.collect else None
+        profiler = None
         start = time.perf_counter()
-        with collecting(collector):
+        with ExitStack() as stack:
+            if collector is not None:
+                stack.enter_context(collecting(collector))
+            if self.profile_hz is not None:
+                from ..obs.profiler import Profiler, profiling
+
+                profiler = Profiler(hz=self.profile_hz)
+                stack.enter_context(profiling(profiler=profiler))
             result = self.fn(*args)
-        return (result, collector.snapshot(), os.getpid(),
-                time.perf_counter() - start)
+        seconds = time.perf_counter() - start
+        if collector is not None:
+            from ..obs.resources import sample
+
+            sample(collector)
+        return (result,
+                collector.snapshot() if collector is not None else None,
+                profiler.profile.to_dict() if profiler is not None
+                else None,
+                os.getpid(), seconds)
 
 
 class _PendingTask:
@@ -294,12 +325,17 @@ class ParallelExecutor(Executor):
         pool.shutdown(wait=False, cancel_futures=True)
 
     def imap(self, fn, tasks, policy=None):
+        from ..obs.profiler import active_profiler
+
         collector = active()
+        profiler = active_profiler()
         injector = policy.injector if policy is not None else None
         timeout = policy.timeout if policy is not None else None
-        wrap = collector is not None or injector is not None
-        call = _WorkerTask(fn, injector, collector is not None) if wrap \
-            else fn
+        shipped = collector is not None or profiler is not None
+        wrap = shipped or injector is not None
+        call = _WorkerTask(fn, injector, collector is not None,
+                           profiler.hz if profiler is not None else None) \
+            if wrap else fn
         worker_ids = {}
         if collector is not None:
             collector.set_gauge("runtime.workers", self.workers)
@@ -403,15 +439,22 @@ class ParallelExecutor(Executor):
             return result
 
         def absorb(outcome):
-            # Merge the worker's collector snapshot in task order, so
-            # logical totals match the serial aggregation exactly.
-            result, snapshot, pid, seconds = outcome
-            collector.merge(snapshot)
-            index = worker_ids.setdefault(pid, len(worker_ids))
-            collector.incr("runtime.tasks")
-            collector.incr(f"runtime.worker.{index}.tasks")
-            collector.observe("runtime.task_seconds", seconds)
-            collector.set_gauge("runtime.workers_seen", len(worker_ids))
+            # Merge the worker's collector and profile snapshots in
+            # task order, so logical totals (and merged profiles) match
+            # the serial aggregation exactly.  Only the one clean
+            # attempt's snapshots ever arrive here — a failed attempt's
+            # collector and profile die with it.
+            result, snapshot, profile_snap, pid, seconds = outcome
+            if collector is not None:
+                collector.merge(snapshot)
+                index = worker_ids.setdefault(pid, len(worker_ids))
+                collector.incr("runtime.tasks")
+                collector.incr(f"runtime.worker.{index}.tasks")
+                collector.observe("runtime.task_seconds", seconds)
+                collector.set_gauge("runtime.workers_seen",
+                                    len(worker_ids))
+            if profiler is not None and profile_snap is not None:
+                profiler.merge_snapshot(profile_snap)
             return result
 
         try:
@@ -466,12 +509,10 @@ class ParallelExecutor(Executor):
                     continue
                 if action == "degrade":
                     result = run_inline(head)
-                elif collector is not None:
+                elif shipped:
                     result = absorb(outcome)
-                elif wrap:
-                    result = outcome  # injector-wrapped, no collector
                 else:
-                    result = outcome
+                    result = outcome  # bare, or injector-wrapped only
                 yield result
         finally:
             if pending:

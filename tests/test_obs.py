@@ -105,12 +105,28 @@ class TestCollector:
         a.merge(b.snapshot())
         assert a.value("n") == 7
 
+    def test_max_gauge_keeps_and_merges_maximum(self):
+        c = Collector()
+        c.set_max("obs.rss_peak_kb", 500)
+        c.set_max("obs.rss_peak_kb", 300)   # lower write is ignored
+        assert c.value("obs.rss_peak_kb") == 500
+        other = Collector()
+        other.set_max("obs.rss_peak_kb", 900)
+        other.set_max("obs.only_other", 1)
+        c.merge(other)
+        # max-merge, not last-write: the peak survives merge order.
+        assert c.value("obs.rss_peak_kb") == 900
+        assert c.value("obs.only_other") == 1
+        c.merge({"max_gauges": {"obs.rss_peak_kb": 700}})
+        assert c.snapshot()["max_gauges"]["obs.rss_peak_kb"] == 900
+
     def test_clear(self):
         c = Collector()
         c.incr("n")
+        c.set_max("m", 2)
         c.clear()
         assert c.snapshot() == {"counters": {}, "gauges": {},
-                                "histograms": {}}
+                                "max_gauges": {}, "histograms": {}}
 
     def test_thread_safety(self):
         c = Collector()
