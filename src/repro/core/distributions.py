@@ -14,6 +14,67 @@ import math
 from .errors import ModelError
 
 
+def validate_rate(rate):
+    """Reject non-finite or non-positive exponential rates.
+
+    Shared by :class:`Exponential` and the ``rate-invalid`` lint rule so
+    construction-time and lint-time checks can never drift apart.
+    Returns the rate as a float.
+    """
+    try:
+        value = float(rate)
+    except (TypeError, ValueError):
+        raise ModelError(f"exponential rate must be a number, "
+                         f"got {rate!r}") from None
+    if not math.isfinite(value):
+        raise ModelError(f"exponential rate must be finite, got {rate!r}")
+    if value <= 0:
+        raise ModelError(f"exponential rate must be positive, got {rate}")
+    return value
+
+
+def validate_interval(low, high):
+    """Reject empty, negative or non-finite delay intervals.
+
+    Shared by :class:`Uniform` / :class:`Dirac` construction and lint.
+    Returns ``(low, high)`` as floats.
+    """
+    try:
+        lo, hi = float(low), float(high)
+    except (TypeError, ValueError):
+        raise ModelError(f"interval bounds must be numbers, "
+                         f"got [{low!r},{high!r}]") from None
+    if math.isnan(lo) or math.isnan(hi) or math.isinf(lo):
+        raise ModelError(f"bad interval bounds [{low},{high}]")
+    if lo > hi or lo < 0:
+        raise ModelError(f"bad uniform support [{low},{high}]")
+    return lo, hi
+
+
+def validate_weights(weights):
+    """Reject negative, non-finite or all-zero weight vectors.
+
+    Shared by :class:`Weighted` construction, the ``palt`` flattening
+    path and the ``prob-branch-invalid`` / ``modest-palt-weights`` lint
+    rules.  Returns the weights as a list of floats.
+    """
+    values = []
+    for weight in weights:
+        try:
+            value = float(weight)
+        except (TypeError, ValueError):
+            raise ModelError(f"weight must be a number, "
+                             f"got {weight!r}") from None
+        if not math.isfinite(value):
+            raise ModelError(f"weight must be finite, got {weight!r}")
+        if value < 0:
+            raise ModelError(f"negative weight {weight}")
+        values.append(value)
+    if sum(values) <= 0:
+        raise ModelError("weighted distribution needs positive weight")
+    return values
+
+
 class Distribution:
     """Base class: a distribution over non-negative real delays."""
 
@@ -30,9 +91,7 @@ class Exponential(Distribution):
     __slots__ = ("rate",)
 
     def __init__(self, rate):
-        if rate <= 0:
-            raise ModelError(f"exponential rate must be positive, got {rate}")
-        self.rate = float(rate)
+        self.rate = validate_rate(rate)
 
     def sample(self, rng):
         return rng.expovariate(self.rate)
@@ -50,10 +109,7 @@ class Uniform(Distribution):
     __slots__ = ("low", "high")
 
     def __init__(self, low, high):
-        if low > high or low < 0:
-            raise ModelError(f"bad uniform support [{low},{high}]")
-        self.low = float(low)
-        self.high = float(high)
+        self.low, self.high = validate_interval(low, high)
 
     def sample(self, rng):
         return rng.uniform(self.low, self.high)
@@ -71,9 +127,7 @@ class Dirac(Distribution):
     __slots__ = ("value",)
 
     def __init__(self, value):
-        if value < 0:
-            raise ModelError(f"negative Dirac delay {value}")
-        self.value = float(value)
+        self.value, _ = validate_interval(value, value)
 
     def sample(self, rng):
         return self.value
@@ -95,19 +149,13 @@ class Weighted:
     __slots__ = ("outcomes", "probabilities")
 
     def __init__(self, weighted_outcomes):
-        outcomes = []
-        weights = []
-        for outcome, weight in weighted_outcomes:
-            if weight < 0:
-                raise ModelError(f"negative weight {weight}")
-            if weight > 0:
-                outcomes.append(outcome)
-                weights.append(float(weight))
+        pairs = list(weighted_outcomes)
+        weights = validate_weights(w for _outcome, w in pairs)
         total = sum(weights)
-        if not outcomes or total <= 0:
-            raise ModelError("weighted distribution needs positive weight")
-        self.outcomes = tuple(outcomes)
-        self.probabilities = tuple(w / total for w in weights)
+        support = [(outcome, w) for (outcome, _), w in zip(pairs, weights)
+                   if w > 0]
+        self.outcomes = tuple(outcome for outcome, _ in support)
+        self.probabilities = tuple(w / total for _, w in support)
 
     def sample(self, rng):
         x = rng.random()

@@ -1,0 +1,143 @@
+"""Cross-formalism model linter.
+
+One static-analysis pass over every model formalism in the repository —
+TA networks (:mod:`repro.ta`), PTA networks (:mod:`repro.pta`), BIP
+systems (:mod:`repro.bip`), MODEST models (:mod:`repro.modest`) and
+explicit MDPs (:mod:`repro.mdp`) — catching modelling mistakes *before*
+any expensive analysis runs, the way UPPAAL's editor checks and
+D-Finder's static passes do in the paper's tool families.
+
+Entry points:
+
+* :func:`lint_model` — lint one model of any supported kind; returns a
+  :class:`~repro.lint.findings.LintReport`.
+* :func:`lint_models` — lint a sequence of ``(name, model)`` pairs into
+  one combined report.
+* :mod:`repro.lint.differential` — the differential consistency gate:
+  run mctau / mcpta / modes (and engine-vs-reference oracles) on a pool
+  of seeded models and fail on verdict or value disagreement.
+* ``python -m repro.lint`` — CLI over the bundled model catalogue with
+  text/JSON output and a CI exit code (see :mod:`repro.lint.__main__`).
+
+Suppressions are strings of the form ``rule-id`` or
+``rule-id@where-glob``; models may carry their own via a
+``lint_suppress`` attribute (the bundled-model catalogue uses this to
+waive intended findings with a documented reason).
+
+Findings feed the ``lint.*`` observability counters (see
+``docs/OBSERVABILITY.md``) whenever a metrics collector is installed.
+"""
+
+from __future__ import annotations
+
+from itertools import chain
+
+from ..bip.system import BIPSystem, Composite
+from ..bip.system import flatten as flatten_bip
+from ..cora.priced import PricedTA
+from ..core.errors import ModelError
+from ..mdp.model import MDP
+from ..modest.ast import ModestModel
+from ..modest.flatten import flatten_model
+from ..modest.parser import parse_modest
+from ..obs.metrics import incr
+from ..pta.digital import DigitalMDP
+from ..ta.network import Network
+from ..ta.syntax import Automaton
+from .bip_rules import collect_system
+from .findings import (
+    SCHEMA_VERSION,
+    SEVERITIES,
+    Finding,
+    LintReport,
+    apply_suppressions,
+    parse_suppression,
+    severity_rank,
+    suppression_matches,
+)
+from .mdp_rules import collect_mdp
+from .modest_rules import collect_modest
+from .ta_rules import collect_network, collect_template
+
+__all__ = [
+    "SCHEMA_VERSION", "SEVERITIES", "Finding", "LintReport",
+    "apply_suppressions", "parse_suppression", "severity_rank",
+    "suppression_matches", "lint_model", "lint_models",
+]
+
+
+def _collect(model, name):
+    """Dispatch on the model's formalism; returns (name, findings)."""
+    if isinstance(model, str):
+        model = parse_modest(model)
+    if isinstance(model, ModestModel):
+        name = name or "modest-model"
+        findings = collect_modest(model, name)
+        if not any(f.severity == "error" for f in findings):
+            try:
+                network = flatten_model(model)
+            except ModelError as exc:
+                findings.append(Finding(
+                    "modest-flatten-error", "error", name, "flatten",
+                    f"model does not flatten to a PTA network: {exc}"))
+            else:
+                findings.extend(collect_network(network, name))
+        return name, findings
+    if isinstance(model, PricedTA):  # lint the underlying TA network
+        model = model.network
+    if isinstance(model, Network):   # covers PTANetwork
+        name = name or model.name
+        return name, collect_network(model, name)
+    if isinstance(model, Automaton):  # covers PTA templates
+        name = name or model.name
+        return name, collect_template(model, name)
+    if isinstance(model, Composite):
+        model = flatten_bip(model)
+    if isinstance(model, BIPSystem):
+        name = name or model.name
+        return name, collect_system(model, name)
+    if isinstance(model, DigitalMDP):
+        model = model.mdp
+    if isinstance(model, MDP):
+        name = name or model.name
+        return name, collect_mdp(model, name)
+    raise ModelError(f"cannot lint {type(model).__name__}: not a "
+                     f"supported model formalism")
+
+
+def lint_model(model, name=None, suppress=()):
+    """Lint one model; returns a :class:`LintReport`.
+
+    ``model`` may be a TA/PTA network or bare template, a BIP system or
+    composite, a parsed MODEST model or MODEST source text, or an MDP.
+    ``suppress`` patterns are combined with the model's own
+    ``lint_suppress`` attribute (if any).
+    """
+    model_suppress = tuple(getattr(model, "lint_suppress", ()) or ())
+    name, findings = _collect(model, name)
+    apply_suppressions(findings, chain(model_suppress, suppress))
+    report = LintReport(findings, [name])
+    _record(report, models=1)
+    return report
+
+
+def lint_models(named_models, suppress=()):
+    """Lint ``(name, model[, extra_suppress])`` tuples into one report."""
+    combined = LintReport()
+    for entry in named_models:
+        name, model = entry[0], entry[1]
+        extra = tuple(entry[2]) if len(entry) > 2 else ()
+        combined.extend(lint_model(model, name=name,
+                                   suppress=tuple(suppress) + extra))
+    return combined
+
+
+def _record(report, models=0):
+    """Flush one report's totals into the ``lint.*`` counters."""
+    counts = report.counts()
+    incr("lint.models", models)
+    incr("lint.findings", len(report.findings))
+    incr("lint.errors", counts["error"])
+    incr("lint.warnings", counts["warning"])
+    incr("lint.infos", counts["info"])
+    incr("lint.suppressed", counts["suppressed"])

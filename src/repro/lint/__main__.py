@@ -1,0 +1,93 @@
+"""``python -m repro.lint`` — lint the bundled models and, optionally,
+run the differential consistency gate.
+
+Exit codes: 0 clean at the ``--fail-on`` threshold, 1 findings at or
+above it, 2 usage or internal error.  ``--json`` writes the full
+``repro.lint/1`` document (including suppressed findings and the
+differential meta rows) for CI artifacts; ``--obs-report`` additionally
+writes a ``repro.obs/1`` metrics report whose ``lint.*`` counters feed
+``benchmarks/check_regression.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from ..core.errors import ReproError
+from ..obs.metrics import collecting
+from ..obs.report import Report
+from .catalogue import CATALOGUE, lint_catalogue
+from .findings import SEVERITIES
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Static lint + differential consistency gate over "
+                    "the bundled model catalogue.")
+    parser.add_argument(
+        "models", nargs="*",
+        help="catalogue model names (default: the whole catalogue)")
+    parser.add_argument(
+        "--list", action="store_true",
+        help="list catalogue model names and exit")
+    parser.add_argument(
+        "--json", metavar="PATH",
+        help="write the repro.lint/1 JSON document to PATH")
+    parser.add_argument(
+        "--obs-report", metavar="PATH",
+        help="write a repro.obs/1 metrics report (lint.* counters)")
+    parser.add_argument(
+        "--fail-on", choices=SEVERITIES + ("never",), default="warning",
+        help="lowest severity that fails the run (default: warning)")
+    parser.add_argument(
+        "--differential", action="store_true",
+        help="also run the engine-vs-engine differential gate")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller differential budgets (for local runs)")
+    parser.add_argument(
+        "--show-suppressed", action="store_true",
+        help="print suppressed findings too")
+    parser.add_argument(
+        "--suppress", action="append", default=[], metavar="PATTERN",
+        help="extra suppression (rule-id or rule-id@where-glob); "
+             "repeatable")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for entry in CATALOGUE:
+            marks = f"  [suppresses: {', '.join(entry.suppress)}]" \
+                if entry.suppress else ""
+            print(f"{entry.name}{marks}")
+        return 0
+
+    try:
+        with collecting() as collector:
+            report = lint_catalogue(args.models or None,
+                                    extra_suppress=args.suppress)
+            if args.differential:
+                from .differential import run_differential
+                diff = run_differential(quick=args.quick)
+                report.extend(diff)
+                report.meta["differential"] = \
+                    diff.meta.get("differential", [])
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    print(report.format(show_suppressed=args.show_suppressed))
+    if args.json:
+        Path(args.json).write_text(report.to_json() + "\n",
+                                   encoding="utf-8")
+    if args.obs_report:
+        Report(collector,
+               meta={"tool": "repro.lint",
+                     "models": report.models}).write(args.obs_report)
+    return report.exit_code(args.fail_on)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,132 @@
+"""The bundled-model catalogue the lint CLI and CI sweep run over.
+
+Every model shipped in :mod:`repro.models` (plus the MODEST source
+embedded in ``examples/modest_tour.py``) is registered here with the
+suppressions it legitimately needs.  The CI gate asserts the whole
+catalogue lints *clean* — zero unsuppressed findings — so every
+suppression below carries a reason string explaining why the finding is
+intended, and the JSON artifact records which pattern waived what.
+
+Intentional findings currently carried:
+
+* ``fischer-3-broken`` exists to violate mutual exclusion; lint has no
+  opinion on that, so it needs no waiver — it is listed to prove the
+  linter does not cry wolf over semantically wrong but well-formed
+  models.
+* ``brp-2-digital`` is a digital-clocks MDP: its terminal states keep
+  the global tick self-loop (reward 1 once clocks saturate), which is
+  exactly the shape ``mdp-reward-trap`` flags.  For time-bounded
+  queries this is fine by construction, so the trap finding is waived
+  with a documented reason.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+from ..core.errors import ModelError
+from ..models.brp import make_brp
+from ..models.brp_modest import brp_modest_source, make_brp_modest
+from ..models.busspec import make_coffee_spec
+from ..models.dala import make_dala
+from ..models.firewire import make_firewire
+from ..models.fischer import make_broken_fischer, make_fischer
+from ..models.traingame import make_traingame
+from ..models.traingate import make_gate_spec, make_traingate
+from ..models.wcet import make_wcet_model, make_wcet_program
+from ..pta.digital import build_digital_mdp
+from . import lint_models
+
+
+class Entry:
+    """One catalogue row: a named model factory plus its waivers."""
+
+    __slots__ = ("name", "factory", "suppress", "reason")
+
+    def __init__(self, name, factory, suppress=(), reason=None):
+        self.name = name
+        self.factory = factory
+        self.suppress = tuple(suppress)
+        self.reason = reason
+        if self.suppress and not reason:
+            raise ModelError(
+                f"catalogue entry {name!r} carries suppressions "
+                f"without a reason")
+
+    def build(self):
+        return self.factory()
+
+
+def _brp_digital():
+    return build_digital_mdp(make_brp_modest(n=2, max_retrans=1, td=1))
+
+
+def _modest_tour_source():
+    """The Fig. 5 tour source from ``examples/modest_tour.py``."""
+    path = Path(__file__).resolve().parents[3] / "examples" \
+        / "modest_tour.py"
+    if not path.exists():   # installed without the examples tree
+        return None
+    spec = importlib.util.spec_from_file_location("_lint_modest_tour",
+                                                  path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.SOURCE
+
+
+CATALOGUE = [
+    Entry("traingate-2", lambda: make_traingate(2)),
+    Entry("gate-spec-2", lambda: make_gate_spec(2)),
+    Entry("traingame-2", lambda: make_traingame(2)),
+    Entry("fischer-3", lambda: make_fischer(3, 2)),
+    Entry("fischer-3-broken", lambda: make_broken_fischer(3, 2)),
+    Entry("firewire", make_firewire),
+    Entry("coffee-spec", make_coffee_spec),
+    Entry("wcet-program", lambda: make_wcet_program(3)),
+    Entry("wcet-model", lambda: make_wcet_model(3)),
+    Entry("brp-4", lambda: make_brp(4, 2, 1)),
+    Entry("brp-modest", lambda: brp_modest_source(4, 2, 1)),
+    Entry("dala", make_dala),
+    Entry(
+        "brp-2-digital", _brp_digital,
+        suppress=("mdp-reward-trap",),
+        reason="digital-clocks terminal states keep the tick self-loop "
+               "(reward 1 at clock saturation); time-bounded queries "
+               "never accumulate it, so the trap is intended"),
+    Entry("modest-tour", _modest_tour_source),
+]
+
+
+def entries(names=None):
+    """Catalogue entries, optionally filtered to the given names."""
+    if names:
+        by_name = {entry.name: entry for entry in CATALOGUE}
+        missing = [n for n in names if n not in by_name]
+        if missing:
+            raise ModelError(
+                f"unknown catalogue model(s) {missing}; known: "
+                f"{sorted(by_name)}")
+        return [by_name[n] for n in names]
+    return list(CATALOGUE)
+
+
+def lint_catalogue(names=None, extra_suppress=()):
+    """Lint (part of) the catalogue into one combined report."""
+    rows = []
+    skipped = []
+    for entry in entries(names):
+        model = entry.build()
+        if model is None:
+            skipped.append(entry.name)
+            continue
+        rows.append((entry.name, model, entry.suppress))
+    report = lint_models(rows, suppress=extra_suppress)
+    report.meta["catalogue"] = [entry.name for entry in entries(names)]
+    if skipped:
+        report.meta["skipped"] = skipped
+    report.meta["suppressions"] = {
+        entry.name: {"patterns": list(entry.suppress),
+                     "reason": entry.reason}
+        for entry in entries(names) if entry.suppress}
+    return report

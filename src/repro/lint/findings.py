@@ -1,0 +1,196 @@
+"""Findings, severities, suppressions and the lint report.
+
+Every rule emits :class:`Finding` objects carrying a stable rule id, a
+severity, the model and location the finding anchors to, and a
+human-readable message.  Findings are collected into a
+:class:`LintReport`, which applies *suppressions* — patterns of the form
+``rule-id`` or ``rule-id@where-glob`` — before anything is counted
+towards an exit code.  Suppressed findings are kept (marked, with the
+pattern that matched) so the JSON artifact records what was waived and
+why, mirroring how real model checkers surface disabled editor checks.
+"""
+
+from __future__ import annotations
+
+import json
+from fnmatch import fnmatchcase
+
+from ..core.errors import ModelError
+
+#: JSON schema tag of :meth:`LintReport.to_dict` documents.
+SCHEMA_VERSION = "repro.lint/1"
+
+#: Severities, weakest first.  ``error`` means the model cannot mean
+#: what its author intended (an engine would mis-analyse or reject it);
+#: ``warning`` means a construct is dead or contradictory but the rest
+#: of the model is analysable; ``info`` marks smells worth a look.
+SEVERITIES = ("info", "warning", "error")
+
+_RANK = {name: rank for rank, name in enumerate(SEVERITIES)}
+
+
+def severity_rank(severity):
+    """Numeric rank of a severity name (higher = more severe)."""
+    try:
+        return _RANK[severity]
+    except KeyError:
+        raise ModelError(f"unknown severity {severity!r}; "
+                         f"expected one of {SEVERITIES}") from None
+
+
+class Finding:
+    """One lint diagnostic, anchored to a model element.
+
+    ``where`` is a slash-separated path into the model (process /
+    location / edge index, component / place, state index ...) —
+    the anchor suppression globs match against.
+    """
+
+    __slots__ = ("rule", "severity", "model", "where", "message",
+                 "suppressed_by")
+
+    def __init__(self, rule, severity, model, where, message,
+                 suppressed_by=None):
+        severity_rank(severity)  # validate early
+        self.rule = rule
+        self.severity = severity
+        self.model = model
+        self.where = where
+        self.message = message
+        #: The suppression pattern that waived this finding, or None.
+        self.suppressed_by = suppressed_by
+
+    @property
+    def suppressed(self):
+        return self.suppressed_by is not None
+
+    def to_dict(self):
+        data = {"rule": self.rule, "severity": self.severity,
+                "model": self.model, "where": self.where,
+                "message": self.message}
+        if self.suppressed_by is not None:
+            data["suppressed_by"] = self.suppressed_by
+        return data
+
+    def format(self):
+        mark = " (suppressed)" if self.suppressed else ""
+        return (f"{self.severity:<7} {self.rule:<24} "
+                f"{self.model}:{self.where}: {self.message}{mark}")
+
+    def __repr__(self):
+        return (f"Finding({self.rule}, {self.severity}, "
+                f"{self.model}:{self.where})")
+
+
+def parse_suppression(pattern):
+    """Split ``rule-id`` / ``rule-id@where-glob`` into its two parts."""
+    if not isinstance(pattern, str) or not pattern:
+        raise ModelError(f"bad suppression {pattern!r}")
+    rule, sep, where = pattern.partition("@")
+    if not rule or (sep and not where):
+        raise ModelError(f"bad suppression {pattern!r}; expected "
+                         f"'rule-id' or 'rule-id@where-glob'")
+    return rule, where if sep else None
+
+
+def suppression_matches(pattern, finding):
+    """Does one suppression pattern waive one finding?
+
+    The rule part must match the finding's rule id exactly (or be
+    ``*``); the optional ``@where`` part is an :mod:`fnmatch` glob over
+    the finding's anchor.
+    """
+    rule, where = parse_suppression(pattern)
+    if rule != "*" and rule != finding.rule:
+        return False
+    if where is None:
+        return True
+    return fnmatchcase(finding.where, where)
+
+
+def apply_suppressions(findings, suppressions):
+    """Mark findings matched by any pattern; returns the findings."""
+    patterns = list(suppressions or ())
+    for pattern in patterns:
+        parse_suppression(pattern)  # reject bad patterns loudly
+    for finding in findings:
+        if finding.suppressed_by is not None:
+            continue
+        for pattern in patterns:
+            if suppression_matches(pattern, finding):
+                finding.suppressed_by = pattern
+                break
+    return findings
+
+
+class LintReport:
+    """All findings of a lint run over one or more models."""
+
+    def __init__(self, findings=(), models=(), meta=None):
+        self.findings = list(findings)
+        self.models = list(models)
+        self.meta = dict(meta) if meta else {}
+
+    def extend(self, other):
+        """Fold another report's findings and models into this one."""
+        self.findings.extend(other.findings)
+        self.models.extend(other.models)
+        return self
+
+    def unsuppressed(self, min_severity="info"):
+        floor = severity_rank(min_severity)
+        return [f for f in self.findings if not f.suppressed
+                and severity_rank(f.severity) >= floor]
+
+    def suppressed(self):
+        return [f for f in self.findings if f.suppressed]
+
+    def counts(self):
+        out = {name: 0 for name in SEVERITIES}
+        out["suppressed"] = 0
+        for finding in self.findings:
+            if finding.suppressed:
+                out["suppressed"] += 1
+            else:
+                out[finding.severity] += 1
+        return out
+
+    def exit_code(self, fail_on="warning"):
+        """0 when clean at the threshold, 1 otherwise.
+
+        ``fail_on='never'`` always reports success (list-only mode).
+        """
+        if fail_on == "never":
+            return 0
+        return 1 if self.unsuppressed(fail_on) else 0
+
+    def to_dict(self):
+        counts = self.counts()
+        return {
+            "schema": SCHEMA_VERSION,
+            "models": list(self.models),
+            "summary": {"models": len(self.models),
+                        "findings": len(self.findings), **counts},
+            "findings": [f.to_dict() for f in self.findings],
+            "meta": dict(self.meta),
+        }
+
+    def to_json(self, indent=2):
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def format(self, show_suppressed=False):
+        lines = []
+        for finding in self.findings:
+            if finding.suppressed and not show_suppressed:
+                continue
+            lines.append(finding.format())
+        counts = self.counts()
+        lines.append(
+            f"{len(self.models)} model(s): "
+            f"{counts['error']} error(s), {counts['warning']} warning(s), "
+            f"{counts['info']} info(s), {counts['suppressed']} suppressed")
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return (f"LintReport({len(self.models)} models, "
+                f"{len(self.findings)} findings)")

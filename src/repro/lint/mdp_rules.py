@@ -1,0 +1,100 @@
+"""Lint rules for explicit-state MDPs.
+
+These run on the output side of the probabilistic pipeline — a built
+(finalized or not) :class:`repro.mdp.MDP` — and catch the traps the
+numerical analyses are sensitive to: distributions that stopped summing
+to one after hand edits, and absorbing states carrying positive reward,
+which send expected-total-reward queries to infinity without any
+diagnostic (the latent end-component trap PR 4 fixed inside the solver;
+the lint rule reports the modelling-side variant before any analysis
+runs).
+
+========================  ========  =============================================
+rule id                   severity  meaning
+========================  ========  =============================================
+mdp-prob-invalid          error     action probabilities negative / not
+                                    summing to 1
+mdp-target-invalid        error     transition targets a non-existent state
+mdp-reward-trap           warning   absorbing state with positive reward:
+                                    expected total reward diverges
+mdp-state-unreachable     info      state unreachable from the initial state
+mdp-label-dangling        error     label names a non-existent state
+========================  ========  =============================================
+"""
+
+from __future__ import annotations
+
+from .findings import Finding
+from .ta_rules import PROB_TOLERANCE
+
+
+def collect_mdp(mdp, model_name):
+    findings = []
+    num_states = mdp.num_states
+    for state in range(num_states):
+        actions = mdp.actions_of(state)
+        absorbing = bool(actions)
+        trap_reward = 0.0
+        for aindex, (label, pairs, reward) in enumerate(actions):
+            where = f"state[{state}]/action[{aindex}]"
+            total = 0.0
+            self_loop = True
+            for target, probability in pairs:
+                total += probability
+                if probability < 0:
+                    findings.append(Finding(
+                        "mdp-prob-invalid", "error", model_name, where,
+                        f"negative probability {probability} to state "
+                        f"{target}"))
+                if not 0 <= target < num_states:
+                    findings.append(Finding(
+                        "mdp-target-invalid", "error", model_name, where,
+                        f"transition targets non-existent state "
+                        f"{target}"))
+                if target != state:
+                    self_loop = False
+            if abs(total - 1.0) > PROB_TOLERANCE:
+                findings.append(Finding(
+                    "mdp-prob-invalid", "error", model_name, where,
+                    f"action probabilities sum to {total!r}, expected 1"))
+            if not self_loop:
+                absorbing = False
+            trap_reward = max(trap_reward, reward)
+        if absorbing and trap_reward > 0:
+            findings.append(Finding(
+                "mdp-reward-trap", "warning", model_name,
+                f"state[{state}]",
+                f"absorbing state {state} has reward {trap_reward:g}: "
+                f"every expected-total-reward query that can reach it "
+                f"diverges"))
+    _check_reachability(mdp, model_name, num_states, findings)
+    for label, states in mdp.labels.items():
+        for state in states:
+            if not 0 <= state < num_states:
+                findings.append(Finding(
+                    "mdp-label-dangling", "error", model_name,
+                    f"labels/{label}",
+                    f"label {label!r} names non-existent state {state}"))
+    return findings
+
+
+def _check_reachability(mdp, model_name, num_states, findings):
+    if num_states == 0:
+        return
+    seen = {mdp.initial_state}
+    stack = [mdp.initial_state]
+    while stack:
+        state = stack.pop()
+        for _label, pairs, _reward in mdp.actions_of(state):
+            for target, probability in pairs:
+                if probability > 0 and 0 <= target < num_states \
+                        and target not in seen:
+                    seen.add(target)
+                    stack.append(target)
+    unreachable = num_states - len(seen)
+    if unreachable:
+        sample = sorted(s for s in range(num_states) if s not in seen)[:5]
+        findings.append(Finding(
+            "mdp-state-unreachable", "info", model_name, "states",
+            f"{unreachable} of {num_states} states are unreachable from "
+            f"the initial state (e.g. {sample})"))

@@ -1,0 +1,181 @@
+"""Lint rules for MODEST models (AST level).
+
+The single-formalism / multi-backend architecture (Hartmanns's Modest
+overview) puts one more surface in front of the shared PTA network: the
+MODEST source itself.  These rules walk the parsed AST before
+flattening, so declaration-level mistakes are reported against the
+source's own names rather than against generated ``L<n>`` locations.
+After the AST pass, :func:`repro.lint.lint_model` flattens the model
+and runs the TA/PTA rules on the resulting network as well.
+
+Variables that are only *written* are deliberately not flagged: MODEST
+properties observe model variables from outside (``ok``/``nok``/``dk``
+in the BRP), so write-only variables are the normal way to expose
+verdicts to queries.  Only declarations that are neither read nor
+written anywhere are dead.
+
+========================  ========  =============================================
+rule id                   severity  meaning
+========================  ========  =============================================
+modest-shadowed-decl      warning   declaration shadows an earlier or global
+                                    declaration of the same name
+modest-unused-decl        warning   declared variable is never read nor
+                                    assigned (clocks: never read)
+modest-unused-process     warning   process defined but never instantiated
+modest-palt-weights       error     palt weights negative or all zero
+modest-undeclared-var     error     expression reads an undeclared variable
+========================  ========  =============================================
+"""
+
+from __future__ import annotations
+
+from ..core.expressions import Expr
+from ..modest.ast import (
+    ActionPrefix,
+    Alt,
+    AssignBlock,
+    Invariant,
+    Loop,
+    Sequence,
+    When,
+)
+from .findings import Finding
+
+
+def collect_modest(model, model_name):
+    findings = []
+    global_names = {}
+    global_usage = _Usage()
+    _declare_all(model.declarations, model_name, "globals", global_names,
+                 findings, global_usage)
+    composition = {call.name for call in model.composition}
+    for process in model.processes.values():
+        local_names = dict(global_names)
+        local_decls = {}
+        _declare_all(process.declarations, model_name, process.name,
+                     local_names, findings, global_usage,
+                     own=local_decls)
+        usage = _Usage()
+        _walk(process.body, usage)
+        _check_process(process, model_name, local_names, local_decls,
+                       usage, findings)
+        global_usage.merge(usage)
+        if model.composition and process.name not in composition:
+            findings.append(Finding(
+                "modest-unused-process", "warning", model_name,
+                process.name,
+                f"process {process.name!r} is defined but never "
+                f"instantiated in the par composition"))
+    for name, decl in global_names.items():
+        if _is_dead(decl, global_usage):
+            findings.append(Finding(
+                "modest-unused-decl", "warning", model_name,
+                f"globals/{name}",
+                f"global {decl.kind} {name!r} is never used by any "
+                f"process"))
+    return findings
+
+
+class _Usage:
+    """Variable reads/writes and palt weight problems seen in a body."""
+
+    def __init__(self):
+        self.reads = set()
+        self.writes = set()
+        self.weight_errors = []   # (action, detail)
+
+    def merge(self, other):
+        self.reads |= other.reads
+        self.writes |= other.writes
+
+
+def _is_dead(decl, usage):
+    if decl.kind == "clock":
+        return decl.name not in usage.reads
+    return decl.name not in usage.reads and decl.name not in usage.writes
+
+
+def _declare_all(declarations, model_name, scope, names, findings, usage,
+                 own=None):
+    for decl in declarations:
+        if decl.name in names:
+            findings.append(Finding(
+                "modest-shadowed-decl", "warning", model_name,
+                f"{scope}/{decl.name}",
+                f"declaration of {decl.kind} {decl.name!r} in {scope!r} "
+                f"shadows an earlier declaration of the same name"))
+        names[decl.name] = decl
+        if own is not None:
+            own[decl.name] = decl
+        if decl.init is not None:
+            _see_expr(decl.init, usage)
+    return names
+
+
+def _see_expr(expr, usage):
+    if isinstance(expr, Expr):
+        usage.reads |= expr.variables()
+
+
+def _see_assignments(assignments, usage):
+    for assignment in assignments:
+        usage.writes.add(assignment.target)
+        _see_expr(assignment.expr, usage)
+        if assignment.index is not None:
+            _see_expr(assignment.index, usage)
+
+
+def _walk(stmt, usage):
+    if isinstance(stmt, Sequence):
+        for item in stmt.statements:
+            _walk(item, usage)
+    elif isinstance(stmt, ActionPrefix):
+        _see_assignments(stmt.assignments, usage)
+        if stmt.branches is not None:
+            total = 0
+            for branch in stmt.branches:
+                if branch.weight < 0:
+                    usage.weight_errors.append(
+                        (stmt.action,
+                         f"negative palt weight {branch.weight}"))
+                total += max(branch.weight, 0)
+                _see_assignments(branch.assignments, usage)
+                if branch.continuation is not None:
+                    _walk(branch.continuation, usage)
+            if total <= 0:
+                usage.weight_errors.append(
+                    (stmt.action, "palt weights sum to zero: no branch "
+                                  "can be taken"))
+    elif isinstance(stmt, AssignBlock):
+        _see_assignments(stmt.assignments, usage)
+    elif isinstance(stmt, (Alt, Loop)):
+        for item in stmt.alternatives:
+            _walk(item, usage)
+    elif isinstance(stmt, When):
+        _see_expr(stmt.guard, usage)
+        _walk(stmt.body, usage)
+    elif isinstance(stmt, Invariant):
+        _see_expr(stmt.expr, usage)
+        _walk(stmt.body, usage)
+    # Call / StopStmt: nothing to record
+
+
+def _check_process(process, model_name, local_names, local_decls, usage,
+                   findings):
+    for action, detail in usage.weight_errors:
+        findings.append(Finding(
+            "modest-palt-weights", "error", model_name,
+            f"{process.name}/{action}", detail))
+    for name in sorted(usage.reads):
+        if name not in local_names:
+            findings.append(Finding(
+                "modest-undeclared-var", "error", model_name,
+                f"{process.name}/{name}",
+                f"expression reads undeclared variable {name!r}"))
+    for name, decl in local_decls.items():
+        if _is_dead(decl, usage):
+            findings.append(Finding(
+                "modest-unused-decl", "warning", model_name,
+                f"{process.name}/{name}",
+                f"{decl.kind} {name!r} is declared but never used in "
+                f"{process.name!r}"))

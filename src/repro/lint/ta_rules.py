@@ -1,0 +1,343 @@
+"""Lint rules for timed-automata and probabilistic-TA networks.
+
+These are the editor-level static checks UPPAAL performs before any
+exploration starts (paper, Section II), extended with the stochastic
+well-formedness conditions UPPAAL-SMC needs (positive rates, non-empty
+delay intervals) and the probabilistic-branch checks of mcpta.  All
+checks are syntactic passes over templates plus one semantic device: a
+throw-away DBM per edge to decide guard/invariant satisfiability, the
+same zone algebra the engines run on.
+
+Rules (see ``docs/LINT.md`` for the catalogue):
+
+========================  ========  =============================================
+rule id                   severity  meaning
+========================  ========  =============================================
+clock-unused              warning   clock declared but never constrained or reset
+clock-never-reset         info      clock constrained but never reset
+clock-unknown             error     constraint references an undeclared clock
+edge-contradiction        error     invariant ∧ guard is the empty zone
+edge-target-contradiction error     resets land outside the target invariant
+location-unreachable      warning   no edge path from the initial location
+urgency-misuse            warning   invariant on an urgent/committed location
+urgency-timelock          error     committed location with no outgoing edge
+invariant-lower-bound     warning   invariant is not downward-closed
+invariant-initial-violated error    initial location invariant excludes 0
+broadcast-no-receiver     warning   ``c!`` on a broadcast channel nobody receives
+rendezvous-unmatched      warning   binary channel with only one side present
+channel-undeclared        error     edge synchronises on an unknown channel
+channel-unused            info      channel declared but never used
+prob-branch-invalid       error     branch weights negative / not summing to 1
+prob-branch-dead          warning   zero-probability branch
+rate-invalid              error     location rate fails the SMC validator
+rate-unused               info      rate on a location with a bounded invariant
+========================  ========  =============================================
+"""
+
+from __future__ import annotations
+
+from ..core.distributions import validate_rate
+from ..core.errors import ModelError
+from ..dbm.dbm import DBM
+from ..pta.pta import ProbEdge
+from .findings import Finding
+
+#: Tolerance for probabilistic branch sums, matching
+#: :class:`repro.pta.pta.ProbEdge` and :meth:`repro.mdp.MDP.add_action`.
+PROB_TOLERANCE = 1e-9
+
+
+def collect_network(network, model_name):
+    """All TA/PTA findings for a network (does not mutate or freeze it)."""
+    findings = []
+    for process in network.processes:
+        collect_template(process.automaton, model_name, findings,
+                         template_name=process.name)
+    _check_channels(network, model_name, findings)
+    return findings
+
+
+def collect_template(automaton, model_name, findings=None,
+                     template_name=None):
+    """Template-local findings (everything except channel matching)."""
+    if findings is None:
+        findings = []
+    tpl = template_name or automaton.name
+    known = set(automaton.clocks)
+    constrained, reset = _clock_usage(automaton, model_name, tpl, known,
+                                      findings)
+    for clock in automaton.clocks:
+        if clock not in constrained and clock not in reset:
+            findings.append(Finding(
+                "clock-unused", "warning", model_name, f"{tpl}/{clock}",
+                f"clock {clock!r} is never constrained or reset"))
+        elif clock in constrained and clock not in reset:
+            findings.append(Finding(
+                "clock-never-reset", "info", model_name, f"{tpl}/{clock}",
+                f"clock {clock!r} is constrained but never reset "
+                f"(global-time clock?)"))
+    _check_locations(automaton, model_name, tpl, findings)
+    _check_reachability(automaton, model_name, tpl, findings)
+    _check_edges(automaton, model_name, tpl, known, findings)
+    return findings
+
+
+# -- clock usage ---------------------------------------------------------------
+
+def _branches_of(edge):
+    """Branch views of an edge: (probability|None, target, resets)."""
+    if isinstance(edge, ProbEdge):
+        return [(b.probability, b.target, b.resets) for b in edge.branches]
+    return [(None, edge.target, edge.resets)]
+
+
+def _clock_usage(automaton, model_name, tpl, known, findings):
+    constrained = set()
+    reset = set()
+
+    def see(atom, where):
+        for clock in (atom.clock, atom.other):
+            if clock is None:
+                continue
+            if clock in known:
+                constrained.add(clock)
+            else:
+                findings.append(Finding(
+                    "clock-unknown", "error", model_name, where,
+                    f"constraint {atom!r} references undeclared clock "
+                    f"{clock!r}"))
+
+    for loc in automaton.locations.values():
+        for atom in loc.invariant:
+            see(atom, f"{tpl}/{loc.name}")
+    for index, edge in enumerate(automaton.edges):
+        where = _edge_where(tpl, edge, index)
+        for atom in edge.guard:
+            see(atom, where)
+        for _p, _target, resets in _branches_of(edge):
+            for clock, _value in resets:
+                if clock in known:
+                    reset.add(clock)
+                else:
+                    findings.append(Finding(
+                        "clock-unknown", "error", model_name, where,
+                        f"reset of undeclared clock {clock!r}"))
+    return constrained, reset
+
+
+# -- locations ------------------------------------------------------------------
+
+def _check_locations(automaton, model_name, tpl, findings):
+    outgoing = set()
+    for edge in automaton.edges:
+        outgoing.add(edge.source)
+    for loc in automaton.locations.values():
+        where = f"{tpl}/{loc.name}"
+        if (loc.committed or loc.urgent) and loc.invariant:
+            kind = "committed" if loc.committed else "urgent"
+            findings.append(Finding(
+                "urgency-misuse", "warning", model_name, where,
+                f"invariant on {kind} location {loc.name!r} is dead "
+                f"(delay is already forbidden)"))
+        if loc.committed and loc.name not in outgoing:
+            findings.append(Finding(
+                "urgency-timelock", "error", model_name, where,
+                f"committed location {loc.name!r} has no outgoing edge: "
+                f"time cannot pass and no transition can fire"))
+        elif loc.urgent and loc.name not in outgoing:
+            findings.append(Finding(
+                "urgency-misuse", "warning", model_name, where,
+                f"urgent location {loc.name!r} has no outgoing edge"))
+        for atom in loc.invariant:
+            if atom.other is None and not atom.is_upper_bound():
+                findings.append(Finding(
+                    "invariant-lower-bound", "warning", model_name, where,
+                    f"invariant atom {atom!r} is a lower bound; "
+                    f"invariants should be downward closed"))
+        if loc.name == automaton.initial_location:
+            for atom in loc.invariant:
+                if not atom.holds(0, 0):
+                    findings.append(Finding(
+                        "invariant-initial-violated", "error", model_name,
+                        where,
+                        f"initial invariant atom {atom!r} excludes the "
+                        f"all-zero clock valuation"))
+        if loc.rate is not None:
+            try:
+                validate_rate(loc.rate)
+            except ModelError as exc:
+                findings.append(Finding(
+                    "rate-invalid", "error", model_name, where,
+                    f"stochastic rate of {loc.name!r}: {exc}"))
+            else:
+                if any(atom.other is None and atom.is_upper_bound()
+                       for atom in loc.invariant):
+                    findings.append(Finding(
+                        "rate-unused", "info", model_name, where,
+                        f"rate on {loc.name!r} is unused: the invariant "
+                        f"bounds delay, so SMC samples uniformly"))
+
+
+def _check_reachability(automaton, model_name, tpl, findings):
+    """Syntactic reachability: ignore guards, follow every edge."""
+    successors = {}
+    for edge in automaton.edges:
+        targets = successors.setdefault(edge.source, set())
+        for _p, target, _resets in _branches_of(edge):
+            targets.add(target)
+    seen = {automaton.initial_location}
+    stack = [automaton.initial_location]
+    while stack:
+        for target in successors.get(stack.pop(), ()):
+            if target not in seen:
+                seen.add(target)
+                stack.append(target)
+    for name in automaton.locations:
+        if name not in seen:
+            findings.append(Finding(
+                "location-unreachable", "warning", model_name,
+                f"{tpl}/{name}",
+                f"location {name!r} has no edge path from the initial "
+                f"location {automaton.initial_location!r}"))
+
+
+# -- edges ----------------------------------------------------------------------
+
+def _edge_where(tpl, edge, index):
+    return f"{tpl}/{edge.source}->{edge.target}#{index}"
+
+
+def _zone(atoms, index_of, size):
+    """The zone of a conjunction of atoms, or None on unknown clocks."""
+    zone = DBM.universal(size)
+    for atom in atoms:
+        try:
+            for i, j, bound in atom.encoded_constraints(index_of):
+                zone.constrain(i, j, bound)
+        except (KeyError, ModelError):
+            return None
+        if zone.is_empty():
+            break
+    return zone
+
+
+def _check_edges(automaton, model_name, tpl, known, findings):
+    index_map = {clock: i + 1 for i, clock in enumerate(automaton.clocks)}
+    size = len(automaton.clocks) + 1
+
+    def index_of(name):
+        return index_map[name]
+
+    for index, edge in enumerate(automaton.edges):
+        where = _edge_where(tpl, edge, index)
+        source = automaton.locations.get(edge.source)
+        if isinstance(edge, ProbEdge):
+            _check_branches(edge, model_name, where, findings)
+        if source is None:
+            continue
+        fire = _zone(tuple(source.invariant) + tuple(edge.guard),
+                     index_of, size)
+        if fire is None:
+            continue  # clock-unknown already reported
+        if fire.is_empty():
+            findings.append(Finding(
+                "edge-contradiction", "error", model_name, where,
+                f"guard {list(edge.guard)!r} contradicts the invariant "
+                f"of {edge.source!r}: the edge can never fire"))
+            continue
+        for _p, target_name, resets in _branches_of(edge):
+            target = automaton.locations.get(target_name)
+            if target is None or not target.invariant:
+                continue
+            landed = fire.copy()
+            for clock, value in resets:
+                if clock in index_map:
+                    landed.reset(index_map[clock], value)
+            landed = _intersect(landed, target.invariant, index_of)
+            if landed is not None and landed.is_empty():
+                findings.append(Finding(
+                    "edge-target-contradiction", "error", model_name,
+                    where,
+                    f"after resets {list(resets)!r} the invariant of "
+                    f"target {target_name!r} is unsatisfiable"))
+
+
+def _intersect(zone, atoms, index_of):
+    for atom in atoms:
+        try:
+            for i, j, bound in atom.encoded_constraints(index_of):
+                zone.constrain(i, j, bound)
+        except (KeyError, ModelError):
+            return None
+    return zone
+
+
+def _check_branches(edge, model_name, where, findings):
+    total = 0.0
+    for bindex, branch in enumerate(edge.branches):
+        if branch.probability < 0:
+            findings.append(Finding(
+                "prob-branch-invalid", "error", model_name, where,
+                f"branch #{bindex} has negative probability "
+                f"{branch.probability}"))
+        elif branch.probability == 0:
+            findings.append(Finding(
+                "prob-branch-dead", "warning", model_name, where,
+                f"branch #{bindex} to {branch.target!r} has probability "
+                f"0 and can never be taken"))
+        total += branch.probability
+    if abs(total - 1.0) > PROB_TOLERANCE:
+        findings.append(Finding(
+            "prob-branch-invalid", "error", model_name, where,
+            f"branch probabilities sum to {total!r}, expected 1"))
+
+
+# -- channels -------------------------------------------------------------------
+
+def _check_channels(network, model_name, findings):
+    senders = {}    # channel -> set of process names with a '!' edge
+    receivers = {}
+    for process in network.processes:
+        for edge in process.automaton.edges:
+            if edge.sync is None:
+                continue
+            channel, direction = edge.sync
+            if channel not in network.channels:
+                findings.append(Finding(
+                    "channel-undeclared", "error", model_name,
+                    f"{process.name}/{edge.source}->{edge.target}",
+                    f"synchronisation on undeclared channel {channel!r}"))
+                continue
+            side = senders if direction == "!" else receivers
+            side.setdefault(channel, set()).add(process.name)
+    for name, channel in network.channels.items():
+        sends = senders.get(name, set())
+        receives = receivers.get(name, set())
+        if not sends and not receives:
+            findings.append(Finding(
+                "channel-unused", "info", model_name, f"channels/{name}",
+                f"channel {name!r} is declared but never used"))
+            continue
+        if channel.broadcast:
+            for sender in sends:
+                if not (receives - {sender}):
+                    findings.append(Finding(
+                        "broadcast-no-receiver", "warning", model_name,
+                        f"channels/{name}",
+                        f"broadcast {name!r}! in {sender!r} has no "
+                        f"matching receiver in any other process"))
+        else:
+            # Binary rendezvous needs both sides in different processes.
+            if sends and not any(receives - {p} for p in sends):
+                findings.append(Finding(
+                    "rendezvous-unmatched", "warning", model_name,
+                    f"channels/{name}",
+                    f"channel {name!r} has senders {sorted(sends)} but "
+                    f"no receiver in another process: the rendezvous "
+                    f"can never fire"))
+            elif receives and not sends:
+                findings.append(Finding(
+                    "rendezvous-unmatched", "warning", model_name,
+                    f"channels/{name}",
+                    f"channel {name!r} has receivers {sorted(receives)} "
+                    f"but no sender: the rendezvous can never fire"))

@@ -16,10 +16,10 @@ to the process's initial location.
 
 from __future__ import annotations
 
-from ..core.errors import ModelError
+from ..core.errors import EvaluationError, ModelError
 from ..core.expressions import BinOp, Const, Expr, UnOp, Var, conjoin
 from ..core.values import Declarations
-from ..pta.pta import PTA, Branch, PTANetwork
+from ..pta.pta import PTA, Branch, PTANetwork, edge_branches
 from ..ta.syntax import ClockAtom
 from .ast import (
     ActionPrefix,
@@ -43,10 +43,16 @@ class _GuardSplit:
 
 
 def _fold_const(expr, constants):
-    """Evaluate an expression over the declared constants, or None."""
+    """Evaluate an expression over the declared constants, or None.
+
+    Only :class:`EvaluationError` (unknown variable, division by zero,
+    ...) means "not a constant"; anything else — a typo'd AST node, an
+    operator bug — must propagate instead of silently degrading clock
+    bounds and initializers to ``None``.
+    """
     try:
         return expr.eval(constants)
-    except Exception:
+    except EvaluationError:
         return None
 
 
@@ -125,7 +131,27 @@ class _ProcessFlattener:
     def flatten(self):
         final = self._new_location()
         self._compile(self.process_def.body, self.initial, final)
+        self._prune_orphans()
         return self.pta
+
+    def _prune_orphans(self):
+        """Drop locations no edge enters or leaves.
+
+        The exit location allocated for the process body stays orphaned
+        whenever the body loops forever or ends in ``stop`` — which is
+        every long-running process.  Leaving it in place distorts
+        state-space statistics and trips unreachable-location checks,
+        so remove any non-initial location that participates in no
+        edge.  Names are assigned before pruning, so surviving ``L<n>``
+        names are stable.
+        """
+        touched = {self.initial}
+        for edge in self.pta.edges:
+            touched.add(edge.source)
+            for branch in edge_branches(edge):
+                touched.add(branch.target)
+        for name in [n for n in self.pta.locations if n not in touched]:
+            del self.pta.locations[name]
 
     # -- statement compilation -----------------------------------------------------
 
