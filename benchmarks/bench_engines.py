@@ -84,53 +84,88 @@ def test_exploration_ablation(benchmark, extrapolate, inclusion):
 
 @pytest.mark.benchmark(group="engines-explore")
 def test_exploration_core_vs_reference(benchmark):
-    """The rewritten exploration core against the preserved seed engine
-    (state counts must agree exactly; see ``--explore`` for the timed
-    comparison on the larger Fischer instance)."""
+    """The rewritten exploration core against the preserved seed engine.
+
+    The compat configuration (classic k-extrapolation, no waiting-list
+    eviction) must agree with the seed oracle exactly; the default lu+
+    abstraction must store no more states (see ``--explore`` for the
+    timed comparison on the larger Fischer instance)."""
     network = make_fischer(4)
 
     def run():
-        return explore(ZoneGraph(network)).states_stored
+        return explore(ZoneGraph(network, abstraction="k"),
+                       evict_waiting=False).states_stored
 
     stored = benchmark.pedantic(run, rounds=1, iterations=1)
     reference = reference_explore(
-        ZoneGraph(network, intern_zones=False, cache_size=0))
+        ZoneGraph(network, intern_zones=False, cache_size=0,
+                  abstraction="k"))
     assert stored == reference.states_stored
+    lu = explore(ZoneGraph(network))
+    assert lu.states_stored <= stored
 
 
-def exploration_benchmark(n, require_speedup=None):
+def exploration_benchmark(n, require_speedup=None, abstraction="lu+"):
     """Timed old-vs-new exploration on Fischer ``n`` under the active
-    collector; asserts bit-identical results and (optionally) a minimum
-    speedup.  Returns the measurement dict (also used by ``--explore``).
+    collector.  Three engines run:
+
+    * ``reference`` — the preserved seed engine (classic
+      k-extrapolation, split passed list / frontier);
+    * ``core-k`` — the unified exploration core in its *compat*
+      configuration (k-extrapolation, no waiting-list eviction), which
+      must match the reference **bit for bit**;
+    * ``core`` — the production default: the requested ``abstraction``
+      (lu+ unless overridden) with bidirectional waiting-list
+      subsumption, which must reach exactly the same discrete
+      configurations while storing no more states.
+
+    The speedup is ``reference / core``.  Returns the measurement dict
+    (also used by ``--explore``).
     """
     from repro.obs.trace import span
 
     network = make_fischer(n)
     runs = {}
-    with span("bench.explore", model=f"fischer{n}") as sp:
-        for name, graph, search in (
+    configs = {}
+    with span("bench.explore", model=f"fischer{n}",
+              abstraction=abstraction) as sp:
+        for name, graph, search, kwargs in (
                 ("reference",
-                 ZoneGraph(network, intern_zones=False, cache_size=0),
-                 reference_explore),
-                ("core-uncached",
-                 ZoneGraph(network, intern_zones=False, cache_size=0),
-                 explore),
+                 ZoneGraph(network, intern_zones=False, cache_size=0,
+                           abstraction="k"),
+                 reference_explore, {}),
+                ("core-k",
+                 ZoneGraph(network, abstraction="k"),
+                 explore, {"evict_waiting": False}),
                 ("core",
-                 ZoneGraph(network),
-                 explore)):
+                 ZoneGraph(network, abstraction=abstraction),
+                 explore, {})):
+            seen = set()
+            if name != "reference":
+                kwargs = dict(kwargs,
+                              on_state=lambda s, seen=seen:
+                              seen.add(s.discrete_key()))
             start = time.perf_counter()
-            result = search(graph)
+            result = search(graph, **kwargs)
             seconds = time.perf_counter() - start
             runs[name] = (result, graph.stats.snapshot(), seconds)
+            configs[name] = seen
         reference = runs["reference"]
-        for name in ("core-uncached", "core"):
-            result, stats, _seconds = runs[name]
-            assert (result.found, result.states_explored,
-                    result.states_stored) == \
-                (reference[0].found, reference[0].states_explored,
-                 reference[0].states_stored), name
-            assert stats == reference[1], name
+        compat = runs["core-k"][0]
+        assert (compat.found, compat.states_explored,
+                compat.states_stored) == \
+            (reference[0].found, reference[0].states_explored,
+             reference[0].states_stored), "core-k"
+        core = runs["core"][0]
+        assert configs["core"] == configs["core-k"], (
+            f"{abstraction} reaches "
+            f"{len(configs['core'] - configs['core-k'])} spurious / "
+            f"misses {len(configs['core-k'] - configs['core'])} discrete "
+            f"configurations")
+        assert core.states_stored <= reference[0].states_stored
         speedup = reference[2] / runs["core"][2]
+        reduction = reference[0].states_explored \
+            / max(1, core.states_explored)
         sp.set("states", reference[0].states_stored)
         sp.set("speedup", round(speedup, 2))
     if require_speedup is not None:
@@ -138,15 +173,21 @@ def exploration_benchmark(n, require_speedup=None):
             f"exploration core only {speedup:.2f}x faster than the seed "
             f"engine on fischer{n} (required {require_speedup}x)")
 
-    table = ResultTable("engine", "seconds", "states",
+    table = ResultTable("engine", "seconds", "explored", "stored",
                         title=f"Exploration engines, Fischer n={n}")
-    for name in ("reference", "core-uncached", "core"):
+    for name in ("reference", "core-k", "core"):
         result, _stats, seconds = runs[name]
-        table.add_row(name, round(seconds, 2), result.states_stored)
+        table.add_row(name, round(seconds, 2), result.states_explored,
+                      result.states_stored)
     table.print()
-    print(f"speedup (reference / core): {speedup:.2f}x")
+    print(f"speedup (reference / core): {speedup:.2f}x, "
+          f"states-explored reduction: {reduction:.2f}x")
     return {"model": f"fischer{n}",
+            "abstraction": abstraction,
             "states": reference[0].states_stored,
+            "core_states_explored": core.states_explored,
+            "core_states_stored": core.states_stored,
+            "state_reduction": round(reduction, 2),
             "reference_seconds": round(reference[2], 3),
             "core_seconds": round(runs["core"][2], 3),
             "speedup": round(speedup, 2)}
@@ -348,7 +389,11 @@ def main(argv=None):
                              "instead of the per-engine workloads")
     parser.add_argument("--fischer", type=int, default=None,
                         help="Fischer instance size for --explore "
-                             "(default 5, or 4 with --quick)")
+                             "(default 6, or 4 with --quick)")
+    parser.add_argument("--abstraction", default="lu+",
+                        choices=["lu+", "k", "none"],
+                        help="zone abstraction for the --explore "
+                             "'core' engine (default lu+)")
     parser.add_argument("--mdp", action="store_true",
                         help="run the probabilistic-pipeline old-vs-new "
                              "benchmark (BRP digital MDP build + check) "
@@ -392,7 +437,7 @@ def main(argv=None):
 
     if args.explore:
         n = args.fischer if args.fischer is not None \
-            else (4 if args.quick else 5)
+            else (4 if args.quick else 6)
         collector = Collector("bench_explore")
         tracer = Tracer()
         with collecting(collector), tracing(tracer), scope:
@@ -400,7 +445,8 @@ def main(argv=None):
             # meaningful on instances large enough for the quadratic
             # terms to dominate.
             measurement = exploration_benchmark(
-                n, require_speedup=2.0 if n >= 5 else None)
+                n, require_speedup=2.0 if n >= 5 else None,
+                abstraction=args.abstraction)
         if profiler is not None:
             # The profiler accounts its own duty cycle; the smoke job
             # asserts the documented overhead bound on a real workload.

@@ -18,6 +18,13 @@ from __future__ import annotations
 # large enough never to collide with model constants.
 INF = 1 << 60
 
+# Sentinel for "no constant": a clock that is never compared against any
+# lower (or upper) guard/invariant constant has LU bound NO_BOUND, which
+# must order strictly below every real constant (constants may be
+# negative, so 0 or -1 would be wrong).  Used by the LU-bounds analysis
+# (:mod:`repro.ta.bounds`) and :meth:`repro.dbm.DBM.extrapolate_lu`.
+NO_BOUND = -(1 << 59)
+
 #: ``<= 0`` — the diagonal entry and the most common constraint.
 LE_ZERO = 1
 

@@ -225,6 +225,17 @@ class DBM:
                 m[i * n + clock] = m[i * n]
         return self
 
+    def free_clock(self, clock):
+        """Checked :meth:`free`, for the clock-activity reduction.
+
+        Freeing the reference clock or an out-of-range index would
+        silently corrupt the matrix, so the analysis-facing entry point
+        validates like :meth:`reset` does.
+        """
+        if clock <= 0 or clock >= self.size:
+            raise ModelError(f"bad clock index {clock}")
+        return self.free(clock)
+
     def intersect(self, other):
         """Zone intersection (both operands canonical)."""
         if self.size != other.size:
@@ -272,6 +283,73 @@ class DBM:
                     changed = True
                 elif b < lowers[j]:
                     m[row_i + j] = lowers[j]
+                    changed = True
+        if changed:
+            self.close()
+        return self
+
+    def extrapolate_lu(self, lowers, uppers):
+        """Extra+_LU: LU-bounds extrapolation with diagonal tightening.
+
+        ``lowers[i]`` / ``uppers[i]`` are the largest constants clock
+        ``i`` can still be compared against in lower (``x > c`` /
+        ``x >= c``) resp. upper (``x < c`` / ``x <= c``) guard or
+        invariant atoms before its next reset, as *plain integers*
+        (:data:`~repro.dbm.bounds.NO_BOUND` when no such atom exists;
+        index 0 is the reference clock with both constants 0).
+
+        The rule table (primes are the new entries, ``v`` the value of
+        ``c_ij`` and ``min(x)`` the zone-global minimum of a clock,
+        read off row 0)::
+
+            c'_ij = INF         if v > L(x_i), i != 0
+                  = INF         if min(x_i) > L(x_i), i != 0
+                  = INF         if min(x_j) > U(x_j), i != 0, j != 0
+                  = (-U(x_j),<) if min(x_j) > U(x_j), i == 0
+                  = c_ij        otherwise
+
+        Upper bounds answer only to L of the *row* clock — a clock's
+        ceiling may be forgotten exactly when it already tops every
+        lower-bound guard, so letting it grow enables nothing new —
+        and lower bounds only to U of the *column* clock: a clock may
+        drift down to just above U, where every upper-bound guard is
+        already false.  The zone-global ("+") conditions apply the
+        same logic from the zone's minima.  Strictly coarser than
+        classic k-extrapolation yet location-reachability-exact for
+        diagonal-free TA (Behrmann, Bouyer, Larsen, Pelánek 2006).
+        """
+        if self.is_empty():
+            return self
+        n = self.size
+        if len(lowers) != n or len(uppers) != n:
+            raise ModelError("need one L and one U constant per clock")
+        m = self.m
+        changed = False
+        # Zone-global minimum of each clock, snapshotted before row 0
+        # is rewritten below.
+        mins = [-(m[j] >> 1) for j in range(n)]
+        for i in range(1, n):
+            row = i * n
+            l_i = lowers[i]
+            row_free = mins[i] > l_i
+            for j in range(n):
+                if i == j:
+                    continue
+                b = m[row + j]
+                if b >= INF:
+                    continue
+                if row_free or (b >> 1) > l_i \
+                        or (j and mins[j] > uppers[j]):
+                    m[row + j] = INF
+                    changed = True
+        for j in range(1, n):
+            u_j = uppers[j]
+            if mins[j] > u_j:
+                # Never relax row 0 past <=0: clocks stay non-negative
+                # even when x_j has no upper guard at all.
+                nb = LE_ZERO if u_j < 0 else ((-u_j) << 1)
+                if nb > m[j]:
+                    m[j] = nb
                     changed = True
         if changed:
             self.close()

@@ -19,7 +19,7 @@ product of the two discrete-time state graphs.
 from __future__ import annotations
 
 from ..core.errors import ModelError, SearchLimitError
-from ..mc.explorecore import Frontier, LRUCache
+from ..mc.explorecore import Frontier, LRUCache, PassedWaitingList
 from ..ta.discrete import DiscreteSemantics
 from ..ta.network import Network
 
@@ -105,9 +105,12 @@ def check_refinement(impl, spec, inputs, outputs, max_pairs=200000):
     impl_side = _Side(impl, inputs, outputs)
     spec_side = _Side(spec, inputs, outputs)
 
-    # Phase 1: explore candidate pairs (closure under matched moves).
+    # Phase 1: explore candidate pairs (closure under matched moves),
+    # deduplicated through the shared passed/waiting store (key-only
+    # mode: discrete-time states carry no zone to subsume on).
     start = (impl_side.initial(), spec_side.initial())
-    pairs = {(start[0].key(), start[1].key()): start}
+    pairs = PassedWaitingList(use_inclusion=False)
+    pairs.add_if_new((start[0].key(), start[1].key()), None, start)
     queue = Frontier("dfs")
     queue.push(start)
     while queue:
@@ -116,8 +119,7 @@ def check_refinement(impl, spec, inputs, outputs, max_pairs=200000):
                 impl_side, spec_side, i_state, s_state):
             for pair in succ_pairs:
                 key = (pair[0].key(), pair[1].key())
-                if key not in pairs:
-                    pairs[key] = pair
+                if pairs.add_if_new(key, None, pair):
                     queue.push(pair)
                     if len(pairs) > max_pairs:
                         raise SearchLimitError(
@@ -125,7 +127,7 @@ def check_refinement(impl, spec, inputs, outputs, max_pairs=200000):
                             limit=max_pairs)
 
     # Phase 2: greatest-fixpoint pruning of violating pairs.
-    alive = set(pairs)
+    alive = {key for key, _pair in pairs.items()}
     reason_of = {}
     changed = True
     while changed:
@@ -214,7 +216,8 @@ def check_consistency(spec, inputs, outputs, max_states=100000):
     environment need not provide them)."""
     side = _Side(spec, inputs, outputs)
     initial = side.initial()
-    seen = {initial.key()}
+    passed = PassedWaitingList(use_inclusion=False)
+    passed.add_if_new(initial.key(), None, initial)
     queue = Frontier("dfs")
     queue.push(initial)
     while queue:
@@ -228,10 +231,9 @@ def check_consistency(spec, inputs, outputs, max_states=100000):
             # Only inputs available and no delay: stuck unless helped.
             return False
         for _kind, _label, succ in moves:
-            if succ.key() not in seen:
-                seen.add(succ.key())
+            if passed.add_if_new(succ.key(), None, succ):
                 queue.push(succ)
-                if len(seen) > max_states:
+                if len(passed) > max_states:
                     raise SearchLimitError(
                         "consistency search too large", limit=max_states)
     return True

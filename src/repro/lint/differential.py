@@ -19,8 +19,11 @@ documented tolerances:
 ``mc-vs-reference``
     Full symbolic exploration of TA networks through the production
     engine (:func:`repro.mc.reachability.explore`) and the seed oracle
-    (:func:`repro.mc.reference.reference_explore`): verdict, explored
-    and stored state counts must match exactly.
+    (:func:`repro.mc.reference.reference_explore`).  The compat
+    configuration (classic k-extrapolation, no waiting-list eviction)
+    must match the oracle exactly — verdict, explored and stored state
+    counts; the default lu+ abstraction must reach exactly the same
+    discrete configurations while never storing more states.
 
 ``mdp-vs-reference``
     Digital-clocks MDP construction and numeric analyses through the
@@ -189,15 +192,48 @@ def _check_backends(gate, model_name, source, predicate, runs):
 
 
 def _check_explore(gate, model_name, network_a, network_b):
-    """Production exploration vs the seed oracle, full sweep."""
-    new = explore(ZoneGraph(network_a))
+    """Production exploration vs the seed oracle, full sweep.
+
+    Two layers.  The *compat* configuration (classic k-extrapolation,
+    no waiting-list eviction) must be **bit-identical** to the seed
+    oracle.  The default lu+ abstraction legitimately visits fewer
+    symbolic states, so it is held to set-level exactness instead: the
+    same discrete configurations, never more stored states, and
+    identical sets with eviction on or off.
+    """
+    configs_k = set()
+    new = explore(ZoneGraph(network_a, abstraction="k"),
+                  on_state=lambda s: configs_k.add(s.discrete_key()),
+                  evict_waiting=False)
     ref = reference_explore(
-        ZoneGraph(network_b, intern_zones=False, cache_size=0))
+        ZoneGraph(network_b, intern_zones=False, cache_size=0,
+                  abstraction="k"))
     for field in ("found", "states_explored", "states_stored"):
         mine, theirs = getattr(new, field), getattr(ref, field)
         gate.record(
             "mc-vs-reference", model_name, field, mine == theirs,
             f"explore {field}={mine} vs reference_explore {theirs}")
+
+    for evict in (True, False):
+        configs_lu = set()
+        lu = explore(ZoneGraph(network_a, abstraction="lu+"),
+                     on_state=lambda s: configs_lu.add(s.discrete_key()),
+                     evict_waiting=evict)
+        where = "lu+configs" if evict else "lu+configs-noevict"
+        gate.record(
+            "mc-vs-reference", model_name, where,
+            configs_lu == configs_k,
+            f"lu+ reaches {len(configs_lu)} discrete configurations vs "
+            f"{len(configs_k)} under k "
+            f"({len(configs_lu - configs_k)} spurious, "
+            f"{len(configs_k - configs_lu)} missing)")
+        if evict:
+            gate.record(
+                "mc-vs-reference", model_name, "lu+stored",
+                lu.states_stored <= ref.states_stored,
+                f"lu+ stores {lu.states_stored} states vs reference "
+                f"{ref.states_stored}: the coarser abstraction must "
+                f"never store more")
 
 
 def _check_mdp(gate, model_name, network_a, network_b, predicate):

@@ -16,6 +16,7 @@ rule id                   severity  meaning
 clock-unused              warning   clock declared but never constrained or reset
 clock-never-reset         info      clock constrained but never reset
 clock-unknown             error     constraint references an undeclared clock
+ta-clock-unbounded        warning   constrained clock with no upper-bound atom
 edge-contradiction        error     invariant ∧ guard is the empty zone
 edge-target-contradiction error     resets land outside the target invariant
 location-unreachable      warning   no edge path from the initial location
@@ -64,8 +65,8 @@ def collect_template(automaton, model_name, findings=None,
         findings = []
     tpl = template_name or automaton.name
     known = set(automaton.clocks)
-    constrained, reset = _clock_usage(automaton, model_name, tpl, known,
-                                      findings)
+    constrained, reset, upper_bounded = _clock_usage(
+        automaton, model_name, tpl, known, findings)
     for clock in automaton.clocks:
         if clock not in constrained and clock not in reset:
             findings.append(Finding(
@@ -76,6 +77,14 @@ def collect_template(automaton, model_name, findings=None,
                 "clock-never-reset", "info", model_name, f"{tpl}/{clock}",
                 f"clock {clock!r} is constrained but never reset "
                 f"(global-time clock?)"))
+        if clock in constrained and clock not in upper_bounded:
+            findings.append(Finding(
+                "ta-clock-unbounded", "warning", model_name,
+                f"{tpl}/{clock}",
+                f"clock {clock!r} has lower-bound constraints but no "
+                f"upper bound anywhere: its LU upper bound is -inf, so "
+                f"every zone forgets the clock's maximum immediately "
+                f"(missing invariant?)"))
     _check_locations(automaton, model_name, tpl, findings)
     _check_reachability(automaton, model_name, tpl, findings)
     _check_edges(automaton, model_name, tpl, known, findings)
@@ -94,6 +103,7 @@ def _branches_of(edge):
 def _clock_usage(automaton, model_name, tpl, known, findings):
     constrained = set()
     reset = set()
+    upper_bounded = set()
 
     def see(atom, where):
         for clock in (atom.clock, atom.other):
@@ -101,6 +111,11 @@ def _clock_usage(automaton, model_name, tpl, known, findings):
                 continue
             if clock in known:
                 constrained.add(clock)
+                # Diagonal atoms bound the difference in both
+                # directions, so either orientation caps the clock
+                # relative to the other one.
+                if atom.other is not None or atom.is_upper_bound():
+                    upper_bounded.add(clock)
             else:
                 findings.append(Finding(
                     "clock-unknown", "error", model_name, where,
@@ -122,7 +137,7 @@ def _clock_usage(automaton, model_name, tpl, known, findings):
                     findings.append(Finding(
                         "clock-unknown", "error", model_name, where,
                         f"reset of undeclared clock {clock!r}"))
-    return constrained, reset
+    return constrained, reset, upper_bounded
 
 
 # -- locations ------------------------------------------------------------------

@@ -24,7 +24,9 @@ from .diagnostics import format_state, format_trace, trace_stats
 from .explorecore import (
     Frontier,
     LRUCache,
+    PassedWaitingList,
     SearchLimitError,
+    SearchNode,
     TraceNode,
     ZoneStore,
     reconstruct_trace,
@@ -40,8 +42,8 @@ __all__ = [
     "EF", "EG", "FALSE_FORMULA", "LeadsTo", "LocationIs", "Not", "Or",
     "StateFormula", "TRUE_FORMULA", "exists", "forall",
     "format_state", "format_trace", "trace_stats",
-    "Frontier", "LRUCache", "SearchLimitError", "TraceNode", "ZoneStore",
-    "reconstruct_trace",
+    "Frontier", "LRUCache", "PassedWaitingList", "SearchLimitError",
+    "SearchNode", "TraceNode", "ZoneStore", "reconstruct_trace",
     "parse_query",
     "PassedList", "Reachability", "build_graph", "explore", "materialise",
     "deadlocked_part", "has_deadlock",

@@ -46,9 +46,7 @@ def deadlocked_part(graph, state):
     hit = cache.get(key)
     if hit is not None:
         part, deltas = hit
-        stats.zones_created += deltas[0]
-        stats.constraints_applied += deltas[1]
-        stats.empty_zones += deltas[2]
+        stats.replay(deltas)
         return part
     before = stats.snapshot()
     part = _deadlocked_part_uncached(graph, state)

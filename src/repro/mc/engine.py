@@ -8,7 +8,7 @@ from ..obs.trace import span
 from ..ta.zonegraph import ZoneGraph
 from . import liveness
 from .deadlock import has_deadlock
-from .queries import AF, AG, EF, EG, Deadlock, LeadsTo, Not
+from .queries import AF, AG, ClockPred, Deadlock, EF, EG, LeadsTo, Not
 from .reachability import explore
 
 
@@ -38,13 +38,20 @@ class Verifier:
     """Zone-based model checker for a network of timed automata."""
 
     def __init__(self, network, extrapolate=True, use_inclusion=True,
-                 extra_constants=None, max_states=200000):
+                 extra_constants=None, max_states=200000,
+                 abstraction="lu+", evict_waiting=True):
         self.network = network
+        self.extrapolate = extrapolate
+        self.abstraction = abstraction
+        self._extra = dict(extra_constants) if extra_constants else {}
         self.graph = ZoneGraph(network, extrapolate=extrapolate,
-                               extra_constants=extra_constants)
+                               extra_constants=extra_constants,
+                               abstraction=abstraction)
         self.use_inclusion = use_inclusion
+        self.evict_waiting = evict_waiting
         self.max_states = max_states
         self._full_graph = None
+        self._k_graph = None
 
     # -- public API -------------------------------------------------------------
 
@@ -61,14 +68,82 @@ class Verifier:
             from .parser import parse_query
 
             query = parse_query(query)
-        with span("mc.check", query=type(query).__name__) as sp:
-            result = self._dispatch(query)
-            sp.set("holds", result.holds)
-            sp.set("states_explored", result.states_explored)
+        self._absorb_query_clocks(query)
+        # The deadlock atom reads zone *contents* (is any action
+        # enabled from every point?), which LU extrapolation and
+        # activity freeing deliberately widen.  Those queries run on a
+        # classic-k graph, the abstraction the deadlock semantics was
+        # validated against; location predicates keep the fast graph.
+        default_graph = self.graph
+        if self.abstraction not in ("k", "none") \
+                and self._contains_deadlock_atom(query):
+            if self._k_graph is None:
+                self._k_graph = ZoneGraph(
+                    self.network, extrapolate=self.extrapolate,
+                    extra_constants=self._extra, abstraction="k")
+            self.graph = self._k_graph
+        try:
+            with span("mc.check", query=type(query).__name__) as sp:
+                result = self._dispatch(query)
+                sp.set("holds", result.holds)
+                sp.set("states_explored", result.states_explored)
+        finally:
+            self.graph = default_graph
         incr("mc.queries")
         incr("mc.queries.satisfied" if result.holds
              else "mc.queries.unsatisfied")
         return result
+
+    def _absorb_query_clocks(self, query):
+        """Fold clocks the query observes into the graph's constants.
+
+        Zone abstraction (LU extrapolation, inactive-clock freeing) is
+        exact for location reachability but widens the clock valuations
+        a :class:`~repro.mc.queries.ClockPred` inspects — a clock dead
+        at the goal location would read as unconstrained.  Registering
+        each query-referenced clock as an extra constant floors its LU
+        bounds at the query constant *and* keeps it permanently active
+        (see :class:`repro.ta.bounds.NetworkBounds`), restoring
+        exactness.  The graph is rebuilt only when a query actually
+        tightens the constants, so clock-free queries share one graph.
+        """
+        found = {}
+
+        def visit(formula):
+            if isinstance(formula, ClockPred):
+                process = self.network.process_by_name(formula.process_name)
+                atom = formula.atom
+                clocks = [atom.clock]
+                if getattr(atom, "other", None) is not None:
+                    clocks.append(atom.other)
+                for name in clocks:
+                    gi = process.resolve_clock(name)
+                    c = abs(atom.bound)
+                    if found.get(gi, -1) < c:
+                        found[gi] = c
+                return
+            for attr in ("operand", "operands", "formula",
+                         "premise", "conclusion"):
+                inner = getattr(formula, attr, None)
+                if inner is None:
+                    continue
+                items = inner if isinstance(inner, tuple) else (inner,)
+                for item in items:
+                    visit(item)
+
+        visit(query)
+        changed = False
+        for gi, c in found.items():
+            if self._extra.get(gi, -1) < c:
+                self._extra[gi] = c
+                changed = True
+        if changed:
+            self.graph = ZoneGraph(self.network,
+                                   extrapolate=self.extrapolate,
+                                   extra_constants=self._extra,
+                                   abstraction=self.abstraction)
+            self._full_graph = None
+            self._k_graph = None
 
     def _dispatch(self, query):
         if isinstance(query, EF):
@@ -99,7 +174,8 @@ class Verifier:
 
         explore(self.graph, on_state=observe,
                 use_inclusion=self.use_inclusion,
-                max_states=self.max_states)
+                max_states=self.max_states,
+                evict_waiting=self.evict_waiting)
         return best[0]
 
     def inf(self, value_of):
@@ -113,7 +189,8 @@ class Verifier:
 
         explore(self.graph, on_state=observe,
                 use_inclusion=self.use_inclusion,
-                max_states=self.max_states)
+                max_states=self.max_states,
+                evict_waiting=self.evict_waiting)
         return best[0]
 
     # -- reachability queries ----------------------------------------------------
@@ -142,7 +219,8 @@ class Verifier:
     def _check_ef(self, query):
         result = explore(self.graph, goal=self._goal_predicate(query.formula),
                          use_inclusion=self.use_inclusion,
-                         max_states=self.max_states)
+                         max_states=self.max_states,
+                         evict_waiting=self.evict_waiting)
         return VerificationResult(query, result.found, result.witness,
                                   result.trace, result.states_explored)
 

@@ -9,6 +9,11 @@ hot path linear instead of quadratic:
 * :class:`Frontier` — a :class:`collections.deque` waiting list with a
   pluggable BFS/DFS order.  The seed engine used ``list.pop(0)``, an
   O(n) shift per dequeue and therefore O(n²) over a search.
+* :class:`PassedWaitingList` — the unified passed/waiting store:
+  bidirectional zone subsumption over *both* populations in one bucket
+  scan, with lazy dead-marking of evicted frontier entries
+  (:class:`SearchNode`), so a large zone arriving late still cancels
+  the smaller states queued before it.
 * :class:`TraceNode` — parent-pointer trace records.  The seed engine
   copied the whole predecessor chain into every enqueued state
   (O(depth) per state, quadratic memory on deep models like Fischer);
@@ -43,7 +48,9 @@ from ..core.errors import ModelError, SearchLimitError
 __all__ = [
     "Frontier",
     "LRUCache",
+    "PassedWaitingList",
     "SearchLimitError",
+    "SearchNode",
     "TraceNode",
     "ZoneStore",
     "reconstruct_trace",
@@ -113,6 +120,23 @@ class TraceNode:
             node = node.parent
 
 
+class SearchNode(TraceNode):
+    """A :class:`TraceNode` that is also a unified-list waiting entry.
+
+    ``waiting`` is True while the node sits in the frontier; ``dead``
+    marks it evicted by a later, strictly larger zone with the same
+    discrete configuration.  Dead nodes are skipped lazily on dequeue —
+    O(1) per eviction instead of scanning the frontier deque.
+    """
+
+    __slots__ = ("waiting", "dead")
+
+    def __init__(self, state, transition=None, parent=None):
+        super().__init__(state, transition, parent)
+        self.waiting = False
+        self.dead = False
+
+
 def reconstruct_trace(node):
     """The ``[(transition, state), ...]`` steps from the root to ``node``.
 
@@ -127,6 +151,125 @@ def reconstruct_trace(node):
         node = node.parent
     steps.reverse()
     return steps
+
+
+class PassedWaitingList:
+    """Unified passed/waiting store with bidirectional subsumption.
+
+    One bucket per discrete configuration holds every zone the search
+    has committed to (explored *or* still waiting), so a candidate
+    state is checked — and existing entries are evicted — against both
+    populations in a single scan:
+
+    * a new zone included in any stored zone is dropped
+      (``subsumed``, flushed as ``mc.passed_subsumed``);
+    * stored zones strictly included in the new zone are evicted
+      (``evicted``); when the evicted entry is still *waiting*, its
+      :class:`SearchNode` is additionally marked ``dead`` so the
+      frontier never explores it (``waiting_subsumed``, a new saving
+      the split passed-list/frontier discipline could not express).
+
+    ``evict_waiting=False`` keeps dead-marking off — evicted zones
+    leave the store but their frontier entries still run — which
+    reproduces the pre-unification engine bit-for-bit (the differential
+    anchor against :mod:`repro.mc.reference`).
+
+    ``add_if_new(key, None, node)`` degrades to plain key dedup for
+    searches without zone subsumption (the ECDAR product searches);
+    :meth:`get` then returns the stored payload.
+
+    Zones interned by the graph's :class:`ZoneStore` make the scans
+    cheap: a re-visited zone is the *same object* as the stored one, so
+    the per-bucket identity memo short-circuits before any matrix
+    comparison.  The memo is sound because bucket coverage never
+    shrinks — eviction only replaces zones with strict supersets.
+    """
+
+    __slots__ = ("use_inclusion", "evict_waiting", "_zones", "_subsumed",
+                 "_plain", "size", "subsumed", "evicted",
+                 "waiting_subsumed")
+
+    def __init__(self, use_inclusion=True, evict_waiting=True):
+        self.use_inclusion = use_inclusion
+        self.evict_waiting = evict_waiting
+        self._zones = {}     # discrete key -> [(zone, node), ...]
+        # discrete key -> {id(zone): zone} of every zone the bucket has
+        # ever subsumed (including its own members); holding the zone
+        # object keeps its id() from being recycled.
+        self._subsumed = {}
+        self._plain = {}     # key-only entries (zone is None)
+        self.size = 0
+        self.subsumed = 0
+        self.evicted = 0
+        self.waiting_subsumed = 0
+
+    def add_if_new(self, key, zone, node=None):
+        """True when the entry is not subsumed (and is now recorded)."""
+        if zone is None:
+            if key in self._plain:
+                self.subsumed += 1
+                return False
+            self._plain[key] = node
+            self.size += 1
+            return True
+        bucket = self._zones.get(key)
+        if bucket is None:
+            bucket = self._zones[key] = []
+            self._subsumed[key] = {}
+        seen = self._subsumed[key]
+        if id(zone) in seen:
+            self.subsumed += 1
+            return False
+        if self.use_inclusion:
+            for stored, _node in bucket:
+                if stored.includes(zone):
+                    self.subsumed += 1
+                    seen[id(zone)] = zone
+                    return False
+            kept = []
+            evict_waiting = self.evict_waiting
+            for entry in bucket:
+                if zone.includes(entry[0]):
+                    self.evicted += 1
+                    self.size -= 1
+                    stored_node = entry[1]
+                    if (evict_waiting and stored_node is not None
+                            and stored_node.waiting):
+                        stored_node.dead = True
+                        self.waiting_subsumed += 1
+                else:
+                    kept.append(entry)
+            kept.append((zone, node))
+            self._zones[key] = kept
+            seen[id(zone)] = zone
+            self.size += 1
+            return True
+        zone_key = zone.key()
+        for stored, _node in bucket:
+            if stored.key() == zone_key:
+                self.subsumed += 1
+                seen[id(zone)] = zone
+                return False
+        bucket.append((zone, node))
+        seen[id(zone)] = zone
+        self.size += 1
+        return True
+
+    def get(self, key, default=None):
+        """The payload of a key-only entry (see ``add_if_new``)."""
+        return self._plain.get(key, default)
+
+    def items(self):
+        """``(key, payload)`` pairs of the key-only entries."""
+        return self._plain.items()
+
+    def __len__(self):
+        return self.size
+
+    def __repr__(self):
+        return (f"PassedWaitingList({self.size} stored, "
+                f"{self.subsumed} subsumed, {self.evicted} evicted, "
+                f"{self.waiting_subsumed} waiting killed)")
 
 
 class ZoneStore:

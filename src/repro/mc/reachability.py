@@ -1,15 +1,21 @@
 """Forward symbolic reachability with inclusion (subsumption) checking.
 
 The passed/waiting-list algorithm of UPPAAL: a new symbolic state is
-discarded when an already-passed state with the same discrete part has a
-zone that includes it; conversely, passed states included in the new one
-are evicted.
+discarded when an already-stored state with the same discrete part has
+a zone that includes it; conversely, stored zones included in the new
+one are evicted — and when an evicted entry is still *waiting*, its
+frontier node is dead-marked so it is never explored
+(:class:`~repro.mc.explorecore.PassedWaitingList`, the unified
+passed/waiting store).  ``evict_waiting=False`` restores the pre-
+unification discipline exactly, which together with
+``abstraction="k"`` on the graph keeps a bit-identical configuration
+against the seed oracle.
 
 The search runs on the shared exploration core
 (:mod:`repro.mc.explorecore`): the waiting list is a
 :class:`~repro.mc.explorecore.Frontier` deque (O(1) per dequeue instead
 of the seed engine's quadratic ``list.pop(0)``), traces are
-parent-pointer :class:`~repro.mc.explorecore.TraceNode` records
+parent-pointer :class:`~repro.mc.explorecore.SearchNode` records
 reconstructed only when a witness is found, and zones arrive interned
 from the graph's :class:`~repro.mc.explorecore.ZoneStore`, which turns
 the passed list's inclusion pre-checks into identity hits.  The
@@ -32,7 +38,12 @@ from ..core.errors import SearchLimitError
 from ..obs.metrics import active
 from ..obs.progress import heartbeat
 from ..obs.trace import span
-from .explorecore import Frontier, TraceNode, reconstruct_trace
+from .explorecore import (
+    Frontier,
+    PassedWaitingList,
+    SearchNode,
+    reconstruct_trace,
+)
 
 
 class Reachability:
@@ -56,74 +67,9 @@ class Reachability:
                 f"explored={self.states_explored})")
 
 
-class PassedList:
-    """Zones passed so far, indexed by discrete configuration.
-
-    ``subsumed`` counts candidate states discarded because an existing
-    zone included them (the passed-list hits of UPPAAL's statistics);
-    ``evicted`` counts stored zones dropped because a new state included
-    them.
-
-    Zones interned by the graph's :class:`~repro.mc.explorecore.ZoneStore`
-    make both scans cheap: a re-visited zone is the *same object* as the
-    stored one, so the inclusion (or key-equality) check short-circuits
-    on identity before any matrix comparison.
-    """
-
-    def __init__(self, use_inclusion=True):
-        self.use_inclusion = use_inclusion
-        self._zones = {}     # discrete key -> list of stored zones
-        # discrete key -> {id(zone): zone} of every zone this bucket has
-        # ever subsumed (including its own members).  Subsumption is
-        # monotone — eviction only replaces zones with strict supersets,
-        # so bucket coverage never shrinks — which makes a once-subsumed
-        # zone subsumed forever.  Holding the zone object itself keeps
-        # its id() from being recycled.
-        self._subsumed = {}
-        self.size = 0
-        self.subsumed = 0
-        self.evicted = 0
-
-    def add_if_new(self, state):
-        """True when the state is not subsumed (and is now recorded)."""
-        key = state.discrete_key()
-        bucket = self._zones.get(key)
-        if bucket is None:
-            bucket = self._zones[key] = []
-            self._subsumed[key] = {}
-        seen = self._subsumed[key]
-        new_zone = state.zone
-        # Identity fast path: with interned zones a re-visited zone is
-        # the *same object* as one checked before — O(1) instead of an
-        # inclusion scan, with the identical verdict and counters.
-        if id(new_zone) in seen:
-            self.subsumed += 1
-            return False
-        if self.use_inclusion:
-            for zone in bucket:
-                if zone.includes(new_zone):
-                    self.subsumed += 1
-                    seen[id(new_zone)] = new_zone
-                    return False
-            kept = [z for z in bucket if not new_zone.includes(z)]
-            dropped = len(bucket) - len(kept)
-            self.size -= dropped
-            self.evicted += dropped
-            kept.append(new_zone)
-            self._zones[key] = kept
-            seen[id(new_zone)] = new_zone
-            self.size += 1
-            return True
-        zone_key = new_zone.key()
-        for zone in bucket:
-            if zone.key() == zone_key:
-                self.subsumed += 1
-                seen[id(new_zone)] = new_zone
-                return False
-        bucket.append(new_zone)
-        seen[id(new_zone)] = new_zone
-        self.size += 1
-        return True
+#: Back-compatible name: the passed list now *is* the unified
+#: passed/waiting store of the exploration core.
+PassedList = PassedWaitingList
 
 
 def _cache_snapshot(graph):
@@ -142,14 +88,17 @@ def _record_search(collector, result, passed, graph, zones_before,
     collector.incr("mc.states_stored", result.states_stored)
     collector.incr("mc.passed_subsumed", passed.subsumed)
     collector.incr("mc.passed_evicted", passed.evicted)
+    collector.incr("mc.waiting_subsumed",
+                   getattr(passed, "waiting_subsumed", 0))
     stats = getattr(graph, "stats", None)
     if stats is not None and zones_before is not None:
-        zones, constraints, empty = (
-            after - before
-            for after, before in zip(stats.snapshot(), zones_before))
-        collector.incr("mc.zones_created", zones)
-        collector.incr("mc.dbm_constraints", constraints)
-        collector.incr("mc.zones_pruned_empty", empty)
+        deltas = [after - before
+                  for after, before in zip(stats.snapshot(), zones_before)]
+        collector.incr("mc.zones_created", deltas[0])
+        collector.incr("mc.dbm_constraints", deltas[1])
+        collector.incr("mc.zones_pruned_empty", deltas[2])
+        collector.incr("mc.lu_extrapolated", deltas[3])
+        collector.incr("mc.inactive_clocks_freed", deltas[4])
     interned, cache_hits = (
         after - before
         for after, before in zip(_cache_snapshot(graph), caches_before))
@@ -160,15 +109,18 @@ def _record_search(collector, result, passed, graph, zones_before,
 
 
 def explore(graph, goal=None, on_state=None, use_inclusion=True,
-            max_states=None, order="bfs"):
-    """Symbolic exploration over the passed/waiting lists.
+            max_states=None, order="bfs", evict_waiting=True):
+    """Symbolic exploration over the unified passed/waiting list.
 
     ``goal(state)`` stops the search with a positive result; ``on_state``
     is an observer callback.  ``order`` selects the frontier discipline:
     ``"bfs"`` (default, shortest witnesses — the UPPAAL default) or
-    ``"dfs"``.  Returns a :class:`Reachability`, whose ``trace`` is the
-    list of (transition, state) steps from the initial state to the
-    witness (transition ``None`` for the initial state).
+    ``"dfs"``.  ``evict_waiting=False`` disables dead-marking of
+    subsumed frontier entries (the pre-unification behaviour; see
+    :class:`~repro.mc.explorecore.PassedWaitingList`).  Returns a
+    :class:`Reachability`, whose ``trace`` is the list of (transition,
+    state) steps from the initial state to the witness (transition
+    ``None`` for the initial state).
     """
     collector = active()
     stats = getattr(graph, "stats", None)
@@ -176,14 +128,19 @@ def explore(graph, goal=None, on_state=None, use_inclusion=True,
     caches_before = _cache_snapshot(graph)
     with span("mc.explore") as sp:
         initial = graph.initial()
-        passed = PassedList(use_inclusion)
-        passed.add_if_new(initial)
+        passed = PassedWaitingList(use_inclusion, evict_waiting)
+        root = SearchNode(initial)
+        passed.add_if_new(initial.discrete_key(), initial.zone, root)
         waiting = Frontier(order)
-        waiting.push(TraceNode(initial))
+        waiting.push(root)
+        root.waiting = True
         explored = 0
         result = None
         while waiting:
             node = waiting.pop()
+            if node.dead:
+                continue
+            node.waiting = False
             state = node.state
             explored += 1
             if explored & 1023 == 0:
@@ -198,8 +155,10 @@ def explore(graph, goal=None, on_state=None, use_inclusion=True,
             if max_states is not None and explored >= max_states:
                 break
             for transition, succ in graph.successors(state):
-                if passed.add_if_new(succ):
-                    waiting.push(TraceNode(succ, transition, node))
+                child = SearchNode(succ, transition, node)
+                if passed.add_if_new(succ.discrete_key(), succ.zone, child):
+                    waiting.push(child)
+                    child.waiting = True
         if result is None:
             result = Reachability(False, None, None, explored, passed.size)
         sp.set("found", result.found)

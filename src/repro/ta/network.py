@@ -144,7 +144,23 @@ class Network:
 
         Scans every invariant and guard; ``extra`` maps global clock
         indices to additional constants (e.g. from time-bounded queries).
+        Memoised per frozen network and ``extra`` table, so building
+        many zone graphs over one network scans the model once.
         """
+        if self._frozen:
+            key = tuple(sorted(extra.items())) if extra else ()
+            cache = getattr(self, "_max_constants_cache", None)
+            if cache is None:
+                cache = self._max_constants_cache = {}
+            hit = cache.get(key)
+            if hit is not None:
+                return list(hit)
+            consts = self._scan_max_constants(extra)
+            cache[key] = tuple(consts)
+            return consts
+        return self._scan_max_constants(extra)
+
+    def _scan_max_constants(self, extra):
         consts = [0] * self.dbm_size
         for process in self.processes:
             atoms = []

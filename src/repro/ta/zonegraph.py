@@ -2,8 +2,21 @@
 
 States pair a discrete configuration (location vector + variable
 valuation) with a DBM zone closed under delay, the classic UPPAAL
-representation.  Successor zones are extrapolated with per-clock maximal
-constants so exploration terminates.
+representation.  Successor zones are abstracted so exploration
+terminates; the ``abstraction`` knob picks how coarsely:
+
+``"lu+"`` (default)
+    Location-dependent Extra+_LU extrapolation driven by the static
+    LU-bounds analysis of :mod:`repro.ta.bounds`, plus clock-activity
+    reduction (clocks that are dead at a location are freed from the
+    zone).  Location-reachability-exact for diagonal-free networks;
+    networks with diagonal constraints fall back to ``"k"``
+    automatically (LU abstraction is unsound for them, Bouyer 2004).
+``"k"``
+    Classic network-global maximal-constant extrapolation — the exact
+    pre-LU engine, preserved bit-identical for differential testing.
+``"none"``
+    No abstraction (termination only on inherently bounded models).
 
 Zone storage and successor computation go through the shared
 exploration core (:mod:`repro.mc.explorecore`):
@@ -26,7 +39,9 @@ them in :mod:`repro.obs`) are bit-identical with the cache on or off.
 
 from __future__ import annotations
 
+from ..core.errors import ModelError
 from ..dbm.dbm import DBM
+from .bounds import network_bounds
 from .transitions import (
     delay_forbidden,
     discrete_transitions,
@@ -93,21 +108,35 @@ class ZoneGraphStats:
     themselves (``graph.succ_cache.hits``, ``graph.zone_store.hits``).
     """
 
-    __slots__ = ("zones_created", "constraints_applied", "empty_zones")
+    __slots__ = ("zones_created", "constraints_applied", "empty_zones",
+                 "lu_extrapolated", "inactive_clocks_freed")
 
     def __init__(self):
         self.zones_created = 0
         self.constraints_applied = 0
         self.empty_zones = 0
+        self.lu_extrapolated = 0
+        self.inactive_clocks_freed = 0
 
     def snapshot(self):
         return (self.zones_created, self.constraints_applied,
-                self.empty_zones)
+                self.empty_zones, self.lu_extrapolated,
+                self.inactive_clocks_freed)
+
+    def replay(self, deltas):
+        """Re-apply a recorded snapshot delta (cache-hit bookkeeping)."""
+        self.zones_created += deltas[0]
+        self.constraints_applied += deltas[1]
+        self.empty_zones += deltas[2]
+        self.lu_extrapolated += deltas[3]
+        self.inactive_clocks_freed += deltas[4]
 
     def __repr__(self):
         return (f"ZoneGraphStats(zones={self.zones_created}, "
                 f"constraints={self.constraints_applied}, "
-                f"empty={self.empty_zones})")
+                f"empty={self.empty_zones}, "
+                f"lu={self.lu_extrapolated}, "
+                f"freed={self.inactive_clocks_freed})")
 
 
 class ZoneGraph:
@@ -116,18 +145,36 @@ class ZoneGraph:
     ``cache_size`` bounds the successor cache (``0`` disables caching,
     ``None`` leaves it unbounded); ``intern_zones=False`` switches the
     hash-consing layer off (then the successor cache is disabled too,
-    since its keys rely on zone identity).
+    since its keys rely on zone identity).  ``abstraction`` selects the
+    finite abstraction (see the module docstring); ``extrapolate=False``
+    is kept as a back-compatible alias for ``abstraction="none"``.
     """
 
     def __init__(self, network, extrapolate=True, extra_constants=None,
-                 intern_zones=True, cache_size=DEFAULT_CACHE_SIZE):
+                 intern_zones=True, cache_size=DEFAULT_CACHE_SIZE,
+                 abstraction="lu+"):
         # Imported here (not at module top) to avoid the package cycle
         # repro.ta -> repro.mc -> repro.mc.engine -> repro.ta.zonegraph.
         from ..mc.explorecore import LRUCache, ZoneStore
 
         self.network = network.freeze()
-        self.extrapolate = extrapolate
-        self._max_constants = network.max_constants(extra_constants)
+        if abstraction not in ("lu+", "k", "none"):
+            raise ModelError(f"unknown abstraction {abstraction!r}")
+        if not extrapolate:
+            abstraction = "none"
+        bounds = None
+        if abstraction == "lu+":
+            bounds = network_bounds(self.network, extra_constants)
+            if bounds.has_diagonals:
+                # LU extrapolation is unsound under diagonal
+                # constraints; the classic abstraction handles them.
+                abstraction = "k"
+                bounds = None
+        self.abstraction = abstraction
+        self._bounds = bounds
+        self.extrapolate = abstraction != "none"
+        self._max_constants = (network.max_constants(extra_constants)
+                               if abstraction == "k" else None)
         self.stats = ZoneGraphStats()
         self.zone_store = ZoneStore() if intern_zones else None
         caching = intern_zones and cache_size != 0
@@ -166,8 +213,22 @@ class ZoneGraph:
         zone.up()
         return self._apply_invariants(zone, locs)
 
-    def _finish(self, zone):
-        if self.extrapolate and not zone.is_empty():
+    def _finish(self, zone, locs):
+        """Apply the configured abstraction at a location vector."""
+        if zone.is_empty():
+            return zone
+        bounds = self._bounds
+        if bounds is not None:
+            stats = self.stats
+            inactive = bounds.inactive_for(locs)
+            if inactive:
+                for clock in inactive:
+                    zone.free(clock)
+                stats.inactive_clocks_freed += len(inactive)
+            lowers, uppers = bounds.lu_for(locs)
+            zone.extrapolate_lu(lowers, uppers)
+            stats.lu_extrapolated += 1
+        elif self.extrapolate:
             zone.extrapolate(self._max_constants)
         return zone
 
@@ -217,7 +278,8 @@ class ZoneGraph:
         self.stats.zones_created += 1
         zone = self._apply_invariants(zone, locs)
         zone = self._delay_close(zone, locs, self._config_for(locs, valuation))
-        return SymState(locs, valuation, self._intern(self._finish(zone)))
+        return SymState(locs, valuation,
+                        self._intern(self._finish(zone, locs)))
 
     def successors(self, state):
         """Yield ``(transition, successor)`` pairs."""
@@ -238,10 +300,7 @@ class ZoneGraph:
         hit = cache.get(key)
         if hit is not None:
             succ, deltas = hit
-            stats = self.stats
-            stats.zones_created += deltas[0]
-            stats.constraints_applied += deltas[1]
-            stats.empty_zones += deltas[2]
+            self.stats.replay(deltas)
             return succ
         succ, deltas = self._fire_counted(state, entry)
         cache.put(key, (succ, deltas))
@@ -250,12 +309,9 @@ class ZoneGraph:
     def _fire_counted(self, state, entry):
         """:meth:`_fire` plus the stat deltas it produced (for replay)."""
         stats = self.stats
-        before = (stats.zones_created, stats.constraints_applied,
-                  stats.empty_zones)
+        before = stats.snapshot()
         succ = self._fire(state, entry)
-        deltas = (stats.zones_created - before[0],
-                  stats.constraints_applied - before[1],
-                  stats.empty_zones - before[2])
+        deltas = tuple(a - b for a, b in zip(stats.snapshot(), before))
         return succ, deltas
 
     def _fire(self, state, entry):
@@ -288,7 +344,7 @@ class ZoneGraph:
             stats.empty_zones += 1
             return None
         return SymState(new_locs, new_valuation,
-                        self._intern(self._finish(zone)))
+                        self._intern(self._finish(zone, new_locs)))
 
     def enabled_action_zone_parts(self, state):
         """For each enabled transition, the part of the zone where its

@@ -45,7 +45,10 @@ class TestUrgentChannels:
             urgent_channels=("c",) if urgent else ())
 
     def test_urgent_sync_blocks_delay(self):
-        graph = ZoneGraph(self._pair(urgent=True))
+        # Classic abstraction: x is never compared, so the default lu+
+        # abstraction would (soundly) forget it and hide the blocked
+        # delay this test observes through the raw zone.
+        graph = ZoneGraph(self._pair(urgent=True), abstraction="k")
         init = graph.initial()
         # No delay allowed: x stays 0 in the initial state.
         assert init.zone.contains_point((0,))

@@ -172,6 +172,34 @@ class TestTARules:
                     resets=[("x", 0)])
         assert_flags(ta, "clock-unknown")
 
+    def test_ta_clock_unbounded(self):
+        ta = Automaton("T", clocks=["x"])
+        ta.add_location("a")
+        ta.add_location("b")
+        ta.add_edge("a", "b", guard=[clk("x", ">", 3)], resets=[("x", 0)])
+        report = assert_flags(ta, "ta-clock-unbounded")
+        finding = next(f for f in report.findings
+                       if f.rule == "ta-clock-unbounded")
+        assert finding.severity == "warning"
+        assert "T/x" in finding.where
+
+    def test_ta_clock_unbounded_quiet_with_invariant(self):
+        ta = Automaton("T", clocks=["x"])
+        ta.add_location("a", invariant=[clk("x", "<=", 5)])
+        ta.add_location("b")
+        ta.add_edge("a", "b", guard=[clk("x", ">", 3)], resets=[("x", 0)])
+        report = lint_model(ta, name="fixture")
+        assert "ta-clock-unbounded" not in rules_of(report)
+
+    def test_ta_clock_unbounded_quiet_with_diagonal(self):
+        ta = Automaton("T", clocks=["x", "y"])
+        ta.add_location("a", invariant=[clk("y", "<=", 9)])
+        ta.add_location("b")
+        ta.add_edge("a", "b", guard=[clk("x", ">", 1, other="y")],
+                    resets=[("x", 0), ("y", 0)])
+        report = lint_model(ta, name="fixture")
+        assert "ta-clock-unbounded" not in rules_of(report)
+
     def test_edge_contradiction(self):
         ta = Automaton("T", clocks=["x"])
         ta.add_location("a", invariant=[clk("x", "<=", 2)])

@@ -1,0 +1,217 @@
+"""Static LU-bounds / clock-activity analysis and the LU extrapolation.
+
+Unit anchors: the Fischer and train-gate fixpoints have hand-derivable
+per-location bounds, so the tables are checked literally.  Property
+layer: on random zones ``extrapolate_lu`` must be a widening (never
+drops a point), idempotent, and — fed the symmetric ``L = U = M``
+bounds — at least as coarse as the classic k-extrapolation.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dbm import DBM
+from repro.dbm.bounds import NO_BOUND, le
+from repro.models.fischer import make_fischer
+from repro.ta import Automaton, Network, ZoneGraph, clk
+from repro.ta.bounds import network_bounds
+
+
+def _rows_by_location(process, bounds):
+    per_loc = {}
+    for li, name in enumerate(process.location_names):
+        per_loc[name] = {gi: (low, up)
+                         for gi, low, up in bounds.lu_rows[li]}
+    return per_loc
+
+
+class TestFischerFixpoint:
+    """Hand-derived tables for one Fischer process (k = 2).
+
+    ``x`` is reset entering ``req`` and entering ``wait``; it is read
+    by the invariant/guard ``x <= k`` at ``req`` and by the guard
+    ``x > k`` leaving ``wait``; nothing reads it at ``idle`` or ``cs``.
+    """
+
+    def setup_method(self):
+        self.network = make_fischer(2, 2)
+        self.bounds = network_bounds(self.network)
+        self.process = self.network.processes[0]
+        self.pb = self.bounds.per_process[0]
+        self.x = self.process.clock_index["x"]
+
+    def test_no_diagonals(self):
+        assert not self.bounds.has_diagonals
+
+    def test_per_location_lu(self):
+        rows = _rows_by_location(self.process, self.pb)
+        assert rows["req"][self.x] == (NO_BOUND, 2)
+        assert rows["wait"][self.x] == (2, NO_BOUND)
+        assert rows["idle"][self.x] == (NO_BOUND, NO_BOUND)
+        assert rows["cs"][self.x] == (NO_BOUND, NO_BOUND)
+
+    def test_inactive_locations(self):
+        index = self.process.location_index
+        inactive = self.pb.inactive
+        assert inactive[index["idle"]] == (self.x,)
+        assert inactive[index["cs"]] == (self.x,)
+        assert inactive[index["req"]] == ()
+        assert inactive[index["wait"]] == ()
+
+    def test_lu_for_is_location_dependent(self):
+        index = self.process.location_index
+        req, wait, idle = index["req"], index["wait"], index["idle"]
+        gi = self.process.clock_index["x"]
+        lowers, uppers = self.bounds.lu_for((req, idle))
+        assert lowers[0] == uppers[0] == 0
+        assert (lowers[gi], uppers[gi]) == (NO_BOUND, 2)
+        lowers, uppers = self.bounds.lu_for((wait, idle))
+        assert (lowers[gi], uppers[gi]) == (2, NO_BOUND)
+        lowers, uppers = self.bounds.lu_for((idle, idle))
+        assert (lowers[gi], uppers[gi]) == (NO_BOUND, NO_BOUND)
+
+    def test_lu_pairs_are_interned(self):
+        index = self.process.location_index
+        idle, cs = index["idle"], index["cs"]
+        assert self.bounds.lu_for((idle, idle)) \
+            is self.bounds.lu_for((idle, idle))
+        # idle and cs have identical (empty) rows, so the assembled
+        # tables — and through interning the pair objects — coincide.
+        assert self.bounds.lu_for((idle, idle)) \
+            is self.bounds.lu_for((cs, cs))
+
+    def test_inactive_rows_are_interned(self):
+        assert self.bounds.inactive_for((0, 0)) \
+            is self.bounds.inactive_for((0, 0))
+        assert set(self.bounds.inactive_for((0, 3))) == {
+            self.network.processes[0].clock_index["x"],
+            self.network.processes[1].clock_index["x"]}
+
+    def test_extra_constants_floor_and_keep_active(self):
+        gi = self.process.clock_index["x"]
+        extra = network_bounds(self.network, {gi: 7})
+        lowers, uppers = extra.lu_for((0, 0))
+        assert lowers[gi] == uppers[gi] == 7
+        assert gi not in extra.inactive_for((0, 0))
+        # Memoised per (network, extras) on the network itself.
+        assert network_bounds(self.network, {gi: 7}) is extra
+        assert network_bounds(self.network) is self.bounds
+
+
+class TestResetKillsFlow:
+    def test_bound_does_not_cross_a_reset(self):
+        a = Automaton("A", clocks=["x"])
+        a.add_location("s0")
+        a.add_location("s1")
+        a.add_location("s2")
+        a.add_edge("s0", "s1", resets=[("x", 0)])
+        a.add_edge("s1", "s2", guard=[clk("x", ">=", 9)])
+        net = Network("n")
+        net.add_process("P", a)
+        net.freeze()
+        bounds = network_bounds(net)
+        rows = _rows_by_location(net.processes[0],
+                                 bounds.per_process[0])
+        gi = net.processes[0].clock_index["x"]
+        # The x >= 9 comparison is needed at s1, but the reset on
+        # s0 -> s1 stops it flowing back to s0.
+        assert rows["s1"][gi] == (9, NO_BOUND)
+        assert rows["s0"][gi] == (NO_BOUND, NO_BOUND)
+
+
+class TestDiagonalFallback:
+    def _diagonal_network(self):
+        a = Automaton("A", clocks=["x", "y"])
+        a.add_location("s0", invariant=[clk("y", "<=", 5)])
+        a.add_location("s1")
+        a.add_edge("s0", "s1", guard=[clk("x", ">", 1, other="y")],
+                   resets=[("x", 0), ("y", 0)])
+        net = Network("n")
+        net.add_process("P", a)
+        return net.freeze()
+
+    def test_flagged(self):
+        assert network_bounds(self._diagonal_network()).has_diagonals
+
+    def test_zonegraph_falls_back_to_k(self):
+        graph = ZoneGraph(self._diagonal_network(), abstraction="lu+")
+        assert graph.abstraction == "k"
+
+
+# ---------------------------------------------------------------------------
+# DBM-level properties of Extra+_LU.
+
+
+@st.composite
+def zones(draw):
+    n = draw(st.integers(2, 4))
+    zone = DBM.zero(n).up()
+    for _ in range(draw(st.integers(0, 6))):
+        i = draw(st.integers(0, n - 1))
+        j = draw(st.integers(0, n - 1))
+        if i == j:
+            continue
+        tightened = zone.copy()
+        tightened.constrain(i, j, le(draw(st.integers(-4, 8))))
+        if not tightened.is_empty():
+            zone = tightened
+    return zone
+
+
+@st.composite
+def zones_with_bounds(draw):
+    zone = draw(zones())
+    n = zone.size
+    consts = st.one_of(st.just(NO_BOUND), st.integers(0, 8))
+    lowers = [0] + [draw(consts) for _ in range(n - 1)]
+    uppers = [0] + [draw(consts) for _ in range(n - 1)]
+    return zone, tuple(lowers), tuple(uppers)
+
+
+@settings(max_examples=150, deadline=None)
+@given(zones_with_bounds())
+def test_extrapolate_lu_only_widens(data):
+    zone, lowers, uppers = data
+    before = zone.copy()
+    after = zone.copy().extrapolate_lu(lowers, uppers)
+    assert after.includes(before)
+
+
+@settings(max_examples=150, deadline=None)
+@given(zones_with_bounds())
+def test_extrapolate_lu_is_idempotent(data):
+    zone, lowers, uppers = data
+    once = zone.copy().extrapolate_lu(lowers, uppers)
+    twice = once.copy().extrapolate_lu(lowers, uppers)
+    assert twice.key() == once.key()
+
+
+@settings(max_examples=150, deadline=None)
+@given(zones())
+def test_symmetric_lu_is_coarser_than_classic(zone):
+    n = zone.size
+    maxima = [0] + [5] * (n - 1)
+    classic = zone.copy().extrapolate(maxima)
+    lu = zone.copy().extrapolate_lu(tuple(maxima), tuple(maxima))
+    assert lu.includes(classic)
+
+
+def test_extrapolate_lu_validates_lengths():
+    from repro.core.errors import ModelError
+
+    zone = DBM.zero(3).up()
+    with pytest.raises(ModelError):
+        zone.extrapolate_lu((0, 0), (0, 0, 0))
+
+
+def test_free_clock_bounds_checked():
+    from repro.core.errors import ModelError
+
+    zone = DBM.zero(3).up()
+    for bad in (0, 3, -1):
+        with pytest.raises(ModelError):
+            zone.free_clock(bad)
+    freed = zone.copy()
+    freed.free_clock(1)
+    assert freed.includes(zone)

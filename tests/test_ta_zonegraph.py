@@ -35,7 +35,11 @@ def ping_pong():
 
 class TestZoneGraph:
     def test_initial_is_delay_closed(self):
-        graph = ZoneGraph(ping_pong())
+        # Classic abstraction: lu+ soundly forgets S.idle's x <= 4
+        # ceiling (x already tops its only lower guard x >= 2) and
+        # frees the dead receiver clock, so the raw zone this test
+        # inspects would be wider.
+        graph = ZoneGraph(ping_pong(), abstraction="k")
         init = graph.initial()
         # S.idle invariant bounds delay by 4.
         assert init.zone.contains_point((0, 0))
@@ -43,7 +47,10 @@ class TestZoneGraph:
         assert not init.zone.contains_point((5, 5))
 
     def test_synchronised_successor(self):
-        graph = ZoneGraph(ping_pong())
+        # Classic abstraction: at (sent, got) both clocks are dead, so
+        # the default lu+ abstraction would (soundly) drop the x == y
+        # correlation this test observes through the raw zone.
+        graph = ZoneGraph(ping_pong(), abstraction="k")
         init = graph.initial()
         succs = graph.successors(init)
         assert len(succs) == 1
@@ -74,7 +81,9 @@ class TestZoneGraph:
         a.add_edge("u", "done")
         net = Network()
         net.add_process("P", a)
-        graph = ZoneGraph(net)
+        # Classic abstraction: x is never compared, so lu+ would free
+        # it and hide the blocked delay observed through the raw zone.
+        graph = ZoneGraph(net, abstraction="k")
         init = graph.initial()
         assert init.zone.contains_point((0,))
         assert not init.zone.contains_point((1,))
