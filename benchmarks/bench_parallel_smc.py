@@ -29,6 +29,11 @@ whole session under the statistical profiler — the parallel phases
 exercise the runtime's per-worker profile shipping on real workloads —
 and ``--runstore PATH`` appends the report to the persistent
 ``repro.runs/1`` history used by ``python -m repro.obs.report diff``.
+
+The session also runs under a flight recorder, so the parallel phases
+exercise per-worker flight-recording shipping too; the recording is
+attached to the report's ``flight`` section and renders in
+``python -m repro.obs.dashboard``.
 """
 
 import os
@@ -141,6 +146,7 @@ def main(argv=None):
 
     import contextlib
 
+    from repro.obs.flight import FlightRecorder, recording
     from repro.obs.profiler import Profiler, profiling
 
     profiler = Profiler() if args.profile else None
@@ -148,8 +154,9 @@ def main(argv=None):
         else contextlib.nullcontext()
 
     collector = Collector("bench_parallel_smc")
+    recorder = FlightRecorder(run_id="bench-parallel-smc")
     workloads = {}
-    with collecting(collector), scope:
+    with collecting(collector), scope, recording(recorder):
         for name, run in sorted(WORKLOADS.items()):
             rows = measure(run, args.workers, runs)
             workloads[name] = rows
@@ -164,7 +171,7 @@ def main(argv=None):
         print(f"profiler overhead: {profiler.profile.overhead_ratio:.2%} "
               f"({profiler.profile.samples} samples, workers included)")
 
-    report = Report(collector, profile=profiler,
+    report = Report(collector, profile=profiler, flight=recorder,
                     meta={"benchmark": "parallel-smc", "runs": runs,
                           "cpus": os.cpu_count(),
                           "workloads": workloads})

@@ -27,14 +27,20 @@ collector installed they flush states-explored / passed-list / zone
 counters at the end of the search (plus the physical
 ``mc.zone_interned`` / ``mc.succ_cache_hits`` cache deltas), emit a
 ``mc.explore`` span, and send periodic
-:func:`~repro.obs.progress.heartbeat` events.  All counting in the
-search loop itself is plain-int arithmetic, so the overhead with
-observability off is nil.
+:func:`~repro.obs.progress.heartbeat` events.  With a flight recorder
+active (:func:`repro.obs.flight.recording`) the same deterministic
+checkpoints additionally sample ``mc.explore.*`` time series
+(frontier / passed-list / zone-store sizes) and the searches log
+``mc.explore.done`` / ``mc.build_graph.done`` events.  All counting in
+the search loop itself is plain-int arithmetic, so the overhead with
+observability off is nil (the recorder costs one contextvar lookup per
+call, not per state).
 """
 
 from __future__ import annotations
 
 from ..core.errors import SearchLimitError
+from ..obs.flight import active_recorder
 from ..obs.metrics import active
 from ..obs.progress import heartbeat
 from ..obs.trace import span
@@ -123,6 +129,9 @@ def explore(graph, goal=None, on_state=None, use_inclusion=True,
     ``None`` for the initial state).
     """
     collector = active()
+    recorder = active_recorder()
+    telemetry = getattr(graph, "telemetry", None) \
+        if recorder is not None else None
     stats = getattr(graph, "stats", None)
     zones_before = stats.snapshot() if stats is not None else None
     caches_before = _cache_snapshot(graph)
@@ -146,6 +155,12 @@ def explore(graph, goal=None, on_state=None, use_inclusion=True,
             if explored & 1023 == 0:
                 heartbeat("mc.explore", explored,
                           waiting=len(waiting), stored=passed.size)
+                if recorder is not None:
+                    recorder.sample("mc.explore", explored=explored,
+                                    waiting=len(waiting),
+                                    stored=passed.size,
+                                    **(telemetry() if telemetry is not None
+                                       else {}))
             if on_state is not None:
                 on_state(state)
             if goal is not None and goal(state):
@@ -164,6 +179,9 @@ def explore(graph, goal=None, on_state=None, use_inclusion=True,
         sp.set("found", result.found)
         sp.set("states_explored", explored)
         sp.set("states_stored", passed.size)
+        if recorder is not None:
+            recorder.log("mc.explore.done", found=result.found,
+                         explored=explored, stored=passed.size)
     if collector is not None:
         _record_search(collector, result, passed, graph, zones_before,
                        caches_before)
@@ -184,6 +202,7 @@ def build_graph(graph, max_states=200000):
     :class:`~repro.core.errors.SearchLimitError`.
     """
     interned = getattr(graph, "zone_store", None) is not None
+    recorder = active_recorder()
 
     def node_key(state):
         if interned:
@@ -213,6 +232,10 @@ def build_graph(graph, max_states=200000):
                     if len(nodes) & 1023 == 0:
                         heartbeat("mc.build_graph", len(nodes),
                                   waiting=len(waiting))
+                        if recorder is not None:
+                            recorder.sample("mc.build_graph",
+                                            states=len(nodes),
+                                            waiting=len(waiting))
                     if len(nodes) > max_states:
                         raise SearchLimitError(
                             f"symbolic graph exceeds {max_states} states",
@@ -222,6 +245,8 @@ def build_graph(graph, max_states=200000):
         while len(edges) < len(nodes):
             edges.append([])
         sp.set("graph_states", len(nodes))
+        if recorder is not None:
+            recorder.log("mc.build_graph.done", states=len(nodes))
     collector = active()
     if collector is not None:
         collector.incr("mc.graph_states", len(nodes))

@@ -262,6 +262,9 @@ def topological_value_iteration(mdp, values, frozen, maximize,
     n = mdp.num_states
     if n == 0:
         return 0
+    from ..obs.flight import active_recorder
+
+    recorder = active_recorder()
     reduce_actions = np.maximum if maximize else np.minimum
     probs, cols = mdp.probs, mdp.cols
     action_offsets_all = g.action_offsets_all
@@ -319,6 +322,9 @@ def topological_value_iteration(mdp, values, frozen, maximize,
             delta = np.max(np.abs(new_values - values[live]))
             values[live] = new_values
             total_iterations += 1
+            if recorder is not None:
+                recorder.sample("mdp.vi", residual=float(delta),
+                                iteration=total_iterations)
             if delta <= epsilon:
                 break
         else:

@@ -15,6 +15,15 @@ One layer across every analysis engine (``mc``, ``smc``, ``pta``,
   runtime exactly like collector snapshots;
 * :mod:`repro.obs.resources` — peak-RSS / heap / GC readings recorded
   as max-merge gauges;
+* :mod:`repro.obs.flight` — the flight recorder: a bounded structured
+  event log, in-flight telemetry time series sampled at the engines'
+  heartbeat checkpoints, and a stall watchdog (``repro.flight/1``,
+  crash-preserved JSONL tail), shipped home per worker like collector
+  snapshots;
+* :mod:`repro.obs.dashboard` — ``python -m repro.obs.dashboard``: a
+  report + flight recording (+ optional run history) rendered into one
+  self-contained HTML file (tables, span timeline, time-series charts,
+  flamegraph, event tail);
 * :mod:`repro.obs.runstore` — the persistent, append-only
   ``repro.runs/1`` JSONL run history (fingerprint-keyed, git SHA +
   timestamp per record);
@@ -29,6 +38,7 @@ per engine-boundary event when off; see ``docs/OBSERVABILITY.md`` and
 ``docs/PROFILING.md``.
 """
 
+from .flight import FlightRecorder, StallWatchdog, active_recorder, recording
 from .metrics import (
     Collector,
     Counter,
@@ -55,6 +65,7 @@ from .runstore import RunStore
 from .trace import NULL_SPAN, Span, Tracer, active_tracer, span, tracing
 
 __all__ = [
+    "FlightRecorder", "StallWatchdog", "active_recorder", "recording",
     "Collector", "Counter", "Gauge", "Histogram", "MaxGauge",
     "active", "collecting", "incr", "observe", "set_gauge", "set_max",
     "timed",

@@ -28,6 +28,12 @@ fingerprints in the ``--runstore``)::
 
     PYTHONPATH=src python -m repro.obs.report diff A B \\
         --runstore bench_runs.jsonl
+
+or to list / compact a run store's per-label history (CI appends one
+record per bench run, so stores grow without bound)::
+
+    PYTHONPATH=src python -m repro.obs.report history bench_runs.jsonl \\
+        --prune --keep 20
 """
 
 from __future__ import annotations
@@ -58,10 +64,11 @@ class Report:
     """
 
     def __init__(self, collector=None, tracer=None, meta=None,
-                 profile=None, sample_resources=True):
+                 profile=None, flight=None, sample_resources=True):
         self.collector = collector if collector is not None else Collector()
         self.tracer = tracer
         self.profile = profile
+        self.flight = flight
         self.sample_resources = sample_resources
         self.meta = dict(meta) if meta else {}
 
@@ -78,6 +85,17 @@ class Report:
             return profile.to_dict()
         return dict(profile)                  # already a snapshot
 
+    def flight_dict(self):
+        """The attached flight recording (a
+        :class:`~repro.obs.flight.FlightRecorder` or a snapshot dict)
+        as a ``repro.flight/1`` dict, or ``None``."""
+        flight = self.flight
+        if flight is None:
+            return None
+        if hasattr(flight, "to_dict"):        # a FlightRecorder
+            return flight.to_dict()
+        return dict(flight)                   # already a snapshot
+
     def to_dict(self):
         if self.sample_resources:
             from .resources import sample
@@ -91,6 +109,9 @@ class Report:
         profile = self.profile_dict()
         if profile is not None:
             data["profile"] = profile
+        flight = self.flight_dict()
+        if flight is not None:
+            data["flight"] = flight
         if self.tracer is not None:
             data["trace"] = self.tracer.to_dict()
             data["chrome_trace"] = self.tracer.to_chrome_trace()
@@ -164,6 +185,13 @@ def validate(data):
                          f"(expected {SCHEMA_VERSION!r})")
     if "metrics" not in data:
         raise ValueError("report has no 'metrics' section")
+    if "flight" in data:
+        from .flight import validate_flight
+
+        try:
+            validate_flight(data["flight"])
+        except ValueError as exc:
+            raise ValueError(f"embedded flight section: {exc}") from exc
     return data
 
 
@@ -186,8 +214,11 @@ def _check_one(path):
             return "1 run record"
         validate(data)
         return "report"
-    # Not one JSON document: treat as a JSONL run store.
+    # Not one JSON document: treat as a JSONL run store.  All invalid
+    # lines are accumulated (not just the first), so one --check pass
+    # reports everything RunStore.scan() would silently skip.
     count = 0
+    bad = []
     for lineno, line in enumerate(text.splitlines(), 1):
         line = line.strip()
         if not line:
@@ -195,12 +226,20 @@ def _check_one(path):
         try:
             record = json.loads(line)
         except json.JSONDecodeError as exc:
-            raise ValueError(f"line {lineno}: not JSON ({exc})") from exc
+            bad.append(f"line {lineno}: not JSON ({exc})")
+            continue
         try:
             validate_record(record)
         except ValueError as exc:
-            raise ValueError(f"line {lineno}: {exc}") from exc
+            bad.append(f"line {lineno}: {exc}")
+            continue
         count += 1
+    if bad:
+        shown = "; ".join(bad[:5])
+        if len(bad) > 5:
+            shown += f"; ... and {len(bad) - 5} more"
+        raise ValueError(f"{len(bad)} invalid line(s) "
+                         f"({count} valid records would be kept): {shown}")
     if count == 0:
         raise ValueError("neither a report nor a run store")
     return f"{count} run records"
@@ -310,6 +349,58 @@ def diff_main(argv):
     return 0
 
 
+def history_main(argv):
+    import argparse
+
+    from .runstore import RunStore
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report history",
+        description="inspect a JSONL run store and optionally compact "
+                    "it to the newest N records per label")
+    parser.add_argument("runstore", metavar="PATH",
+                        help="the repro.runs/1 JSONL run store")
+    parser.add_argument("--label", default=None,
+                        help="restrict the listing / pruning to one "
+                             "label")
+    parser.add_argument("--prune", action="store_true",
+                        help="rewrite the store keeping only the newest "
+                             "--keep records per label (atomic)")
+    parser.add_argument("--keep", type=int, default=20, metavar="N",
+                        help="records to keep per label when pruning "
+                             "(default 20)")
+    args = parser.parse_args(argv)
+
+    store = RunStore(args.runstore)
+    if args.prune:
+        try:
+            kept, removed = store.prune(args.keep, label=args.label)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}")
+            return 2
+        print(f"pruned {args.runstore}: removed {removed} record(s), "
+              f"kept {kept}")
+        return 0
+    records, skipped = store.scan()
+    by_label = {}
+    for record in records:
+        if args.label is not None and record["label"] != args.label:
+            continue
+        by_label.setdefault(record["label"], []).append(record)
+    for label in sorted(by_label):
+        runs = by_label[label]
+        newest = runs[-1]
+        sha = newest.get("git_sha") or "?"
+        print(f"{label}: {len(runs)} run(s), newest "
+              f"{newest['run_id']} @ {sha[:10]} "
+              f"({newest.get('created', '?')})")
+    if not by_label:
+        print("no matching records")
+    if skipped:
+        print(f"({skipped} unparseable/foreign line(s) skipped)")
+    return 0
+
+
 def main(argv=None):
     import argparse
     import sys
@@ -317,11 +408,14 @@ def main(argv=None):
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "diff":
         return diff_main(argv[1:])
+    if argv and argv[0] == "history":
+        return history_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.report",
         description="observability demo session / report schema gate / "
-                    "run diff (use the 'diff' subcommand)")
+                    "run diff and history (use the 'diff' / 'history' "
+                    "subcommands)")
     parser.add_argument("--check", nargs="+", metavar="FILE", default=None,
                         help="validate report / run-store files and exit")
     parser.add_argument("--json", dest="json_path",

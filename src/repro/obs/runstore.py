@@ -129,6 +129,53 @@ class RunStore:
         os.replace(tmp, self.path)
         return record
 
+    def prune(self, keep, label=None):
+        """Compact the store to the newest ``keep`` records per label
+        (only ``label``'s records when one is given); returns
+        ``(kept, removed)`` counts over the valid records.
+
+        CI appends one record per bench-smoke run, so the store grows
+        without bound; pruning keeps the recent history the regression
+        gate and ``diff`` actually read.  The rewrite is atomic (temp
+        file + :func:`os.replace`) and foreign / unparseable lines are
+        preserved verbatim in place, exactly like :meth:`append`.
+        """
+        if keep < 1:
+            raise ValueError(f"--keep must be at least 1, got {keep}")
+        try:
+            with open(self.path, encoding="utf-8") as handle:
+                lines = handle.readlines()
+        except OSError:
+            return 0, 0
+        parsed = []
+        for raw in lines:
+            stripped = raw.strip()
+            if not stripped:
+                continue
+            try:
+                record = validate_record(json.loads(stripped))
+            except (ValueError, json.JSONDecodeError):
+                record = None
+            parsed.append((stripped, record))
+        positions = {}
+        for index, (_line, record) in enumerate(parsed):
+            if record is not None and (label is None
+                                       or record["label"] == label):
+                positions.setdefault(record["label"], []).append(index)
+        drop = set()
+        for indices in positions.values():
+            drop.update(indices[:-keep])
+        kept = sum(1 for index, (_line, record) in enumerate(parsed)
+                   if record is not None and index not in drop)
+        if drop:
+            tmp = f"{self.path}.tmp"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                for index, (line, _record) in enumerate(parsed):
+                    if index not in drop:
+                        handle.write(line + "\n")
+            os.replace(tmp, self.path)
+        return kept, len(drop)
+
     # -- reading ---------------------------------------------------------------
 
     def scan(self):

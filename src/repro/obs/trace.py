@@ -29,6 +29,18 @@ import time
 from contextlib import contextmanager
 
 
+def epoch_relative(timestamp, epoch, scale=1.0):
+    """Align an absolute ``time.perf_counter()`` timestamp to a
+    session epoch: ``(timestamp - epoch) * scale``.
+
+    Every export that positions events on a wall-clock axis — span
+    dicts, the Chrome trace (``scale=1e6`` for microseconds), the
+    flight recorder, the dashboard timeline — goes through this one
+    helper so their alignment cannot drift.
+    """
+    return (timestamp - epoch) * scale
+
+
 class Span:
     """One timed phase: name, attributes, children, wall time."""
 
@@ -55,7 +67,7 @@ class Span:
     def to_dict(self, epoch=0.0):
         return {
             "name": self.name,
-            "start": self.start - epoch,
+            "start": epoch_relative(self.start, epoch),
             "duration": self.duration,
             "attributes": dict(self.attributes),
             "children": [c.to_dict(epoch) for c in self.children],
@@ -122,7 +134,7 @@ class Tracer:
                 "name": sp.name,
                 "cat": sp.name.split(".", 1)[0],
                 "ph": "X",
-                "ts": (sp.start - self.epoch) * 1e6,
+                "ts": epoch_relative(sp.start, self.epoch, 1e6),
                 "dur": sp.duration * 1e6,
                 "pid": 0,
                 "tid": 0,
@@ -155,6 +167,16 @@ def active_tracer():
     """The tracer installed by the innermost :func:`tracing` scope, or
     ``None`` — tracing is off by default."""
     return _ACTIVE.get()
+
+
+def current_span_name():
+    """The name of the innermost open span, or ``None`` when tracing is
+    off (or no span is open) — the flight recorder stamps this on every
+    event to correlate the two exports."""
+    tracer = _ACTIVE.get()
+    if tracer is None or not tracer._stack:
+        return None
+    return tracer._stack[-1].name
 
 
 @contextmanager

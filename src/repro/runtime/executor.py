@@ -53,7 +53,12 @@ snapshot ships home with the result and merges in task order too —
 same algebra, same single-clean-attempt guarantee — so a parallel
 campaign's merged profile equals the serial run's logical profile, and
 worker peak-RSS readings max-merge home through the collector's max
-gauges.  The recovery machinery itself counts under
+gauges.  An active flight recorder (:func:`repro.obs.flight.recording`)
+gets the same treatment: each task runs under a fresh worker-side
+recorder whose snapshot ships home and merges in task order with its
+events tagged by physical worker id, so serial, parallel, and
+fault-recovered fixed-budget campaigns produce identical merged
+*logical* event sequences.  The recovery machinery itself counts under
 ``runtime.retries`` / ``runtime.replayed`` / ``runtime.pool_rebuilds``
 / ``runtime.timeouts`` / ``runtime.skipped`` / ``runtime.degraded``.
 """
@@ -71,32 +76,35 @@ from .faults import task_seed
 
 
 class _WorkerTask:
-    """Worker-side wrapper: optional fault injection, metrics, and
-    profiling.
+    """Worker-side wrapper: optional fault injection, metrics,
+    profiling, and flight recording.
 
     Called as ``(index, attempt, *args)`` so the injector can key on the
-    task's position and fire only on first attempts.  With ``collect``
-    or a ``profile_hz``, the task runs under a fresh worker-side
-    collector and/or profiler and returns ``(result, metrics snapshot
-    or None, profile snapshot or None, worker pid, seconds)``;
-    otherwise the bare result.  Resource high-water marks are sampled
-    into the collector's max gauges after the task, so peak RSS
-    max-merges home.  Picklable as long as the wrapped function (and
-    injector) are.
+    task's position and fire only on first attempts.  With ``collect``,
+    a ``profile_hz``, or ``flight``, the task runs under a fresh
+    worker-side collector / profiler / flight recorder and returns
+    ``(result, metrics snapshot or None, profile snapshot or None,
+    flight snapshot or None, worker pid, seconds)``; otherwise the bare
+    result.  Resource high-water marks are sampled into the collector's
+    max gauges after the task, so peak RSS max-merges home.  Picklable
+    as long as the wrapped function (and injector) are.
     """
 
-    __slots__ = ("fn", "injector", "collect", "profile_hz")
+    __slots__ = ("fn", "injector", "collect", "profile_hz", "flight")
 
-    def __init__(self, fn, injector, collect, profile_hz=None):
+    def __init__(self, fn, injector, collect, profile_hz=None,
+                 flight=False):
         self.fn = fn
         self.injector = injector
         self.collect = collect
         self.profile_hz = profile_hz
+        self.flight = flight
 
     def __call__(self, index, attempt, *args):
         if self.injector is not None:
             self.injector(index, attempt)
-        if not self.collect and self.profile_hz is None:
+        if not self.collect and self.profile_hz is None \
+                and not self.flight:
             return self.fn(*args)
         from contextlib import ExitStack
 
@@ -104,6 +112,7 @@ class _WorkerTask:
 
         collector = Collector("worker") if self.collect else None
         profiler = None
+        recorder = None
         start = time.perf_counter()
         with ExitStack() as stack:
             if collector is not None:
@@ -113,6 +122,16 @@ class _WorkerTask:
 
                 profiler = Profiler(hz=self.profile_hz)
                 stack.enter_context(profiling(profiler=profiler))
+            if self.flight:
+                from ..obs.flight import FlightRecorder, recording
+
+                # No watchdog and no crash dump worker-side: the
+                # injector fires *before* this scope opens, and a
+                # failed attempt's recording dies with its worker —
+                # which is exactly what keeps merged logical sequences
+                # identical under fault recovery.
+                recorder = stack.enter_context(
+                    recording(FlightRecorder()))
             result = self.fn(*args)
         seconds = time.perf_counter() - start
         if collector is not None:
@@ -123,6 +142,7 @@ class _WorkerTask:
                 collector.snapshot() if collector is not None else None,
                 profiler.profile.to_dict() if profiler is not None
                 else None,
+                recorder.to_dict() if recorder is not None else None,
                 os.getpid(), seconds)
 
 
@@ -325,16 +345,20 @@ class ParallelExecutor(Executor):
         pool.shutdown(wait=False, cancel_futures=True)
 
     def imap(self, fn, tasks, policy=None):
+        from ..obs.flight import active_recorder
         from ..obs.profiler import active_profiler
 
         collector = active()
         profiler = active_profiler()
+        recorder = active_recorder()
         injector = policy.injector if policy is not None else None
         timeout = policy.timeout if policy is not None else None
-        shipped = collector is not None or profiler is not None
+        shipped = (collector is not None or profiler is not None
+                   or recorder is not None)
         wrap = shipped or injector is not None
         call = _WorkerTask(fn, injector, collector is not None,
-                           profiler.hz if profiler is not None else None) \
+                           profiler.hz if profiler is not None else None,
+                           recorder is not None) \
             if wrap else fn
         worker_ids = {}
         if collector is not None:
@@ -439,15 +463,16 @@ class ParallelExecutor(Executor):
             return result
 
         def absorb(outcome):
-            # Merge the worker's collector and profile snapshots in
-            # task order, so logical totals (and merged profiles) match
-            # the serial aggregation exactly.  Only the one clean
-            # attempt's snapshots ever arrive here — a failed attempt's
-            # collector and profile die with it.
-            result, snapshot, profile_snap, pid, seconds = outcome
+            # Merge the worker's collector, profile, and flight
+            # snapshots in task order, so logical totals (and merged
+            # profiles / event sequences) match the serial aggregation
+            # exactly.  Only the one clean attempt's snapshots ever
+            # arrive here — a failed attempt's snapshots die with it.
+            result, snapshot, profile_snap, flight_snap, pid, seconds = \
+                outcome
+            index = worker_ids.setdefault(pid, len(worker_ids))
             if collector is not None:
                 collector.merge(snapshot)
-                index = worker_ids.setdefault(pid, len(worker_ids))
                 collector.incr("runtime.tasks")
                 collector.incr(f"runtime.worker.{index}.tasks")
                 collector.observe("runtime.task_seconds", seconds)
@@ -455,6 +480,8 @@ class ParallelExecutor(Executor):
                                     len(worker_ids))
             if profiler is not None and profile_snap is not None:
                 profiler.merge_snapshot(profile_snap)
+            if recorder is not None and flight_snap is not None:
+                recorder.merge(flight_snap, worker=index)
             return result
 
         try:

@@ -12,6 +12,7 @@ to the serial engines that already draw ``rng.spawn()`` per run.
 from __future__ import annotations
 
 from ..core.rng import RandomSource, ensure_rng
+from ..obs.flight import active_recorder
 
 
 def seed_stream(rng_or_seed, n):
@@ -43,11 +44,29 @@ def run_batch(run_once, seeds):
     """Evaluate ``run_once(RandomSource(seed))`` as a Bernoulli outcome
     for each seed.  Module-level so executors can ship it to workers;
     ``run_once`` itself must be picklable (a module-level function or a
-    :func:`functools.partial` over one)."""
-    return [bool(run_once(RandomSource(seed))) for seed in seeds]
+    :func:`functools.partial` over one).
+
+    With a flight recorder active (coordinator-side when run serially,
+    the fresh worker-side recorder when shipped by
+    :class:`~repro.runtime.ParallelExecutor`), each batch logs one
+    ``smc.batch`` debug event.  Batches are pure functions of their
+    seeds and recordings merge in task order, so the logical event
+    sequence is identical for serial, parallel, and fault-recovered
+    execution.
+    """
+    outcomes = [bool(run_once(RandomSource(seed))) for seed in seeds]
+    recorder = active_recorder()
+    if recorder is not None:
+        recorder.log("smc.batch", level="debug", runs=len(outcomes),
+                     successes=sum(outcomes))
+    return outcomes
 
 
 def sample_batch(run_once, seeds):
     """Like :func:`run_batch` but keeps the raw per-run values (for
     mean/quantile estimation)."""
-    return [run_once(RandomSource(seed)) for seed in seeds]
+    samples = [run_once(RandomSource(seed)) for seed in seeds]
+    recorder = active_recorder()
+    if recorder is not None:
+        recorder.log("smc.batch", level="debug", runs=len(samples))
+    return samples

@@ -11,6 +11,7 @@ import math
 
 from ..core.errors import AnalysisError
 from ..core.rng import ensure_rng
+from ..obs.flight import active_recorder
 from ..obs.metrics import incr
 from ..obs.progress import heartbeat
 from ..obs.trace import span
@@ -37,8 +38,10 @@ class SPRTResult:
                 f"runs, {self.successes} successes)")
 
 
-def _record_verdict(result):
-    """Flush one sequential test's logical totals into the registry.
+def _record_verdict(result, recorder=None, log_a=None, log_b=None):
+    """Flush one sequential test's logical totals into the registry
+    (and its verdict event into the flight recorder, when one is
+    active).
 
     Recorded at the coordinator while walking outcomes in run order, so
     the counts are identical for serial and parallel execution even
@@ -48,6 +51,10 @@ def _record_verdict(result):
     incr("smc.sprt.runs", result.runs)
     incr("smc.sprt.successes", result.successes)
     incr("smc.sprt.accepted" if result.accept else "smc.sprt.rejected")
+    if recorder is not None:
+        recorder.log("smc.sprt.verdict", accept=result.accept,
+                     runs=result.runs, successes=result.successes,
+                     log_a=log_a, log_b=log_b)
     return result
 
 
@@ -85,6 +92,7 @@ def sprt(run_once, theta, indifference=0.01, alpha=0.05, beta=0.05,
     inc_failure = math.log((1 - p1) / (1 - p0))
     successes = 0
 
+    recorder = active_recorder()
     if executor is None:
         with span("smc.sprt", theta=theta):
             for run in range(1, max_runs + 1):
@@ -95,12 +103,18 @@ def sprt(run_once, theta, indifference=0.01, alpha=0.05, beta=0.05,
                     llr += inc_failure
                 if run & 63 == 0:
                     heartbeat("smc.sprt", run, successes=successes)
+                    if recorder is not None:
+                        recorder.sample("smc.sprt",
+                                        llr=round(llr, 6),
+                                        successes=successes)
                 if llr >= log_a:
                     return _record_verdict(SPRTResult(
-                        True, run, successes, theta, indifference))
+                        True, run, successes, theta, indifference),
+                        recorder, log_a, log_b)
                 if llr <= log_b:
                     return _record_verdict(SPRTResult(
-                        False, run, successes, theta, indifference))
+                        False, run, successes, theta, indifference),
+                        recorder, log_a, log_b)
         raise AnalysisError(f"SPRT undecided after {max_runs} runs")
 
     from ..runtime import run_batch
@@ -128,12 +142,17 @@ def sprt(run_once, theta, indifference=0.01, alpha=0.05, beta=0.05,
                         llr += inc_success
                     else:
                         llr += inc_failure
+                    if run & 63 == 0 and recorder is not None:
+                        recorder.sample("smc.sprt", llr=round(llr, 6),
+                                        successes=successes)
                     if llr >= log_a:
                         return _record_verdict(SPRTResult(
-                            True, run, successes, theta, indifference))
+                            True, run, successes, theta, indifference),
+                            recorder, log_a, log_b)
                     if llr <= log_b:
                         return _record_verdict(SPRTResult(
-                            False, run, successes, theta, indifference))
+                            False, run, successes, theta, indifference),
+                            recorder, log_a, log_b)
     finally:
         results.close()
     raise AnalysisError(f"SPRT undecided after {max_runs} runs")

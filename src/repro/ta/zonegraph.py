@@ -194,6 +194,19 @@ class ZoneGraph:
                 for location in process.locations)
             for process in self.network.processes)
 
+    def telemetry(self):
+        """In-flight cache-layer gauges for the flight recorder's
+        ``mc.explore`` time series: zone-store population and successor
+        cache size (keys present only for the layers enabled).  These
+        are *physical* quantities — they vary with cache configuration,
+        unlike the logical exploration counters."""
+        values = {}
+        if self.zone_store is not None:
+            values["zones_interned"] = self.zone_store.distinct
+        if self.succ_cache is not None:
+            values["succ_cache"] = len(self.succ_cache)
+        return values
+
     # -- helpers ---------------------------------------------------------------
 
     def _apply_invariants(self, zone, locs):

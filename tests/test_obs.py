@@ -463,3 +463,209 @@ class TestDemoSession:
         assert check_files([str(path)]) == 0
         titles = [t.title for t in report.tables()]
         assert any("[mc]" in t for t in titles)
+
+class TestEwmaRate:
+    """The EWMA instantaneous rate: follows recent throughput, while
+    ``avg_rate`` stays the cumulative whole-run mean."""
+
+    @staticmethod
+    def fake_clock(times):
+        values = iter(times)
+        return lambda: next(values)
+
+    def test_first_event_seeds_from_cumulative_average(self):
+        events = []
+        # started at t=0, sink ctor reads the clock once.
+        clock = self.fake_clock([0.0, 10.0])
+        with progress(events.append, min_interval=0.0, clock=clock):
+            event = heartbeat("smc", 100, total=400)
+        assert event.rate == pytest.approx(10.0)   # 100 done / 10 s
+        assert event.rate == pytest.approx(event.avg_rate)
+        assert event.eta == pytest.approx(30.0)
+
+    def test_slowdown_pulls_rate_toward_recent_throughput(self):
+        events = []
+        # 100 units in the first second, then 1 unit per second.
+        clock = self.fake_clock([0.0, 1.0, 2.0, 3.0, 4.0, 5.0])
+        with progress(events.append, min_interval=0.0, clock=clock):
+            for done in (100, 101, 102, 103, 104):
+                heartbeat("smc", done, total=200)
+        rates = [e.rate for e in events]
+        assert rates[0] == pytest.approx(100.0)       # seeded
+        assert rates[1] == pytest.approx(100.0 + 0.3 * (1.0 - 100.0))
+        assert all(a > b for a, b in zip(rates, rates[1:]))  # decaying
+        last = events[-1]
+        # eta is driven by the EWMA rate, not the cumulative average
+        assert last.eta == pytest.approx((200 - 104) / last.rate)
+        assert last.avg_rate == pytest.approx(104 / 5.0)
+        assert last.rate != pytest.approx(last.avg_rate)
+
+    def test_done_decrease_resets_the_ewma(self):
+        events = []
+        clock = self.fake_clock([0.0, 1.0, 2.0])
+        with progress(events.append, min_interval=0.0, clock=clock):
+            heartbeat("smc", 100)
+            event = heartbeat("smc", 30)    # a second analysis restarted
+        assert event.rate == pytest.approx(event.avg_rate)
+        assert event.rate == pytest.approx(15.0)   # 30 done / 2 s elapsed
+
+    def test_kinds_track_independent_rates(self):
+        events = []
+        clock = self.fake_clock([0.0, 1.0, 1.0])
+        with progress(events.append, min_interval=0.0, clock=clock):
+            fast = heartbeat("smc", 1000)
+            slow = heartbeat("mc", 10)
+        assert fast.rate == pytest.approx(1000.0)
+        assert slow.rate == pytest.approx(10.0)
+
+
+class TestResources:
+    """Fallback branches of :mod:`repro.obs.resources`."""
+
+    def test_rss_peak_falls_back_to_getrusage(self, monkeypatch):
+        from repro.obs import resources
+
+        monkeypatch.setattr(resources, "_proc_status_kb",
+                            lambda field: None)
+        peak = resources.rss_peak_kb()
+        assert peak is None or peak > 0  # getrusage path (or no API)
+
+    def test_rss_kb_none_without_proc(self, monkeypatch):
+        from repro.obs import resources
+
+        monkeypatch.setattr(resources, "_proc_status_kb",
+                            lambda field: None)
+        assert resources.rss_kb() is None
+        readings = resources.sample(Collector())
+        assert "obs.rss_kb" not in readings
+        assert "obs.gc_collections" in readings
+
+    def test_heap_tracing_records_heap_gauges(self):
+        import tracemalloc
+
+        from repro.obs.resources import heap_tracing
+
+        c = Collector()
+        with heap_tracing(c):
+            data = [object() for _ in range(1000)]
+        del data
+        assert not tracemalloc.is_tracing()
+        assert c.value("obs.heap_peak_kb") >= 0
+
+    def test_heap_tracing_nests_without_stopping_outer(self):
+        import tracemalloc
+
+        from repro.obs.resources import heap_tracing
+
+        with heap_tracing():
+            assert tracemalloc.is_tracing()
+            with heap_tracing():               # nested / double enable
+                assert tracemalloc.is_tracing()
+            # inner exit must leave the outer window tracing
+            assert tracemalloc.is_tracing()
+        assert not tracemalloc.is_tracing()
+
+
+def _store_with_runs(tmp_path, labels):
+    """A run store with one record per label occurrence, plus one
+    foreign line in the middle."""
+    from repro.obs.runstore import RunStore
+
+    path = tmp_path / "runs.jsonl"
+    store = RunStore(str(path))
+    half = len(labels) // 2
+    for index, label in enumerate(labels):
+        if index == half:
+            with open(path, "a", encoding="utf-8") as handle:
+                handle.write('{"foreign": "line"}\n')
+        c = Collector()
+        c.incr("smc.runs", index)
+        store.append(Report(c, meta={"i": index}), label)
+    return store, path
+
+
+class TestRunStorePrune:
+    def test_prune_keeps_newest_per_label(self, tmp_path):
+        store, path = _store_with_runs(
+            tmp_path, ["a", "b", "a", "a", "b", "a"])
+        kept, removed = store.prune(keep=2)
+        assert (kept, removed) == (4, 2)
+        a_runs = list(store.records(label="a"))
+        assert [r["run_id"] for r in a_runs] == ["a#3", "a#4"]
+        assert len(list(store.records(label="b"))) == 2
+        # the foreign line survives the rewrite verbatim
+        assert '{"foreign": "line"}' in path.read_text()
+        assert store.scan()[1] == 1  # still counted as skipped
+
+    def test_prune_single_label_leaves_others(self, tmp_path):
+        store, _path = _store_with_runs(tmp_path, ["a", "a", "a", "b"])
+        kept, removed = store.prune(keep=1, label="a")
+        assert (kept, removed) == (2, 2)
+        assert len(list(store.records(label="a"))) == 1
+        assert len(list(store.records(label="b"))) == 1
+
+    def test_prune_noop_and_bad_keep(self, tmp_path):
+        store, path = _store_with_runs(tmp_path, ["a", "b"])
+        before = path.read_text()
+        assert store.prune(keep=5) == (2, 0)
+        assert path.read_text() == before  # no rewrite when nothing drops
+        with pytest.raises(ValueError, match="at least 1"):
+            store.prune(keep=0)
+        from repro.obs.runstore import RunStore
+
+        missing = RunStore(str(tmp_path / "missing.jsonl"))
+        assert missing.prune(keep=1) == (0, 0)
+
+    def test_pruned_store_passes_check(self, tmp_path):
+        store, path = _store_with_runs(tmp_path, ["a"] * 4)
+        store.prune(keep=2)
+        # the foreign line is reported, valid records still count
+        from repro.obs.report import _check_one
+
+        with pytest.raises(ValueError, match="1 invalid line"):
+            _check_one(str(path))
+
+
+class TestHistoryCli:
+    def test_history_lists_labels_and_skipped(self, tmp_path, capsys):
+        from repro.obs.report import main
+
+        _store, path = _store_with_runs(tmp_path, ["a", "a", "b"])
+        assert main(["history", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "a: 2 run(s), newest a#2" in out
+        assert "b: 1 run(s), newest b#1" in out
+        assert "1 unparseable/foreign line(s) skipped" in out
+
+    def test_history_prune_compacts(self, tmp_path, capsys):
+        from repro.obs.report import main
+        from repro.obs.runstore import RunStore
+
+        _store, path = _store_with_runs(tmp_path, ["a"] * 5)
+        assert main(["history", str(path), "--prune", "--keep", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "removed 3 record(s), kept 2" in out
+        assert len(list(RunStore(str(path)).records(label="a"))) == 2
+
+    def test_history_label_filter(self, tmp_path, capsys):
+        from repro.obs.report import main
+
+        _store, path = _store_with_runs(tmp_path, ["a", "b"])
+        assert main(["history", str(path), "--label", "zzz"]) == 0
+        assert "no matching records" in capsys.readouterr().out
+
+
+class TestCheckOneMultiError:
+    def test_all_bad_lines_reported(self, tmp_path):
+        from repro.obs.report import _check_one
+
+        _store, path = _store_with_runs(tmp_path, ["a"])
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("not json at all\n")
+            handle.write('{"schema": "repro.runs/1"}\n')
+        with pytest.raises(ValueError) as err:
+            _check_one(str(path))
+        message = str(err.value)
+        assert "3 invalid line(s)" in message
+        assert "1 valid records would be kept" in message
+        assert "not JSON" in message
